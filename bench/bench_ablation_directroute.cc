@@ -1,0 +1,66 @@
+/// \file bench_ablation_directroute.cc
+/// \brief ABL-DR — IP-to-IP direct result routing (Section 5.0).
+///
+/// "We feel that it should be possible to route some of the data pages
+/// which are produced by IPs directly from one IP to another without first
+/// sending the page to an IC. If such an approach could be successfully
+/// implemented then message traffic on the outer ring could be further
+/// reduced. There appears, however, to be a tradeoff between decreased
+/// message traffic and increased IP complexity."
+///
+/// The sweep varies the modelled IP-complexity cost per directly routed
+/// packet; the crossover shows where the paper's tradeoff flips.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "machine/simulator.h"
+
+namespace dfdb {
+namespace {
+
+int Main(int argc, char** argv) {
+  const double scale = bench::FlagDouble(argc, argv, "scale", 1.0);
+  std::printf("== ABL-DR: direct IP-to-IP result routing ==\n");
+  StorageEngine storage(/*default_page_bytes=*/16384);
+  bench::BuildDatabaseOrDie(&storage, scale);
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<const PlanNode*> plans = bench::QueryPointers(queries);
+
+  bench::Table table({"ips", "mode", "ip_overhead_us", "exec_time_s",
+                      "outer_ring_mb", "direct_routes"});
+  for (int ips : {8, 16, 32}) {
+    for (int mode = 0; mode < 4; ++mode) {
+      MachineOptions opts;
+      opts.granularity = Granularity::kPage;
+      opts.config.num_instruction_processors = ips;
+      opts.config.num_instruction_controllers = 8;
+      opts.config.page_bytes = 16384;
+      int overhead_us = 0;
+      if (mode > 0) {
+        opts.ip_direct_routing = true;
+        overhead_us = mode == 1 ? 0 : (mode == 2 ? 200 : 2000);
+        opts.direct_routing_overhead = SimTime::Micros(overhead_us);
+      }
+      MachineSimulator sim(&storage, opts);
+      auto report = sim.Run(plans);
+      DFDB_CHECK(report.ok()) << report.status();
+      table.AddRow(
+          {StrFormat("%d", ips), mode == 0 ? "via_ic" : "direct",
+           StrFormat("%d", overhead_us),
+           StrFormat("%.3f", report->makespan.ToSecondsF()),
+           StrFormat("%.2f",
+                     static_cast<double>(report->bytes.outer_ring) / 1e6),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(report->direct_routes))});
+    }
+  }
+  table.Print("abldr");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfdb
+
+int main(int argc, char** argv) { return dfdb::Main(argc, argv); }

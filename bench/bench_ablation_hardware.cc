@@ -1,0 +1,60 @@
+/// \file bench_ablation_hardware.cc
+/// \brief ABL-HW — machine design space: instruction controllers and disk
+/// drives.
+///
+/// Section 4.1 fixes "two IBM 3330 disk drives" and leaves the IC count
+/// open ("a set of instruction controllers"). This sweep shows where each
+/// resource binds on the ten-query benchmark:
+///   - ICs form the distributed arbitration network; too few serialize
+///     instruction control and concentrate local-memory pressure;
+///   - drives bound cold-read and spill bandwidth — the level Figure 4.2
+///     shows saturating first.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "machine/simulator.h"
+
+namespace dfdb {
+namespace {
+
+int Main(int argc, char** argv) {
+  const double scale = bench::FlagDouble(argc, argv, "scale", 1.0);
+  const int ips = bench::FlagInt(argc, argv, "ips", 24);
+  std::printf("== ABL-HW: instruction controllers x disk drives (%d IPs) ==\n",
+              ips);
+  StorageEngine storage(/*default_page_bytes=*/16384);
+  bench::BuildDatabaseOrDie(&storage, scale);
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<const PlanNode*> plans = bench::QueryPointers(queries);
+
+  bench::Table table({"ics", "drives", "exec_time_s", "disk_mbps",
+                      "cache_mbps", "outer_ring_mbps", "ip_util_pct"});
+  for (int ics : {1, 2, 4, 8, 16}) {
+    for (int drives : {1, 2, 4}) {
+      MachineOptions opts;
+      opts.granularity = Granularity::kPage;
+      opts.config.num_instruction_processors = ips;
+      opts.config.num_instruction_controllers = ics;
+      opts.config.num_disk_drives = drives;
+      opts.config.page_bytes = 16384;
+      MachineSimulator sim(&storage, opts);
+      auto report = sim.Run(plans);
+      DFDB_CHECK(report.ok()) << report.status();
+      table.AddRow({StrFormat("%d", ics), StrFormat("%d", drives),
+                    StrFormat("%.3f", report->makespan.ToSecondsF()),
+                    StrFormat("%.3f", report->DiskBps() / 1e6),
+                    StrFormat("%.3f", report->CacheBps() / 1e6),
+                    StrFormat("%.3f", report->OuterRingBps() / 1e6),
+                    StrFormat("%.1f", report->IpUtilization() * 100.0)});
+    }
+  }
+  table.Print("ablhw");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfdb
+
+int main(int argc, char** argv) { return dfdb::Main(argc, argv); }

@@ -1,0 +1,65 @@
+/// \file bench_ablation_pagesize.cc
+/// \brief ABL-PS — page-size ablation (Section 3.3's discussion).
+///
+/// "While increasing the page size to 10,000 bytes will obviously decrease
+/// the arbitration network bandwidth requirements by another order of
+/// magnitude, such an increase may have an adverse effect on query
+/// execution time because it may reduce the maximum degree of concurrency
+/// which is possible."
+///
+/// Expected shape: network traffic decreases monotonically with page size,
+/// while execution time is U-shaped — tiny pages drown in per-packet
+/// overhead, huge pages starve the processors of parallelism.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "machine/simulator.h"
+
+namespace dfdb {
+namespace {
+
+int Main(int argc, char** argv) {
+  const double scale = bench::FlagDouble(argc, argv, "scale", 1.0);
+  std::printf("== ABL-PS: page-size sweep ==\n");
+  StorageEngine storage(/*default_page_bytes=*/16384);
+  bench::BuildDatabaseOrDie(&storage, scale);
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<const PlanNode*> plans = bench::QueryPointers(queries);
+
+  for (int procs : {8, 32}) {
+    std::printf("-- %d instruction processors --\n", procs);
+    bench::Table table({"page_bytes", "exec_time_s", "outer_ring_mb",
+                        "outer_ring_mbps", "instr_packets"});
+    for (int page : {512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}) {
+      MachineOptions opts;
+      opts.granularity = Granularity::kPage;
+      opts.config.num_instruction_processors = procs;
+      opts.config.num_instruction_controllers = 8;
+      opts.config.page_bytes = page;
+      // Hold the byte capacity of the memories constant across page sizes.
+      opts.config.ic_local_memory_pages =
+          std::max(2, 8 * 16384 / page);
+      opts.config.disk_cache_pages = std::max(4, 64 * 16384 / page);
+      MachineSimulator sim(&storage, opts);
+      auto report = sim.Run(plans);
+      DFDB_CHECK(report.ok()) << report.status();
+      table.AddRow(
+          {StrFormat("%d", page),
+           StrFormat("%.3f", report->makespan.ToSecondsF()),
+           StrFormat("%.2f",
+                     static_cast<double>(report->bytes.outer_ring) / 1e6),
+           StrFormat("%.3f", report->OuterRingBps() / 1e6),
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 report->instruction_packets))});
+    }
+    table.Print(procs == 8 ? "ablps_p8" : "ablps_p32");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfdb
+
+int main(int argc, char** argv) { return dfdb::Main(argc, argv); }

@@ -1,0 +1,84 @@
+/// \file bench_fig31_granularity.cc
+/// \brief FIG-3.1 — "Comparison of Page-Level and Relation-Level
+/// Granularities" (Section 3.2, Figure 3.1).
+///
+/// Paper setup: ten-query benchmark (2x1R, 3x1J+2R, 2x2J+3R, 1x3J+4R,
+/// 1x4J+4R, 1x5J+6R), 15 relations / 5.5 MB, two memory cells per
+/// processor. Expected shape: page-level granularity outperforms
+/// relation-level "by a factor of about two", both curves flattening once
+/// the benchmark's parallelism is exhausted.
+///
+/// The primary reproduction runs on the machine simulator (simulated time,
+/// device models of Section 4.1); a secondary table runs the same policies
+/// on the multithreaded engine (host wall-clock).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "engine/executor.h"
+#include "machine/simulator.h"
+
+namespace dfdb {
+namespace {
+
+int Main(int argc, char** argv) {
+  const double scale = bench::FlagDouble(argc, argv, "scale", 1.0);
+  std::printf("== FIG-3.1: page-level vs relation-level granularity ==\n");
+  StorageEngine storage(/*default_page_bytes=*/16384);
+  bench::BuildDatabaseOrDie(&storage, scale);
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<const PlanNode*> plans = bench::QueryPointers(queries);
+
+  bench::Table table({"processors", "relation_time_s", "page_time_s",
+                      "speedup_page_over_relation"});
+  const int procs[] = {1, 2, 4, 8, 12, 16, 24, 32, 40, 50};
+  for (int p : procs) {
+    double times[2] = {0, 0};
+    for (int g = 0; g < 2; ++g) {
+      MachineOptions opts;
+      opts.granularity = g == 0 ? Granularity::kRelation : Granularity::kPage;
+      opts.config.num_instruction_processors = p;
+      opts.config.num_instruction_controllers = 8;
+      opts.config.page_bytes = 16384;
+      MachineSimulator sim(&storage, opts);
+      auto report = sim.Run(plans);
+      DFDB_CHECK(report.ok()) << report.status();
+      times[g] = report->makespan.ToSecondsF();
+    }
+    table.AddRow({StrFormat("%d", p), StrFormat("%.3f", times[0]),
+                  StrFormat("%.3f", times[1]),
+                  StrFormat("%.2fx", times[0] / times[1])});
+  }
+  table.Print("fig31_machine");
+
+  // Secondary: the same policies on real threads (wall clock).
+  std::printf("-- threads engine (host wall clock, same policies) --\n");
+  bench::Table wall({"processors", "relation_wall_s", "page_wall_s",
+                     "speedup"});
+  for (int p : {1, 2, 4, 8}) {
+    double times[2] = {0, 0};
+    for (int g = 0; g < 2; ++g) {
+      ExecOptions opts;
+      opts.granularity = g == 0 ? Granularity::kRelation : Granularity::kPage;
+      opts.num_processors = p;
+      opts.page_bytes = 16384;
+      opts.local_memory_pages = 64;
+      opts.disk_cache_pages = 512;
+      Executor engine(&storage, opts);
+      auto results = engine.ExecuteBatch(plans);
+      DFDB_CHECK(results.ok()) << results.status();
+      times[g] = engine.last_stats().wall_seconds;
+    }
+    wall.AddRow({StrFormat("%d", p), StrFormat("%.3f", times[0]),
+                 StrFormat("%.3f", times[1]),
+                 StrFormat("%.2fx", times[0] / times[1])});
+  }
+  wall.Print("fig31_threads");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfdb
+
+int main(int argc, char** argv) { return dfdb::Main(argc, argv); }

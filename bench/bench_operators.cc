@@ -1,0 +1,196 @@
+/// \file bench_operators.cc
+/// \brief OPS — google-benchmark microbenchmarks of the operator kernels
+/// that the instruction processors execute.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "operators/aggregator.h"
+#include "operators/dedup.h"
+#include "operators/kernels.h"
+#include "operators/sort_merge_join.h"
+#include "storage/storage_engine.h"
+#include "workload/generator.h"
+
+namespace dfdb {
+namespace {
+
+/// Shared fixture data: one generated relation, materialized pages.
+struct BenchData {
+  StorageEngine storage{16384};
+  Schema schema = BenchmarkSchema();
+  std::vector<PagePtr> pages;
+  std::vector<PagePtr> small_pages;
+
+  BenchData() {
+    auto r1 = GenerateRelation(&storage, "bench", 20000, 1);
+    DFDB_CHECK(r1.ok());
+    auto f1 = storage.GetHeapFile("bench");
+    DFDB_CHECK(f1.ok());
+    for (PageId id : (*f1)->PageIds()) {
+      auto p = storage.page_store().Get(id);
+      DFDB_CHECK(p.ok());
+      pages.push_back(*p);
+    }
+    auto r2 = GenerateRelation(&storage, "bench_small", 2000, 2);
+    DFDB_CHECK(r2.ok());
+    auto f2 = storage.GetHeapFile("bench_small");
+    DFDB_CHECK(f2.ok());
+    for (PageId id : (*f2)->PageIds()) {
+      auto p = storage.page_store().Get(id);
+      DFDB_CHECK(p.ok());
+      small_pages.push_back(*p);
+    }
+  }
+};
+
+BenchData& Data() {
+  static BenchData* data = new BenchData();
+  return *data;
+}
+
+/// Sink that counts, avoiding allocation noise in kernel benchmarks.
+class CountingSink final : public PageSink {
+ public:
+  Status Emit(Slice tuple) override {
+    count_ += tuple.size();
+    return Status::OK();
+  }
+  size_t count() const { return count_; }
+
+ private:
+  size_t count_ = 0;
+};
+
+void BM_RestrictPage(benchmark::State& state) {
+  BenchData& d = Data();
+  ExprPtr pred = Lt(Col("k1000"), Lit(static_cast<int32_t>(state.range(0))));
+  DFDB_CHECK_OK(pred->Bind(d.schema, nullptr));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    CountingSink sink;
+    for (const PagePtr& page : d.pages) {
+      DFDB_CHECK_OK(RestrictPage(d.schema, *pred, *page, &sink));
+      bytes += static_cast<size_t>(page->payload_bytes());
+    }
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_RestrictPage)->Arg(10)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_ProjectPage(benchmark::State& state) {
+  BenchData& d = Data();
+  const std::vector<int> indices = {0, 6, 8};
+  size_t bytes = 0;
+  for (auto _ : state) {
+    CountingSink sink;
+    for (const PagePtr& page : d.pages) {
+      DFDB_CHECK_OK(ProjectPage(d.schema, indices, *page, &sink));
+      bytes += static_cast<size_t>(page->payload_bytes());
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ProjectPage);
+
+void BM_NestedLoopsJoinPage(benchmark::State& state) {
+  BenchData& d = Data();
+  ExprPtr pred = Eq(Col("k100"), RightCol("k100"));
+  DFDB_CHECK_OK(pred->Bind(d.schema, &d.schema));
+  size_t pairs = 0;
+  for (auto _ : state) {
+    CountingSink sink;
+    DFDB_CHECK_OK(JoinPages(d.schema, d.schema, *pred, *d.pages[0],
+                            *d.small_pages[0], &sink));
+    pairs += static_cast<size_t>(d.pages[0]->num_tuples()) *
+             static_cast<size_t>(d.small_pages[0]->num_tuples());
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(pairs));
+}
+BENCHMARK(BM_NestedLoopsJoinPage);
+
+void BM_SortMergeJoin(benchmark::State& state) {
+  BenchData& d = Data();
+  const int key = 6;  // k100.
+  for (auto _ : state) {
+    CountingSink sink;
+    DFDB_CHECK_OK(SortMergeJoin(d.schema, d.small_pages, key, d.schema,
+                                d.small_pages, key, &sink));
+    benchmark::DoNotOptimize(sink.count());
+  }
+}
+BENCHMARK(BM_SortMergeJoin);
+
+void BM_DuplicateElimination(benchmark::State& state) {
+  BenchData& d = Data();
+  const std::vector<int> indices = {4};  // k10: heavy duplication.
+  for (auto _ : state) {
+    DuplicateEliminator dedup;
+    size_t fresh = 0;
+    for (const PagePtr& page : d.pages) {
+      for (int i = 0; i < page->num_tuples(); ++i) {
+        const std::string projected =
+            ProjectTuple(d.schema, page->tuple(i), indices);
+        if (dedup.Insert(Slice(projected))) ++fresh;
+      }
+    }
+    benchmark::DoNotOptimize(fresh);
+  }
+}
+BENCHMARK(BM_DuplicateElimination);
+
+void BM_Aggregate(benchmark::State& state) {
+  BenchData& d = Data();
+  std::vector<AggregateSpec> specs;
+  specs.push_back({AggregateSpec::Func::kCount, "", "cnt"});
+  specs.push_back({AggregateSpec::Func::kSum, "k1000", "total"});
+  Schema out = Schema::CreateOrDie({Column::Int32("k100"),
+                                    Column::Int64("cnt"),
+                                    Column::Int64("total")});
+  for (auto _ : state) {
+    auto agg = Aggregator::Create(d.schema, out, {"k100"}, specs);
+    DFDB_CHECK(agg.ok());
+    for (const PagePtr& page : d.pages) {
+      DFDB_CHECK_OK(agg->Consume(*page));
+    }
+    CountingSink sink;
+    DFDB_CHECK_OK(agg->Finish(&sink));
+    benchmark::DoNotOptimize(sink.count());
+  }
+}
+BENCHMARK(BM_Aggregate);
+
+void BM_TupleEncode(benchmark::State& state) {
+  Schema schema = BenchmarkSchema();
+  std::vector<Value> row{
+      Value::Int32(1),  Value::Int32(2),  Value::Int32(0), Value::Int32(1),
+      Value::Int32(5),  Value::Int32(10), Value::Int32(42), Value::Int32(999),
+      Value::Double(0.5), Value::Char("padpadpad")};
+  for (auto _ : state) {
+    auto encoded = EncodeTuple(schema, row);
+    DFDB_CHECK(encoded.ok());
+    benchmark::DoNotOptimize(*encoded);
+  }
+}
+BENCHMARK(BM_TupleEncode);
+
+void BM_PageAppend(benchmark::State& state) {
+  Schema schema = BenchmarkSchema();
+  const std::string tuple(static_cast<size_t>(schema.tuple_width()), 'x');
+  for (auto _ : state) {
+    auto page = Page::Create(1, schema.tuple_width(), 16384);
+    DFDB_CHECK(page.ok());
+    while (!page->full()) {
+      DFDB_CHECK_OK(page->Append(Slice(tuple)));
+    }
+    benchmark::DoNotOptimize(page->num_tuples());
+  }
+}
+BENCHMARK(BM_PageAppend);
+
+}  // namespace
+}  // namespace dfdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/// \file bench_sec33_bandwidth.cc
+/// \brief SEC-3.3 — the arbitration-network bandwidth analysis of
+/// Section 3.3.
+///
+/// The paper's analytic claim, for a nested-loops join of relations with n
+/// and m 100-byte tuples and per-packet overhead c:
+///   tuple granularity moves  n*m*(200+c)        bytes;
+///   1 KB-page granularity    n/10 * m/10 * (2000+c) = n*m*(20+c/100);
+///   10 KB pages cut another order of magnitude.
+/// "The bandwidth requirements of the page approach is 1/10 that of the
+/// tuple level approach."
+///
+/// We print the analytic table AND the measured outer-ring bytes from the
+/// machine simulator running the same join at each granularity.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "machine/simulator.h"
+#include "workload/generator.h"
+
+namespace dfdb {
+namespace {
+
+/// Analytic bytes through the arbitration network (paper formulas).
+double AnalyticBytes(double n, double m, double tuple_bytes, double page_bytes,
+                     double c) {
+  const double pages_n = n * tuple_bytes / page_bytes;
+  const double pages_m = m * tuple_bytes / page_bytes;
+  return pages_n * pages_m * (2.0 * page_bytes + c);
+}
+
+int Main(int argc, char** argv) {
+  std::printf("== SEC-3.3: arbitration bandwidth, tuple vs page ==\n");
+
+  // Part 1: the paper's analytic table.
+  bench::Table analytic({"n=m", "overhead_c", "tuple_bytes", "page1k_bytes",
+                         "page10k_bytes", "tuple_over_page1k"});
+  for (double nm : {100.0, 316.0, 1000.0, 3162.0}) {
+    for (double c : {16.0, 64.0, 256.0}) {
+      const double tuple = nm * nm * (200.0 + c);
+      const double p1k = AnalyticBytes(nm, nm, 100.0, 1000.0, c);
+      const double p10k = AnalyticBytes(nm, nm, 100.0, 10000.0, c);
+      analytic.AddRow({StrFormat("%.0f", nm), StrFormat("%.0f", c),
+                       StrFormat("%.3e", tuple), StrFormat("%.3e", p1k),
+                       StrFormat("%.3e", p10k),
+                       StrFormat("%.2fx", tuple / p1k)});
+    }
+  }
+  analytic.Print("sec33_analytic");
+
+  // Part 2: measured on the machine simulator. A single join of two
+  // relations (no restricts so every tuple flows), at tuple granularity vs
+  // 1 KB and 10 KB pages.
+  const int n = bench::FlagInt(argc, argv, "n", 300);
+  std::printf("-- measured: join of two %d-tuple relations (100 B tuples) --\n",
+              n);
+  bench::Table measured({"granularity", "page_bytes", "outer_ring_bytes",
+                         "instr_packets", "sim_time_s"});
+  uint64_t tuple_bytes_measured = 0, page_bytes_measured = 0;
+  for (int mode = 0; mode < 3; ++mode) {
+    StorageEngine storage(/*default_page_bytes=*/16384);
+    auto ra = GenerateRelation(&storage, "lhs", static_cast<uint64_t>(n), 1);
+    auto rb = GenerateRelation(&storage, "rhs", static_cast<uint64_t>(n), 2);
+    DFDB_CHECK(ra.ok() && rb.ok());
+    auto plan = MakeJoin(MakeScan("lhs"), MakeScan("rhs"),
+                         Eq(Col("k100"), RightCol("k100")));
+    MachineOptions opts;
+    opts.granularity = mode == 0 ? Granularity::kTuple : Granularity::kPage;
+    opts.config.page_bytes = mode == 2 ? 10000 : 1000;
+    opts.config.num_instruction_processors = 8;
+    MachineSimulator sim(&storage, opts);
+    auto report = sim.Run({plan.get()});
+    DFDB_CHECK(report.ok()) << report.status();
+    const char* label = mode == 0 ? "tuple" : "page";
+    if (mode == 0) tuple_bytes_measured = report->bytes.outer_ring;
+    if (mode == 1) page_bytes_measured = report->bytes.outer_ring;
+    measured.AddRow({label, StrFormat("%d", mode == 0 ? 100 : opts.config.page_bytes),
+                     StrFormat("%llu", static_cast<unsigned long long>(
+                                           report->bytes.outer_ring)),
+                     StrFormat("%llu", static_cast<unsigned long long>(
+                                           report->instruction_packets)),
+                     StrFormat("%.3f", report->makespan.ToSecondsF())});
+  }
+  measured.Print("sec33_measured");
+  if (page_bytes_measured > 0) {
+    std::printf("# measured tuple/page(1KB) traffic ratio: %.1fx "
+                "(paper's analysis: ~10x)\n",
+                static_cast<double>(tuple_bytes_measured) /
+                    static_cast<double>(page_bytes_measured));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfdb
+
+int main(int argc, char** argv) { return dfdb::Main(argc, argv); }

@@ -1,0 +1,106 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the experiment harnesses.
+///
+/// Each bench binary regenerates one table or figure of the paper (see
+/// DESIGN.md's experiment index) and prints it as an aligned text table plus
+/// a CSV block for plotting.
+
+#ifndef DFDB_BENCH_BENCH_UTIL_H_
+#define DFDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "ra/plan.h"
+#include "storage/storage_engine.h"
+#include "workload/paper_benchmark.h"
+
+namespace dfdb {
+namespace bench {
+
+/// Parses "--name=value" style flags.
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+inline int FlagInt(int argc, char** argv, const char* name, int def) {
+  return static_cast<int>(FlagDouble(argc, argv, name, def));
+}
+
+/// Builds the paper database; aborts on failure (bench setup).
+inline void BuildDatabaseOrDie(StorageEngine* storage, double scale,
+                               uint64_t seed = 42) {
+  auto bytes = BuildPaperDatabase(storage, scale, seed);
+  DFDB_CHECK(bytes.ok()) << bytes.status();
+  std::printf("# database: 15 relations, %.2f MB (scale %.2f)\n",
+              static_cast<double>(*bytes) / 1e6, scale);
+}
+
+/// Raw pointers to the benchmark query roots (the sim/engine APIs take
+/// const PlanNode*).
+inline std::vector<const PlanNode*> QueryPointers(
+    const std::vector<Query>& queries) {
+  std::vector<const PlanNode*> out;
+  out.reserve(queries.size());
+  for (const Query& q : queries) out.push_back(q.root.get());
+  return out;
+}
+
+/// Simple aligned table writer with a trailing CSV block.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print(const char* csv_tag) const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+    // CSV block for downstream plotting.
+    std::printf("\n#CSV %s\n", csv_tag);
+    auto csv_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", c ? "," : "", row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    csv_row(headers_);
+    for (const auto& row : rows_) csv_row(row);
+    std::printf("#END\n\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bench
+}  // namespace dfdb
+
+#endif  // DFDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+/// \file granularity_tour.cpp
+/// \brief A tour of the paper's three operand granularities (Section 3).
+///
+/// Runs one join query under relation-, page-, and tuple-level granularity
+/// on BOTH engines (threads and machine simulator) and prints, side by
+/// side, the quantities the paper reasons about: execution time, network
+/// bytes, packet counts, and storage-hierarchy traffic.
+
+#include <cstdio>
+
+#include "engine/executor.h"
+#include "machine/simulator.h"
+#include "storage/storage_engine.h"
+#include "workload/generator.h"
+
+using namespace dfdb;
+
+int main() {
+  StorageEngine storage(/*default_page_bytes=*/1000);
+  for (const auto& [name, rows] :
+       {std::pair<const char*, uint64_t>{"outer_rel", 1000}, {"inner_rel", 400}}) {
+    auto id = GenerateRelation(&storage, name, rows, /*seed=*/3);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return 1;
+    }
+  }
+  auto plan =
+      MakeJoin(MakeRestrict(MakeScan("outer_rel"), Lt(Col("k1000"), Lit(400))),
+               MakeRestrict(MakeScan("inner_rel"), Lt(Col("k1000"), Lit(500))),
+               Eq(Col("k100"), RightCol("k100")));
+
+  std::printf("Join of restricted 1000- and 400-tuple relations, 100 B "
+              "tuples, 1 KB pages, 8 processors.\n\n");
+
+  std::printf("%-10s | %12s %12s %10s | %12s %12s\n", "granularity",
+              "sim_time", "ring_bytes", "packets", "threads_wall",
+              "arb_bytes");
+  for (Granularity g :
+       {Granularity::kRelation, Granularity::kPage, Granularity::kTuple}) {
+    // Machine simulator.
+    MachineOptions mopts;
+    mopts.granularity = g;
+    mopts.config.num_instruction_processors = 8;
+    mopts.config.page_bytes = 1000;
+    MachineSimulator sim(&storage, mopts);
+    auto report = sim.Run({plan.get()});
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    // Threads engine.
+    ExecOptions eopts;
+    eopts.granularity = g;
+    eopts.num_processors = 8;
+    eopts.page_bytes = 1000;
+    Executor engine(&storage, eopts);
+    auto result = engine.Execute(*plan);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10s | %10.3f s %12llu %10llu | %10.3f s %12llu\n",
+                std::string(GranularityToString(g)).c_str(),
+                report->makespan.ToSecondsF(),
+                static_cast<unsigned long long>(report->bytes.outer_ring),
+                static_cast<unsigned long long>(report->instruction_packets),
+                engine.last_stats().wall_seconds,
+                static_cast<unsigned long long>(
+                    engine.last_stats().arbitration_bytes));
+  }
+
+  std::printf(
+      "\nWhat to look for (Section 3):\n"
+      "  - tuple granularity moves an order of magnitude more bytes across\n"
+      "    the ring and pays a packet per tuple;\n"
+      "  - relation granularity moves the same bytes as page granularity\n"
+      "    but loses pipelining (higher time at equal resources);\n"
+      "  - page granularity is the sweet spot — the paper's thesis.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// \file machine_sim.cpp
+/// \brief Drive the Section 4 machine simulator on a custom configuration.
+///
+/// Simulates the ring-based data-flow database machine — master
+/// controller, instruction controllers, instruction processors, DLCN
+/// rings, CCD disk cache, IBM 3330 drives — on the paper's ten-query
+/// benchmark and prints the timing and per-level bandwidth report.
+///
+/// Usage: machine_sim [ips] [granularity: page|relation|tuple] [scale]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "machine/simulator.h"
+#include "workload/paper_benchmark.h"
+
+using namespace dfdb;
+
+int main(int argc, char** argv) {
+  const int ips = argc > 1 ? std::atoi(argv[1]) : 16;
+  Granularity granularity = Granularity::kPage;
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "relation") == 0) granularity = Granularity::kRelation;
+    if (std::strcmp(argv[2], "tuple") == 0) granularity = Granularity::kTuple;
+  }
+  const double scale = argc > 3 ? std::atof(argv[3]) : 0.5;
+
+  StorageEngine storage(/*default_page_bytes=*/16384);
+  auto bytes = BuildPaperDatabase(&storage, scale, /*seed=*/42);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "%s\n", bytes.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Database: 15 relations, %.2f MB\n",
+              static_cast<double>(*bytes) / 1e6);
+
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<const PlanNode*> plans;
+  for (const Query& q : queries) plans.push_back(q.root.get());
+
+  MachineOptions options;
+  options.granularity = granularity;
+  options.config.num_instruction_processors = ips;
+  options.config.num_instruction_controllers = 8;
+  options.config.page_bytes = 16384;
+  std::printf("Machine: %d IPs, %d ICs, %s granularity, 16 KB pages,\n"
+              "         %d-page CCD cache, %d disk drives, 40 Mbps outer ring\n\n",
+              options.config.num_instruction_processors,
+              options.config.num_instruction_controllers,
+              std::string(GranularityToString(granularity)).c_str(),
+              options.config.disk_cache_pages, options.config.num_disk_drives);
+
+  MachineSimulator sim(&storage, options);
+  auto report = sim.Run(plans);
+  if (!report.ok()) {
+    std::fprintf(stderr, "simulation: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Per-query completion times (simulated):\n");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("  %-4s %10.3f s   (%llu result tuples)\n",
+                queries[i].name.c_str(),
+                report->query_completion[i].ToSecondsF(),
+                static_cast<unsigned long long>(
+                    report->results[i].num_tuples()));
+  }
+  std::printf("\nBenchmark makespan: %.3f s\n", report->makespan.ToSecondsF());
+  std::printf("Average bandwidths (total bytes / makespan, as in Fig. 4.2):\n");
+  std::printf("  outer ring : %8.3f Mbps %s\n", report->OuterRingBps() / 1e6,
+              report->OuterRingBps() < 40e6 ? "(within the 40 Mbps DLCN budget)"
+                                            : "(EXCEEDS 40 Mbps!)");
+  std::printf("  inner ring : %8.3f Kbps\n", report->InnerRingBps() / 1e3);
+  std::printf("  disk cache : %8.3f Mbps\n", report->CacheBps() / 1e6);
+  std::printf("  disk       : %8.3f Mbps\n", report->DiskBps() / 1e6);
+  std::printf("IP utilization: %.1f%%   packets: %llu instr / %llu result / "
+              "%llu control / %llu broadcasts\n",
+              report->IpUtilization() * 100.0,
+              static_cast<unsigned long long>(report->instruction_packets),
+              static_cast<unsigned long long>(report->result_packets),
+              static_cast<unsigned long long>(report->control_packets),
+              static_cast<unsigned long long>(report->broadcasts));
+  return 0;
+}

@@ -1,0 +1,129 @@
+/// \file raql_repl.cpp
+/// \brief An interactive shell over the data-flow engine.
+///
+/// Reads RAQL queries (see ra/parser.h) from stdin, optimizes them, runs
+/// them on the page-granularity data-flow engine, and prints results.
+///
+/// Commands:
+///   \d                 list relations (name, tuples, pages)
+///   \explain <query>   show the optimized plan without running it
+///   \gen <name> <n>    generate a benchmark relation with n tuples
+///   \paper             load the paper's 15-relation database (scale 0.5)
+///   \q                 quit
+/// Anything else is parsed as a query.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/executor.h"
+#include "ra/optimizer.h"
+#include "ra/parser.h"
+#include "storage/storage_engine.h"
+#include "workload/generator.h"
+#include "workload/paper_benchmark.h"
+
+using namespace dfdb;
+
+namespace {
+
+void PrintResult(const QueryResult& result) {
+  // Header.
+  for (int c = 0; c < result.schema().num_columns(); ++c) {
+    std::printf("%s%s", c ? " | " : "", result.schema().column(c).name.c_str());
+  }
+  std::printf("\n");
+  int shown = 0;
+  (void)result.ForEachTuple([&](const TupleView& t) -> Status {
+    if (shown < 20) {
+      std::printf("%s\n", t.ToString().c_str());
+    }
+    ++shown;
+    return Status::OK();
+  });
+  if (shown > 20) std::printf("... (%d rows total)\n", shown);
+  std::printf("(%llu rows)\n",
+              static_cast<unsigned long long>(result.num_tuples()));
+}
+
+}  // namespace
+
+int main() {
+  StorageEngine storage(/*default_page_bytes=*/4096);
+  ExecOptions options;
+  options.granularity = Granularity::kPage;
+  options.num_processors = 4;
+  options.page_bytes = 4096;
+  Executor engine(&storage, options);
+  Optimizer optimizer(&storage.catalog());
+
+  std::printf("dfdb RAQL shell — \\d relations, \\gen, \\paper, \\explain, "
+              "\\q to quit\n");
+  std::string line;
+  while (true) {
+    std::printf("dfdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\q") break;
+    if (line == "\\d") {
+      for (const std::string& name : storage.catalog().ListRelations()) {
+        auto meta = storage.catalog().GetRelation(name);
+        if (meta.ok()) {
+          std::printf("  %-12s %8llu tuples %6llu pages\n", name.c_str(),
+                      static_cast<unsigned long long>(meta->tuple_count),
+                      static_cast<unsigned long long>(meta->page_count));
+        }
+      }
+      continue;
+    }
+    if (line == "\\paper") {
+      auto bytes = BuildPaperDatabase(&storage, 0.5, 42);
+      if (!bytes.ok()) {
+        std::printf("error: %s\n", bytes.status().ToString().c_str());
+      } else {
+        std::printf("loaded 15 relations, %.2f MB\n",
+                    static_cast<double>(*bytes) / 1e6);
+      }
+      continue;
+    }
+    if (line.rfind("\\gen ", 0) == 0) {
+      char name[64];
+      unsigned long long n = 0;
+      if (std::sscanf(line.c_str(), "\\gen %63s %llu", name, &n) == 2 && n > 0) {
+        auto id = GenerateRelation(&storage, name, n, 42);
+        std::printf("%s\n", id.ok() ? "ok" : id.status().ToString().c_str());
+      } else {
+        std::printf("usage: \\gen <name> <tuples>\n");
+      }
+      continue;
+    }
+    const bool explain = line.rfind("\\explain ", 0) == 0;
+    const std::string text = explain ? line.substr(9) : line;
+
+    auto parsed = ParseQuery(text);
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      continue;
+    }
+    OptimizerReport report;
+    auto optimized = optimizer.Optimize(**parsed, &report);
+    if (!optimized.ok()) {
+      std::printf("error: %s\n", optimized.status().ToString().c_str());
+      continue;
+    }
+    if (explain) {
+      std::printf("%s(optimizer: %s)\n", (*optimized)->ToString().c_str(),
+                  report.ToString().c_str());
+      continue;
+    }
+    auto result = engine.Execute(**optimized);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(*result);
+    std::printf("%s\n", engine.last_stats().ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "catalog/schema.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dfdb {
+
+StatusOr<Schema> Schema::Create(std::vector<Column> columns) {
+  std::unordered_set<std::string> names;
+  for (const Column& c : columns) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("column name must be non-empty");
+    }
+    if (!names.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + c.name);
+    }
+    if (c.type == ColumnType::kChar) {
+      if (c.width <= 0) {
+        return Status::InvalidArgument(
+            StrFormat("CHAR column %s must have positive width", c.name.c_str()));
+      }
+    } else if (c.width != FixedTypeWidth(c.type)) {
+      return Status::InvalidArgument(
+          StrFormat("column %s: width %d does not match type %s", c.name.c_str(),
+                    c.width, std::string(ColumnTypeToString(c.type)).c_str()));
+    }
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema must have at least one column");
+  }
+  return Schema(std::move(columns));
+}
+
+Schema Schema::CreateOrDie(std::vector<Column> columns) {
+  auto schema = Create(std::move(columns));
+  DFDB_CHECK(schema.ok()) << schema.status();
+  return *std::move(schema);
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  int off = 0;
+  for (const Column& c : columns_) {
+    offsets_.push_back(off);
+    off += c.width;
+  }
+  tuple_width_ = off;
+}
+
+StatusOr<int> Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound(StrFormat("no column named %.*s",
+                                    static_cast<int>(name.size()), name.data()));
+}
+
+StatusOr<Schema> Schema::Project(const std::vector<int>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  std::unordered_set<std::string> seen;
+  for (int i : indices) {
+    if (i < 0 || i >= num_columns()) {
+      return Status::OutOfRange(StrFormat("column index %d out of range", i));
+    }
+    Column c = columns_[static_cast<size_t>(i)];
+    // Disambiguate duplicates so the result is a valid schema.
+    while (!seen.insert(c.name).second) c.name += "_dup";
+    cols.push_back(std::move(c));
+  }
+  return Schema::Create(std::move(cols));
+}
+
+Schema Schema::Concat(const Schema& other, std::string_view suffix) const {
+  std::vector<Column> cols = columns_;
+  std::unordered_set<std::string> names;
+  for (const Column& c : cols) names.insert(c.name);
+  for (const Column& c : other.columns_) {
+    Column copy = c;
+    while (!names.insert(copy.name).second) copy.name += suffix;
+    cols.push_back(std::move(copy));
+  }
+  return Schema::CreateOrDie(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(StrFormat("%s:%s(%d)", c.name.c_str(),
+                              std::string(ColumnTypeToString(c.type)).c_str(),
+                              c.width));
+  }
+  return JoinStrings(parts, ", ");
+}
+
+}  // namespace dfdb

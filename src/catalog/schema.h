@@ -1,0 +1,90 @@
+/// \file schema.h
+/// \brief Fixed-width tuple schemas.
+
+#ifndef DFDB_CATALOG_SCHEMA_H_
+#define DFDB_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace dfdb {
+
+/// \brief One column: name, type, and byte width (fixed for non-CHAR).
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt32;
+  /// Byte width; must equal FixedTypeWidth(type) for non-CHAR columns.
+  int width = 4;
+
+  static Column Int32(std::string name) {
+    return Column{std::move(name), ColumnType::kInt32, 4};
+  }
+  static Column Int64(std::string name) {
+    return Column{std::move(name), ColumnType::kInt64, 8};
+  }
+  static Column Double(std::string name) {
+    return Column{std::move(name), ColumnType::kDouble, 8};
+  }
+  static Column Char(std::string name, int width) {
+    return Column{std::move(name), ColumnType::kChar, width};
+  }
+
+  bool operator==(const Column& other) const = default;
+};
+
+/// \brief An ordered list of columns with a fixed byte layout.
+///
+/// Columns are laid out back to back with no padding; offsets are
+/// precomputed at construction.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Validates column names (non-empty, unique) and widths.
+  static StatusOr<Schema> Create(std::vector<Column> columns);
+
+  /// Like Create() but aborts on invalid input; for statically-known schemas.
+  static Schema CreateOrDie(std::vector<Column> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Byte offset of column \p i within a tuple.
+  int offset(int i) const { return offsets_[static_cast<size_t>(i)]; }
+
+  /// Total tuple width in bytes.
+  int tuple_width() const { return tuple_width_; }
+
+  /// Index of the column named \p name, or NotFound.
+  StatusOr<int> ColumnIndex(std::string_view name) const;
+
+  /// Sub-schema with the given column indices, in the given order.
+  /// Duplicate indices are allowed (self-join aliasing); out-of-range
+  /// indices are an error.
+  StatusOr<Schema> Project(const std::vector<int>& indices) const;
+
+  /// Concatenation of this schema and \p other (join output schema).
+  /// Colliding names from \p other get \p suffix appended.
+  Schema Concat(const Schema& other, std::string_view suffix = "_r") const;
+
+  /// "name:TYPE(width), ..." rendering.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return columns_ == other.columns_; }
+
+ private:
+  explicit Schema(std::vector<Column> columns);
+
+  std::vector<Column> columns_;
+  std::vector<int> offsets_;
+  int tuple_width_ = 0;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_CATALOG_SCHEMA_H_

@@ -1,0 +1,107 @@
+#include "catalog/types.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace dfdb {
+
+std::string_view ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+      return "INT32";
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kChar:
+      return "CHAR";
+  }
+  return "?";
+}
+
+StatusOr<double> Value::AsNumeric() const {
+  switch (type()) {
+    case ColumnType::kInt32:
+      return static_cast<double>(as_int32());
+    case ColumnType::kInt64:
+      return static_cast<double>(as_int64());
+    case ColumnType::kDouble:
+      return as_double();
+    case ColumnType::kChar:
+      return Status::InvalidArgument("CHAR value is not numeric");
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<int> Value::Compare(const Value& other) const {
+  const bool this_char = type() == ColumnType::kChar;
+  const bool other_char = other.type() == ColumnType::kChar;
+  if (this_char != other_char) {
+    return Status::InvalidArgument(
+        StrFormat("cannot compare %s with %s",
+                  std::string(ColumnTypeToString(type())).c_str(),
+                  std::string(ColumnTypeToString(other.type())).c_str()));
+  }
+  if (this_char) {
+    const int c = as_char().compare(other.as_char());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Integer fast path avoids double rounding for large int64s.
+  if (type() != ColumnType::kDouble && other.type() != ColumnType::kDouble) {
+    const int64_t a = type() == ColumnType::kInt32 ? as_int32() : as_int64();
+    const int64_t b =
+        other.type() == ColumnType::kInt32 ? other.as_int32() : other.as_int64();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const double a = AsNumeric().value();
+  const double b = other.AsNumeric().value();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ColumnType::kInt32: {
+      // Hash all numerics through a canonical double-or-int64 form so that
+      // equal values of different widths hash identically.
+      const int64_t v = as_int32();
+      return Hash64(&v, sizeof(v));
+    }
+    case ColumnType::kInt64: {
+      const int64_t v = as_int64();
+      return Hash64(&v, sizeof(v));
+    }
+    case ColumnType::kDouble: {
+      const double d = as_double();
+      // Integral doubles hash like the equivalent int64.
+      const int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        return Hash64(&i, sizeof(i));
+      }
+      return Hash64(&d, sizeof(d));
+    }
+    case ColumnType::kChar:
+      return Hash64(as_char().data(), as_char().size());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ColumnType::kInt32:
+      return StrFormat("%d", as_int32());
+    case ColumnType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(as_int64()));
+    case ColumnType::kDouble:
+      return StrFormat("%g", as_double());
+    case ColumnType::kChar:
+      return as_char();
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace dfdb

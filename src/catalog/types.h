@@ -1,0 +1,109 @@
+/// \file types.h
+/// \brief Column types and typed runtime values.
+///
+/// dfdb uses fixed-width tuples, matching the paper's model (Section 3.3
+/// reasons about "100 byte" tuples): every column has a static width, so a
+/// tuple's byte layout is fully determined by its Schema. Strings are
+/// fixed-width CHAR(n), blank-padded.
+
+#ifndef DFDB_CATALOG_TYPES_H_
+#define DFDB_CATALOG_TYPES_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace dfdb {
+
+/// \brief Supported column types.
+enum class ColumnType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kChar = 3,  ///< Fixed-width character string, blank padded.
+};
+
+std::string_view ColumnTypeToString(ColumnType type);
+
+/// Byte width of a fixed type; for kChar the declared width must be used.
+inline int FixedTypeWidth(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+      return 4;
+    case ColumnType::kInt64:
+      return 8;
+    case ColumnType::kDouble:
+      return 8;
+    case ColumnType::kChar:
+      return -1;  // Width is per-column.
+  }
+  return -1;
+}
+
+/// \brief A typed runtime value (used in predicates and materialized rows).
+class Value {
+ public:
+  Value() : v_(int32_t{0}) {}
+  explicit Value(int32_t v) : v_(v) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  static Value Int32(int32_t v) { return Value(v); }
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Char(std::string v) { return Value(std::move(v)); }
+
+  ColumnType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ColumnType::kInt32;
+      case 1:
+        return ColumnType::kInt64;
+      case 2:
+        return ColumnType::kDouble;
+      default:
+        return ColumnType::kChar;
+    }
+  }
+
+  int32_t as_int32() const { return std::get<int32_t>(v_); }
+  int64_t as_int64() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_char() const { return std::get<std::string>(v_); }
+
+  /// Numeric view of any numeric value (int32/int64/double); Char is an
+  /// InvalidArgument error.
+  StatusOr<double> AsNumeric() const;
+
+  /// Three-way comparison. Numerics compare numerically across widths;
+  /// comparing a numeric against a Char is an InvalidArgument error.
+  StatusOr<int> Compare(const Value& other) const;
+
+  /// Equality with exact type semantics (for hashing / duplicate
+  /// elimination). Distinct numeric widths holding equal numbers compare
+  /// equal, matching Compare().
+  bool operator==(const Value& other) const {
+    auto c = Compare(other);
+    return c.ok() && *c == 0;
+  }
+
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int32_t, int64_t, double, std::string> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace dfdb
+
+#endif  // DFDB_CATALOG_TYPES_H_

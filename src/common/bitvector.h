@@ -1,0 +1,97 @@
+/// \file bitvector.h
+/// \brief A dynamic bit vector.
+///
+/// Used for the IRC ("inner-relation control") vectors of Section 4.2 — one
+/// bit per page of the inner relation, marking pages already joined — and
+/// for page-table residency maps.
+
+#ifndef DFDB_COMMON_BITVECTOR_H_
+#define DFDB_COMMON_BITVECTOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dfdb {
+
+/// \brief Growable vector of bits with population count.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t n, bool value = false) { Resize(n, value); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Grows (or shrinks) to \p n bits; new bits take \p value.
+  void Resize(size_t n, bool value = false) {
+    const size_t old_size = size_;
+    size_ = n;
+    words_.resize((n + 63) / 64, value ? ~uint64_t{0} : 0);
+    if (value && old_size < n && old_size % 64 != 0) {
+      // Set the tail bits of the word that was previously partial.
+      words_[old_size / 64] |= ~uint64_t{0} << (old_size % 64);
+    }
+    ClearExcessBits();
+  }
+
+  bool Get(size_t i) const {
+    assert(i < size_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  void Set(size_t i, bool value = true) {
+    assert(i < size_);
+    if (value) {
+      words_[i / 64] |= uint64_t{1} << (i % 64);
+    } else {
+      words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+    }
+  }
+
+  /// Sets every bit to zero (the paper's "zero its IRC vector").
+  void ClearAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  bool AllSet() const { return Count() == size_; }
+  bool NoneSet() const { return Count() == 0; }
+
+  /// Index of the first zero bit, or size() if all bits are set. This is
+  /// how an IP "scans its IRC vector ... to request those pages it missed".
+  size_t FirstZero() const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t inv = ~words_[wi];
+      if (wi == words_.size() - 1 && size_ % 64 != 0) {
+        inv &= (uint64_t{1} << (size_ % 64)) - 1;
+      }
+      if (inv != 0) {
+        const size_t bit = wi * 64 + static_cast<size_t>(__builtin_ctzll(inv));
+        return bit < size_ ? bit : size_;
+      }
+    }
+    return size_;
+  }
+
+ private:
+  void ClearExcessBits() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+    }
+  }
+
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_COMMON_BITVECTOR_H_

@@ -1,0 +1,102 @@
+/// \file blocking_queue.h
+/// \brief Thread-safe bounded and unbounded queues for the dataflow engine.
+
+#ifndef DFDB_COMMON_BLOCKING_QUEUE_H_
+#define DFDB_COMMON_BLOCKING_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dfdb {
+
+/// \brief Multi-producer multi-consumer FIFO with optional capacity bound
+/// and a close() signal for end-of-stream.
+///
+/// Pop() blocks until an element arrives or the queue is closed and drained;
+/// a closed-and-drained queue yields std::nullopt. This is the backpressure
+/// primitive between pipelined operators in the page-dataflow engine.
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(size_t capacity = std::numeric_limits<size_t>::max())
+      : capacity_(capacity) {}
+
+  DFDB_DISALLOW_COPY(BlockingQueue);
+
+  /// Blocks while full; returns false if the queue was closed first.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Marks end-of-stream: pending and future Pop() calls drain the queue and
+  /// then return nullopt; Push() calls fail.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_COMMON_BLOCKING_QUEUE_H_

@@ -1,0 +1,44 @@
+/// \file hash.h
+/// \brief 64-bit hashing for join/duplicate-elimination hash tables.
+
+#ifndef DFDB_COMMON_HASH_H_
+#define DFDB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/slice.h"
+
+namespace dfdb {
+
+/// \brief Fowler–Noll–Vo 1a over arbitrary bytes, with a final avalanche
+/// (murmur finalizer) so low bits are well mixed for power-of-two tables.
+inline uint64_t Hash64(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  // murmur3 fmix64 finalizer.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace dfdb
+
+#endif  // DFDB_COMMON_HASH_H_

@@ -1,0 +1,93 @@
+/// \file logging.h
+/// \brief Minimal leveled logger and CHECK macros.
+
+#ifndef DFDB_COMMON_LOGGING_H_
+#define DFDB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dfdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// \brief Process-wide logging configuration.
+class LogConfig {
+ public:
+  /// Messages below this level are discarded. Default: kWarn (quiet for
+  /// benchmarks; tests and examples may lower it).
+  static LogLevel& MinLevel() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+  static std::mutex& Mutex() {
+    static std::mutex mu;
+    return mu;
+  }
+};
+
+namespace internal {
+
+/// RAII message builder; emits on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= LogConfig::MinLevel()) {
+      std::lock_guard<std::mutex> lock(LogConfig::Mutex());
+      std::cerr << stream_.str() << std::endl;
+    }
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kFatal: return "FATAL";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* file) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dfdb
+
+#define DFDB_LOG(level)                                                     \
+  ::dfdb::internal::LogMessage(::dfdb::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+/// Aborts with a message when \p cond is false (enabled in all builds).
+#define DFDB_CHECK(cond)                                        \
+  if (!(cond)) DFDB_LOG(Fatal) << "Check failed: " #cond " "
+
+#define DFDB_CHECK_OK(expr)                                 \
+  do {                                                      \
+    ::dfdb::Status _dfdb_chk = (expr);                      \
+    if (!_dfdb_chk.ok())                                    \
+      DFDB_LOG(Fatal) << "Status not OK: " << _dfdb_chk;    \
+  } while (false)
+
+#endif  // DFDB_COMMON_LOGGING_H_

@@ -1,0 +1,33 @@
+/// \file macros.h
+/// \brief Error-propagation and utility macros.
+
+#ifndef DFDB_COMMON_MACROS_H_
+#define DFDB_COMMON_MACROS_H_
+
+/// Evaluates \p expr (a Status expression); returns it from the enclosing
+/// function if not OK.
+#define DFDB_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::dfdb::Status _dfdb_status = (expr);           \
+    if (!_dfdb_status.ok()) return _dfdb_status;    \
+  } while (false)
+
+#define DFDB_CONCAT_IMPL(x, y) x##y
+#define DFDB_CONCAT(x, y) DFDB_CONCAT_IMPL(x, y)
+
+/// Evaluates \p expr (a StatusOr expression); on error returns its status,
+/// otherwise moves the value into \p lhs (which may include a declaration).
+#define DFDB_ASSIGN_OR_RETURN(lhs, expr)                              \
+  DFDB_ASSIGN_OR_RETURN_IMPL(DFDB_CONCAT(_dfdb_sor_, __LINE__), lhs, expr)
+
+#define DFDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return std::move(tmp).status();    \
+  lhs = std::move(tmp).value()
+
+/// Deletes copy construction and copy assignment for \p Class.
+#define DFDB_DISALLOW_COPY(Class)   \
+  Class(const Class&) = delete;     \
+  Class& operator=(const Class&) = delete
+
+#endif  // DFDB_COMMON_MACROS_H_

@@ -1,0 +1,88 @@
+/// \file random.h
+/// \brief Deterministic pseudo-random generation (xoshiro256**).
+///
+/// All workload generation and randomized testing in dfdb uses this PRNG so
+/// that every experiment is reproducible from a single seed.
+
+#ifndef DFDB_COMMON_RANDOM_H_
+#define DFDB_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace dfdb {
+
+/// \brief xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm).
+class Random {
+ public:
+  /// Seeds the state with splitmix64 expansion of \p seed.
+  explicit Random(uint64_t seed = 42) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -n % n;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability \p p (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII string of length \p len.
+  std::string NextString(size_t len) {
+    std::string s(len, 'a');
+    for (size_t i = 0; i < len; ++i) {
+      s[i] = static_cast<char>('a' + Uniform(26));
+    }
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_COMMON_RANDOM_H_

@@ -1,0 +1,35 @@
+#include "common/sim_time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dfdb {
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  const double ns = static_cast<double>(ns_);
+  if (ns_ == 0) {
+    std::snprintf(buf, sizeof(buf), "0s");
+  } else if (std::llabs(ns_) < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  } else if (std::llabs(ns_) < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ns / 1e3);
+  } else if (std::llabs(ns_) < 1000000000LL) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.ToString();
+}
+
+SimTime TransferTime(int64_t bytes, double bits_per_second) {
+  if (bits_per_second <= 0.0) return SimTime::Zero();
+  const double seconds = static_cast<double>(bytes) * 8.0 / bits_per_second;
+  return SimTime(static_cast<int64_t>(std::ceil(seconds * 1e9)));
+}
+
+}  // namespace dfdb

@@ -1,0 +1,75 @@
+/// \file slice.h
+/// \brief A non-owning view over a byte range (RocksDB-style Slice).
+
+#ifndef DFDB_COMMON_SLICE_H_
+#define DFDB_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dfdb {
+
+/// \brief Non-owning pointer + length pair over raw bytes.
+///
+/// The referenced storage must outlive the Slice. Used for tuple fields and
+/// page payloads where copying would dominate operator cost.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  /// Drops the first \p n bytes from the view.
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Three-way byte comparison: <0, 0, >0 like memcmp.
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = std::memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) return -1;
+      if (size_ > b.size_) return +1;
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) { return a.compare(b) < 0; }
+
+}  // namespace dfdb
+
+#endif  // DFDB_COMMON_SLICE_H_

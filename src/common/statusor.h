@@ -1,0 +1,76 @@
+/// \file statusor.h
+/// \brief StatusOr<T>: a Status or a value of type T.
+
+#ifndef DFDB_COMMON_STATUSOR_H_
+#define DFDB_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dfdb {
+
+/// \brief Holds either a non-OK Status or a value of type T.
+///
+/// Accessing the value of a non-OK StatusOr is a programming error and
+/// asserts in debug builds (undefined in release), matching the Arrow
+/// Result<T> contract.
+template <typename T>
+class StatusOr {
+ public:
+  using value_type = T;
+
+  /// Constructs from a non-OK status. Passing an OK status is an error and
+  /// is converted to Internal.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed with OK status but no value");
+    }
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise \p default_value.
+  T value_or(T default_value) const& {
+    return ok() ? *value_ : std::move(default_value);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_COMMON_STATUSOR_H_

@@ -1,0 +1,35 @@
+/// \file string_util.h
+/// \brief Small string formatting helpers used by reports and benchmarks.
+
+#ifndef DFDB_COMMON_STRING_UTIL_H_
+#define DFDB_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfdb {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "12.3 KB", "4.5 MB", ... (powers of 1024).
+std::string HumanBytes(int64_t bytes);
+
+/// "12.34 Mbps" style rate rendering (powers of 1000, bits).
+std::string HumanBitsPerSecond(double bps);
+
+/// Splits on a delimiter; empty fields preserved.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins with a delimiter.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+}  // namespace dfdb
+
+#endif  // DFDB_COMMON_STRING_UTIL_H_

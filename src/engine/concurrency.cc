@@ -1,0 +1,65 @@
+#include "engine/concurrency.h"
+
+namespace dfdb {
+
+bool ConflictManager::TryAdmit(uint64_t query_id,
+                               const std::set<std::string>& read_set,
+                               const std::set<std::string>& write_set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (held_.count(query_id) > 0) return false;  // Already admitted.
+  // Check phase: a write conflicts with any holder; a read conflicts with a
+  // writer. Reads of relations also being written by this same query are
+  // subsumed by the exclusive lock.
+  for (const std::string& r : write_set) {
+    auto it = locks_.find(r);
+    if (it != locks_.end() &&
+        (!it->second.readers.empty() || it->second.writer != 0)) {
+      return false;
+    }
+  }
+  for (const std::string& r : read_set) {
+    if (write_set.count(r) > 0) continue;
+    auto it = locks_.find(r);
+    if (it != locks_.end() && it->second.writer != 0) return false;
+  }
+  // Acquire phase.
+  for (const std::string& r : write_set) {
+    locks_[r].writer = query_id;
+  }
+  for (const std::string& r : read_set) {
+    if (write_set.count(r) > 0) continue;
+    locks_[r].readers.insert(query_id);
+  }
+  held_[query_id] = {read_set, write_set};
+  return true;
+}
+
+void ConflictManager::Release(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(query_id);
+  if (it == held_.end()) return;
+  for (const std::string& r : it->second.second) {
+    auto lk = locks_.find(r);
+    if (lk != locks_.end() && lk->second.writer == query_id) {
+      lk->second.writer = 0;
+      if (lk->second.readers.empty()) locks_.erase(lk);
+    }
+  }
+  for (const std::string& r : it->second.first) {
+    auto lk = locks_.find(r);
+    if (lk != locks_.end()) {
+      lk->second.readers.erase(query_id);
+      if (lk->second.readers.empty() && lk->second.writer == 0) {
+        locks_.erase(lk);
+      }
+    }
+  }
+  held_.erase(it);
+}
+
+int ConflictManager::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(held_.size());
+}
+
+}  // namespace dfdb

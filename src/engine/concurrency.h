@@ -1,0 +1,59 @@
+/// \file concurrency.h
+/// \brief Query admission control (Section 4.0, requirement 1).
+///
+/// "A database machine ... must be able to support the simultaneous
+/// execution of multiple queries from several users ... This requires
+/// careful control of which queries are permitted to execute concurrently."
+/// The master controller admits a query only when its relation-granularity
+/// read/write sets do not conflict with any running query.
+
+#ifndef DFDB_ENGINE_CONCURRENCY_H_
+#define DFDB_ENGINE_CONCURRENCY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace dfdb {
+
+/// \brief All-or-nothing relation-level shared/exclusive lock table.
+///
+/// No blocking waits: TryAdmit either acquires every lock or acquires none,
+/// so admission never deadlocks — queries that cannot be admitted stay in
+/// the MC's queue (the caller's responsibility).
+class ConflictManager {
+ public:
+  ConflictManager() = default;
+  DFDB_DISALLOW_COPY(ConflictManager);
+
+  /// Attempts to admit query \p query_id reading \p read_set and writing
+  /// \p write_set. Returns true and records the locks on success.
+  bool TryAdmit(uint64_t query_id, const std::set<std::string>& read_set,
+                const std::set<std::string>& write_set);
+
+  /// Releases every lock held by \p query_id (idempotent).
+  void Release(uint64_t query_id);
+
+  /// Number of currently admitted queries.
+  int admitted() const;
+
+ private:
+  struct LockState {
+    std::set<uint64_t> readers;
+    uint64_t writer = 0;  // 0 = none.
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, LockState> locks_;
+  std::map<uint64_t, std::pair<std::set<std::string>, std::set<std::string>>>
+      held_;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_ENGINE_CONCURRENCY_H_

@@ -1,0 +1,75 @@
+#include "engine/edge.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dfdb {
+
+Status Edge::EmitTuple(Slice tuple) {
+  PagePtr sealed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::FailedPrecondition("edge already closed");
+    if (current_ == nullptr) {
+      DFDB_ASSIGN_OR_RETURN(Page page,
+                            Page::Create(relation_, tuple_width_, unit_bytes_));
+      current_ = std::make_unique<Page>(std::move(page));
+    }
+    DFDB_RETURN_IF_ERROR(current_->Append(tuple));
+    ++tuples_emitted_;
+    if (current_->full()) {
+      sealed = SealPage(std::move(*current_));
+      current_.reset();
+      ++pages_delivered_;
+    }
+  }
+  if (sealed) on_page_(std::move(sealed));
+  return Status::OK();
+}
+
+Status Edge::EmitPage(const PagePtr& page) {
+  if (page->tuple_width() != tuple_width_) {
+    return Status::InvalidArgument("page tuple width does not match edge");
+  }
+  // Fast path: a full page of exactly the edge's unit passes through, which
+  // keeps base-relation pages intact under page granularity.
+  bool passthrough = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::FailedPrecondition("edge already closed");
+    if (page->capacity_bytes() == unit_bytes_ && page->full() &&
+        current_ == nullptr) {
+      ++pages_delivered_;
+      tuples_emitted_ += static_cast<uint64_t>(page->num_tuples());
+      passthrough = true;
+    }
+  }
+  if (passthrough) {
+    on_page_(page);
+    return Status::OK();
+  }
+  for (int i = 0; i < page->num_tuples(); ++i) {
+    DFDB_RETURN_IF_ERROR(EmitTuple(page->tuple(i)));
+  }
+  return Status::OK();
+}
+
+Status Edge::CloseProducer() {
+  PagePtr sealed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::FailedPrecondition("edge already closed");
+    closed_ = true;
+    if (current_ != nullptr && !current_->empty()) {
+      sealed = SealPage(std::move(*current_));
+      ++pages_delivered_;
+    }
+    current_.reset();
+  }
+  if (sealed) on_page_(std::move(sealed));
+  on_close_();
+  return Status::OK();
+}
+
+}  // namespace dfdb

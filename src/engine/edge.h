@@ -1,0 +1,88 @@
+/// \file edge.h
+/// \brief Dataflow edges: compressed page streams between plan nodes.
+///
+/// An Edge connects a producing node to one input slot of its consumer.
+/// Producers emit tuples or whole pages; the edge compresses partial pages
+/// into full ones ("As pages (which may not be full) arrive, they are
+/// compressed to form full pages", Section 4.2) and notifies the consumer
+/// through a callback as each schedulable unit becomes available.
+
+#ifndef DFDB_ENGINE_EDGE_H_
+#define DFDB_ENGINE_EDGE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/macros.h"
+#include "storage/page.h"
+
+namespace dfdb {
+
+/// \brief Producer-side page compressor + consumer notification.
+///
+/// Thread-safe: multiple producer tasks may emit concurrently. The consumer
+/// callback is invoked outside no locks other than the edge's own, and must
+/// not re-enter the edge.
+class Edge {
+ public:
+  /// \p on_page fires once per sealed page; \p on_close fires exactly once
+  /// after the final page, when the producer side completes.
+  using PageFn = std::function<void(PagePtr)>;
+  using CloseFn = std::function<void()>;
+
+  /// \p pseudo_relation tags produced pages (producing node id).
+  /// \p tuple_width is the producer's output tuple width.
+  /// \p unit_bytes is the scheduling unit: the configured page size, or the
+  /// tuple width itself under tuple granularity.
+  Edge(RelationId pseudo_relation, int tuple_width, int unit_bytes,
+       PageFn on_page, CloseFn on_close)
+      : relation_(pseudo_relation),
+        tuple_width_(tuple_width),
+        unit_bytes_(unit_bytes < tuple_width ? tuple_width : unit_bytes),
+        on_page_(std::move(on_page)),
+        on_close_(std::move(on_close)) {}
+
+  DFDB_DISALLOW_COPY(Edge);
+
+  int tuple_width() const { return tuple_width_; }
+  int unit_bytes() const { return unit_bytes_; }
+
+  /// Adds one encoded tuple; seals and delivers a page when full.
+  Status EmitTuple(Slice tuple);
+
+  /// Adds a whole produced page. Full pages of the right width pass through
+  /// unchanged; partial pages are compressed tuple by tuple.
+  Status EmitPage(const PagePtr& page);
+
+  /// Producer completion: flushes any partial page, then signals close.
+  /// Each producer task must NOT call this; the owning node calls it once
+  /// when its last task retires.
+  Status CloseProducer();
+
+  uint64_t pages_delivered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_delivered_;
+  }
+  uint64_t tuples_emitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tuples_emitted_;
+  }
+
+ private:
+  const RelationId relation_;
+  const int tuple_width_;
+  const int unit_bytes_;
+  PageFn on_page_;
+  CloseFn on_close_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Page> current_;
+  uint64_t pages_delivered_ = 0;
+  uint64_t tuples_emitted_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_ENGINE_EDGE_H_

@@ -1,0 +1,64 @@
+/// \file engine_stats.h
+/// \brief Execution statistics gathered by the dataflow engine.
+
+#ifndef DFDB_ENGINE_ENGINE_STATS_H_
+#define DFDB_ENGINE_ENGINE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "storage/buffer_manager.h"
+
+namespace dfdb {
+
+/// \brief Thread-safe counters updated by worker threads.
+///
+/// The byte counters correspond to the paper's network-bandwidth analysis:
+/// every instruction packet's operand bytes pass the "arbitration" path to a
+/// processor; every result page passes the "distribution" path back.
+struct EngineCounters {
+  std::atomic<uint64_t> tasks_executed{0};
+  /// Instruction packets dispatched (a join outer-page task counts once per
+  /// inner page it consumes, since each consumption is one broadcast
+  /// delivery).
+  std::atomic<uint64_t> packets{0};
+  /// Operand payload bytes moved memory -> processor.
+  std::atomic<uint64_t> arbitration_bytes{0};
+  /// Result payload bytes moved processor -> memory.
+  std::atomic<uint64_t> distribution_bytes{0};
+  /// Packet-overhead bytes (packets * overhead).
+  std::atomic<uint64_t> overhead_bytes{0};
+  std::atomic<uint64_t> pages_produced{0};
+  std::atomic<uint64_t> tuples_produced{0};
+};
+
+/// \brief Immutable snapshot of one query (or batch) execution.
+struct ExecStats {
+  double wall_seconds = 0;
+  uint64_t tasks_executed = 0;
+  uint64_t packets = 0;
+  uint64_t arbitration_bytes = 0;
+  uint64_t distribution_bytes = 0;
+  uint64_t overhead_bytes = 0;
+  uint64_t pages_produced = 0;
+  uint64_t tuples_produced = 0;
+  BufferStats buffer;
+
+  uint64_t network_bytes() const {
+    return arbitration_bytes + distribution_bytes + overhead_bytes;
+  }
+
+  /// Average offered network load over the run, bits per second.
+  double network_bps() const {
+    return wall_seconds > 0
+               ? static_cast<double>(network_bytes()) * 8.0 / wall_seconds
+               : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_ENGINE_ENGINE_STATS_H_

@@ -1,0 +1,61 @@
+/// \file exec_options.h
+/// \brief Execution configuration: granularity, processors, memory cells.
+
+#ifndef DFDB_ENGINE_EXEC_OPTIONS_H_
+#define DFDB_ENGINE_EXEC_OPTIONS_H_
+
+#include <string>
+#include <string_view>
+
+namespace dfdb {
+
+/// \brief The paper's three operand granularities (Section 3.0).
+enum class Granularity {
+  /// "A node ... is enabled for execution only when its source operand(s)
+  /// has (have) been completely computed." (Section 3.1)
+  kRelation,
+  /// "An operator can be initiated as soon as at least one page of each
+  /// participating relation(s) exists." (Section 3.2)
+  kPage,
+  /// "A tuple of a relation is the basic unit which is used for scheduling
+  /// decisions." (Section 3.3)
+  kTuple,
+};
+
+std::string_view GranularityToString(Granularity g);
+
+/// \brief Knobs of one engine instantiation.
+struct ExecOptions {
+  Granularity granularity = Granularity::kPage;
+
+  /// Number of worker threads = instruction processors.
+  int num_processors = 4;
+
+  /// Memory cells per processor (the paper's benchmark fixes 2): bounds how
+  /// many enabled-but-unexecuted instruction packets may be outstanding,
+  /// throttling the scan sources.
+  int memory_cells_per_processor = 2;
+
+  /// Page size (payload bytes) for intermediate relations. With kTuple
+  /// granularity edges carry single-tuple pages regardless of this value.
+  int page_bytes = 16384;
+
+  /// Capacity of the local-memory level of the buffer hierarchy, in pages.
+  int local_memory_pages = 64;
+
+  /// Capacity of the disk-cache level, in pages.
+  int disk_cache_pages = 512;
+
+  /// Per-packet overhead bytes ("c" in the Section 3.3 analysis) counted in
+  /// the network-traffic statistics.
+  int packet_overhead_bytes = 64;
+
+  /// Partition count for the parallel duplicate-elimination project.
+  int dedup_partitions = 16;
+
+  std::string ToString() const;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_ENGINE_EXEC_OPTIONS_H_

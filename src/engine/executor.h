@@ -1,0 +1,85 @@
+/// \file executor.h
+/// \brief The data-flow query execution engine.
+///
+/// This is the paper's primary contribution realized on threads: every plan
+/// node is an *instruction*; pages (or whole relations, or single tuples,
+/// per ExecOptions::granularity) are the operands that *enable* it; a pool
+/// of worker threads plays the role of the instruction-processor (IP) pool,
+/// executing instruction packets as operands arrive and pipelining result
+/// pages up the query tree without ever waiting for a node to finish before
+/// its consumer starts (Section 2.3).
+///
+/// Differences between the three granularities show up exactly where the
+/// paper predicts:
+///   - kRelation: a node's tasks are created only after all of its inputs
+///     have completed — intermediate relations fully materialize through
+///     the buffer hierarchy and pipelining is lost;
+///   - kPage: tasks are created per arriving page — producers and consumers
+///     overlap and the working set stays in local memory;
+///   - kTuple: the edge unit shrinks to one tuple — maximal scheduling
+///     freedom, but per-packet overhead dominates (Section 3.3's bandwidth
+///     argument, measurable here via ExecStats).
+
+#ifndef DFDB_ENGINE_EXECUTOR_H_
+#define DFDB_ENGINE_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "engine/concurrency.h"
+#include "engine/engine_stats.h"
+#include "engine/exec_options.h"
+#include "engine/query_result.h"
+#include "ra/analyzer.h"
+#include "ra/plan.h"
+#include "storage/buffer_manager.h"
+#include "storage/storage_engine.h"
+
+namespace dfdb {
+
+namespace internal {
+struct QueryRuntime;
+struct NodeState;
+class ExecutorImpl;
+}  // namespace internal
+
+/// \brief Executes resolved or unresolved query trees against a
+/// StorageEngine with data-flow scheduling.
+///
+/// An Executor owns its worker pool configuration and a BufferManager
+/// modelling the IC-local-memory / disk-cache / mass-storage hierarchy.
+/// Execute() and ExecuteBatch() may be called repeatedly; each call spins
+/// up `num_processors` workers, runs to completion, and tears them down so
+/// that wall-clock measurements are self-contained.
+class Executor {
+ public:
+  Executor(StorageEngine* storage, ExecOptions options);
+  ~Executor();
+  DFDB_DISALLOW_COPY(Executor);
+
+  const ExecOptions& options() const { return options_; }
+
+  /// Runs one query. The plan is cloned and analyzed internally, so \p plan
+  /// may be reused across runs and engines.
+  StatusOr<QueryResult> Execute(const PlanNode& plan);
+
+  /// Runs a batch of queries concurrently under MC-style admission control:
+  /// conflicting queries (write/write or read/write on a base relation) are
+  /// serialized, everything else shares the processor pool. Results are
+  /// returned in input order.
+  StatusOr<std::vector<QueryResult>> ExecuteBatch(
+      const std::vector<const PlanNode*>& plans);
+
+  /// Statistics of the most recent Execute/ExecuteBatch call.
+  const ExecStats& last_stats() const { return last_stats_; }
+
+ private:
+  StorageEngine* storage_;
+  ExecOptions options_;
+  ExecStats last_stats_;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_ENGINE_EXECUTOR_H_

@@ -1,0 +1,40 @@
+/// \file reference.h
+/// \brief Serial reference executor: the uniprocessor baseline.
+///
+/// Evaluates a query tree bottom-up, one node at a time, fully
+/// materializing every intermediate — i.e. relation-level granularity on a
+/// single processor. It serves two purposes:
+///  1. a correctness oracle for the data-flow engine (results must match up
+///     to row order), and
+///  2. the serial baseline in the pipelining-comparison benchmark
+///     (Section 2.3 contrasts data-flow with Smith & Chang / Yao style
+///     pipelining; the serial executor is the degenerate no-overlap case).
+
+#ifndef DFDB_ENGINE_REFERENCE_H_
+#define DFDB_ENGINE_REFERENCE_H_
+
+#include "common/statusor.h"
+#include "engine/query_result.h"
+#include "ra/plan.h"
+#include "storage/storage_engine.h"
+
+namespace dfdb {
+
+/// \brief One-node-at-a-time serial evaluator.
+class ReferenceExecutor {
+ public:
+  explicit ReferenceExecutor(StorageEngine* storage) : storage_(storage) {}
+
+  /// Runs \p plan (cloned and analyzed internally) and materializes the
+  /// result. For equi-joins, \p use_sort_merge selects the Blasgen-Eswaran
+  /// sorted-merge algorithm instead of nested loops.
+  StatusOr<QueryResult> Execute(const PlanNode& plan,
+                                bool use_sort_merge = false);
+
+ private:
+  StorageEngine* storage_;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_ENGINE_REFERENCE_H_

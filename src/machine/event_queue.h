@@ -1,0 +1,72 @@
+/// \file event_queue.h
+/// \brief Deterministic discrete-event simulation core.
+
+#ifndef DFDB_MACHINE_EVENT_QUEUE_H_
+#define DFDB_MACHINE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/sim_time.h"
+
+namespace dfdb {
+
+/// \brief Time-ordered event queue. Ties break by insertion order, so a
+/// simulation is a pure function of its inputs.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  DFDB_DISALLOW_COPY(EventQueue);
+
+  /// Current simulated time (the timestamp of the last dispatched event).
+  SimTime now() const { return now_; }
+
+  /// Schedules \p fn at absolute time \p at (>= now()).
+  void ScheduleAt(SimTime at, std::function<void()> fn) {
+    heap_.push(Event{at < now_ ? now_ : at, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules \p fn after \p delay.
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains (or \p max_events fire).
+  /// Returns the number of events dispatched.
+  uint64_t RunToCompletion(uint64_t max_events = UINT64_MAX) {
+    uint64_t dispatched = 0;
+    while (!heap_.empty() && dispatched < max_events) {
+      Event ev = heap_.top();
+      heap_.pop();
+      now_ = ev.time;
+      ++dispatched;
+      ev.fn();
+    }
+    return dispatched;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_MACHINE_EVENT_QUEUE_H_

@@ -1,0 +1,77 @@
+/// \file instruction.h
+/// \brief Compilation of query trees into machine instructions.
+///
+/// In the Section 4 machine, scans are not separate instructions: "If the
+/// instruction's operand(s) are source relations in the database, then the
+/// instruction is ready to be executed. In this case the MC will also send
+/// to the IC a page table describing each operand." Each non-scan plan node
+/// therefore becomes one MachineInstruction whose operands are either base
+/// relations (page tables) or the outputs of other instructions.
+
+#ifndef DFDB_MACHINE_INSTRUCTION_H_
+#define DFDB_MACHINE_INSTRUCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/statusor.h"
+#include "ra/analyzer.h"
+#include "ra/plan.h"
+
+namespace dfdb {
+
+/// \brief One operand of a machine instruction.
+struct MachineOperand {
+  bool is_base = false;
+  /// Base relation name (is_base).
+  std::string base_relation;
+  /// Producing instruction index in the program (!is_base).
+  int producer = -1;
+  /// Operand tuple schema.
+  Schema schema;
+};
+
+/// \brief One relational-algebra instruction as the machine executes it.
+struct MachineInstruction {
+  int id = -1;
+  uint64_t query_id = 0;
+  /// Position of the query in the submitted batch.
+  size_t query_index = 0;
+  PlanOp op = PlanOp::kRestrict;
+  /// The resolved plan node (predicates, columns, schemas). Owned by the
+  /// program's plan clones.
+  const PlanNode* node = nullptr;
+  std::vector<MachineOperand> operands;
+  /// Consuming instruction (-1 = results go to the host via the MC).
+  int consumer = -1;
+  /// Operand slot at the consumer.
+  int consumer_slot = 0;
+  Schema output_schema;
+  /// Stateful operators (dedup project, aggregate, difference, set union)
+  /// run as barriers on a single IP regardless of granularity — the paper
+  /// explicitly leaves parallel project/duplicate elimination as future
+  /// work (Section 5.0).
+  bool barrier = false;
+};
+
+/// \brief A compiled batch of queries.
+struct MachineProgram {
+  std::vector<std::unique_ptr<PlanNode>> plans;  ///< Resolved clones (owned).
+  std::vector<QueryAnalysis> analyses;           ///< Per query.
+  std::vector<MachineInstruction> instructions;
+  /// Root instruction id per query (results to host).
+  std::vector<int> roots;
+};
+
+/// \brief Compiles \p queries (cloned and resolved against \p catalog).
+///
+/// A bare-scan query is wrapped in an always-true restrict so that it is an
+/// instruction. Queries are numbered by position.
+StatusOr<MachineProgram> CompileProgram(
+    const Catalog& catalog, const std::vector<const PlanNode*>& queries);
+
+}  // namespace dfdb
+
+#endif  // DFDB_MACHINE_INSTRUCTION_H_

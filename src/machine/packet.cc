@@ -1,0 +1,214 @@
+#include "machine/packet.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dfdb {
+
+namespace {
+
+constexpr size_t kNameBytes = 8;  // Fixed-width relation-name field.
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+void PutName(std::string* out, const std::string& name) {
+  char buf[kNameBytes] = {0};
+  std::memcpy(buf, name.data(), std::min(name.size(), kNameBytes));
+  out->append(buf, kNameBytes);
+}
+
+class Reader {
+ public:
+  explicit Reader(Slice s) : s_(s) {}
+  bool ReadU32(uint32_t* v) {
+    if (s_.size() < 4) return false;
+    std::memcpy(v, s_.data(), 4);
+    s_.remove_prefix(4);
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (s_.size() < 8) return false;
+    std::memcpy(v, s_.data(), 8);
+    s_.remove_prefix(8);
+    return true;
+  }
+  bool ReadName(std::string* v) {
+    if (s_.size() < kNameBytes) return false;
+    size_t len = kNameBytes;
+    while (len > 0 && s_.data()[len - 1] == '\0') --len;
+    v->assign(s_.data(), len);
+    s_.remove_prefix(kNameBytes);
+    return true;
+  }
+  bool ReadBlob(size_t n, Slice* out) {
+    if (s_.size() < n) return false;
+    *out = Slice(s_.data(), n);
+    s_.remove_prefix(n);
+    return true;
+  }
+  bool empty() const { return s_.empty(); }
+
+ private:
+  Slice s_;
+};
+
+}  // namespace
+
+int64_t PacketOperand::WireBytes() const {
+  const int64_t page_bytes =
+      page.has_value() ? static_cast<int64_t>(page->Serialize().size()) : 0;
+  return static_cast<int64_t>(kNameBytes) + 4 + 4 + page_bytes;
+}
+
+int64_t InstructionPacket::WireBytes() const {
+  // IPid(4) length(4) query(8) sender(4) dest(4) flush(4) opcode(4)
+  // result name(8) result tuple len(4) operand count(4).
+  int64_t total = 4 + 4 + 8 + 4 + 4 + 4 + 4 + kNameBytes + 4 + 4;
+  for (const PacketOperand& op : operands) total += op.WireBytes();
+  return total;
+}
+
+std::string InstructionPacket::Serialize() const {
+  std::string out;
+  PutU32(&out, ip_id);
+  PutU32(&out, static_cast<uint32_t>(WireBytes()));
+  PutU64(&out, query_id);
+  PutU32(&out, ic_id_sender);
+  PutU32(&out, ic_id_destination);
+  PutU32(&out, flush_when_done ? 1 : 0);
+  PutU32(&out, static_cast<uint32_t>(opcode));
+  PutName(&out, result_relation_name);
+  PutU32(&out, result_tuple_length);
+  PutU32(&out, static_cast<uint32_t>(operands.size()));
+  for (const PacketOperand& op : operands) {
+    PutName(&out, op.relation_name);
+    PutU32(&out, op.tuple_length);
+    const std::string page =
+        op.page.has_value() ? op.page->Serialize() : std::string();
+    PutU32(&out, static_cast<uint32_t>(page.size()));
+    out += page;
+  }
+  return out;
+}
+
+StatusOr<InstructionPacket> InstructionPacket::Deserialize(Slice bytes) {
+  Reader r(bytes);
+  InstructionPacket pkt;
+  uint32_t length = 0, flush = 0, opcode = 0, count = 0;
+  if (!r.ReadU32(&pkt.ip_id) || !r.ReadU32(&length) ||
+      !r.ReadU64(&pkt.query_id) || !r.ReadU32(&pkt.ic_id_sender) ||
+      !r.ReadU32(&pkt.ic_id_destination) || !r.ReadU32(&flush) ||
+      !r.ReadU32(&opcode) || !r.ReadName(&pkt.result_relation_name) ||
+      !r.ReadU32(&pkt.result_tuple_length) || !r.ReadU32(&count)) {
+    return Status::Corruption("truncated instruction packet header");
+  }
+  pkt.flush_when_done = flush != 0;
+  pkt.opcode = static_cast<PacketOpcode>(opcode);
+  for (uint32_t i = 0; i < count; ++i) {
+    PacketOperand op;
+    uint32_t page_len = 0;
+    if (!r.ReadName(&op.relation_name) || !r.ReadU32(&op.tuple_length) ||
+        !r.ReadU32(&page_len)) {
+      return Status::Corruption("truncated operand header");
+    }
+    if (page_len > 0) {
+      Slice blob;
+      if (!r.ReadBlob(page_len, &blob)) {
+        return Status::Corruption("truncated operand page");
+      }
+      auto page = Page::Deserialize(blob);
+      if (!page.ok()) return page.status();
+      op.page = *std::move(page);
+    }
+    pkt.operands.push_back(std::move(op));
+  }
+  if (static_cast<int64_t>(length) != pkt.WireBytes()) {
+    return Status::Corruption(
+        StrFormat("packet length field %u does not match actual %lld", length,
+                  static_cast<long long>(pkt.WireBytes())));
+  }
+  return pkt;
+}
+
+int64_t ResultPacket::WireBytes() const {
+  const int64_t page_bytes =
+      page.has_value() ? static_cast<int64_t>(page->Serialize().size()) : 0;
+  // ICid(4) length(4) name(8) page length(4) data.
+  return 4 + 4 + static_cast<int64_t>(kNameBytes) + 4 + page_bytes;
+}
+
+std::string ResultPacket::Serialize() const {
+  std::string out;
+  PutU32(&out, ic_id);
+  PutU32(&out, static_cast<uint32_t>(WireBytes()));
+  PutName(&out, relation_name);
+  const std::string p = page.has_value() ? page->Serialize() : std::string();
+  PutU32(&out, static_cast<uint32_t>(p.size()));
+  out += p;
+  return out;
+}
+
+StatusOr<ResultPacket> ResultPacket::Deserialize(Slice bytes) {
+  Reader r(bytes);
+  ResultPacket pkt;
+  uint32_t length = 0, page_len = 0;
+  if (!r.ReadU32(&pkt.ic_id) || !r.ReadU32(&length) ||
+      !r.ReadName(&pkt.relation_name) || !r.ReadU32(&page_len)) {
+    return Status::Corruption("truncated result packet");
+  }
+  if (page_len > 0) {
+    Slice blob;
+    if (!r.ReadBlob(page_len, &blob)) {
+      return Status::Corruption("truncated result page");
+    }
+    auto page = Page::Deserialize(blob);
+    if (!page.ok()) return page.status();
+    pkt.page = *std::move(page);
+  }
+  if (static_cast<int64_t>(length) != pkt.WireBytes()) {
+    return Status::Corruption("result packet length mismatch");
+  }
+  return pkt;
+}
+
+int64_t ControlPacket::WireBytes() const {
+  // ICid(4) length(4) IPid(4) message(4) argument(4).
+  return 4 + 4 + 4 + 4 + 4;
+}
+
+std::string ControlPacket::Serialize() const {
+  std::string out;
+  PutU32(&out, ic_id);
+  PutU32(&out, static_cast<uint32_t>(WireBytes()));
+  PutU32(&out, ip_id_sender);
+  PutU32(&out, static_cast<uint32_t>(message));
+  PutU32(&out, argument);
+  return out;
+}
+
+StatusOr<ControlPacket> ControlPacket::Deserialize(Slice bytes) {
+  Reader r(bytes);
+  ControlPacket pkt;
+  uint32_t length = 0, message = 0;
+  if (!r.ReadU32(&pkt.ic_id) || !r.ReadU32(&length) ||
+      !r.ReadU32(&pkt.ip_id_sender) || !r.ReadU32(&message) ||
+      !r.ReadU32(&pkt.argument)) {
+    return Status::Corruption("truncated control packet");
+  }
+  pkt.message = static_cast<ControlMessage>(message);
+  if (static_cast<int64_t>(length) != pkt.WireBytes() || !r.empty()) {
+    return Status::Corruption("control packet length mismatch");
+  }
+  return pkt;
+}
+
+}  // namespace dfdb

@@ -1,0 +1,101 @@
+/// \file packet.h
+/// \brief The packet formats of Figures 4.3, 4.4 and 4.5.
+///
+/// Packets are the currency of the outer ring. Their byte sizes drive the
+/// ring-bandwidth model, and Serialize/Deserialize establish that the field
+/// layouts are complete (tested by round-trip).
+
+#ifndef DFDB_MACHINE_PACKET_H_
+#define DFDB_MACHINE_PACKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/page.h"
+
+namespace dfdb {
+
+/// Opcode field of an instruction packet.
+enum class PacketOpcode : uint8_t {
+  kRestrict = 1,
+  kJoin = 2,
+  kProject = 3,
+  kUnion = 4,
+  kDifference = 5,
+  kAggregate = 6,
+  kAppend = 7,
+  kDelete = 8,
+};
+
+/// \brief One source operand of an instruction packet: relation identity,
+/// tuple format, and the data page itself (Figure 4.3's repeated group).
+struct PacketOperand {
+  std::string relation_name;
+  uint32_t tuple_length = 0;
+  /// The operand data page (optional for control-only instructions).
+  std::optional<Page> page;
+
+  /// Serialized size: name(8) + tuple len/format(4) + page length(4) + data.
+  int64_t WireBytes() const;
+};
+
+/// \brief Figure 4.3: the instruction packet an IC sends to an IP.
+struct InstructionPacket {
+  uint32_t ip_id = 0;
+  uint64_t query_id = 0;
+  uint32_t ic_id_sender = 0;
+  uint32_t ic_id_destination = 0;
+  bool flush_when_done = false;
+  PacketOpcode opcode = PacketOpcode::kRestrict;
+  std::string result_relation_name;
+  uint32_t result_tuple_length = 0;
+  std::vector<PacketOperand> operands;
+
+  /// Total bytes on the wire, including the packet-length field.
+  int64_t WireBytes() const;
+
+  std::string Serialize() const;
+  static StatusOr<InstructionPacket> Deserialize(Slice bytes);
+};
+
+/// \brief Figure 4.4: a result packet (one page of result tuples) sent from
+/// an IP to the IC controlling the destination instruction.
+struct ResultPacket {
+  uint32_t ic_id = 0;
+  std::string relation_name;
+  std::optional<Page> page;
+
+  int64_t WireBytes() const;
+  std::string Serialize() const;
+  static StatusOr<ResultPacket> Deserialize(Slice bytes);
+};
+
+/// Message kinds carried by control packets.
+enum class ControlMessage : uint8_t {
+  kDone = 1,           ///< IP finished its packet, ready for more work.
+  kRequestPage = 2,    ///< IP requests inner-relation page (join).
+  kReleaseIp = 3,      ///< IC returns an IP to the MC pool.
+  kRequestIps = 4,     ///< IC asks the MC for processors.
+  kOperandComplete = 5,///< Producing instruction finished (last page sent).
+};
+
+/// \brief Figure 4.5: small fixed-size control packet.
+struct ControlPacket {
+  uint32_t ic_id = 0;
+  uint32_t ip_id_sender = 0;
+  ControlMessage message = ControlMessage::kDone;
+  /// Payload for kRequestPage (page index) or kRequestIps (count).
+  uint32_t argument = 0;
+
+  int64_t WireBytes() const;
+  std::string Serialize() const;
+  static StatusOr<ControlPacket> Deserialize(Slice bytes);
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_MACHINE_PACKET_H_

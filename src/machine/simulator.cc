@@ -1,0 +1,1717 @@
+#include "machine/simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bitvector.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "engine/concurrency.h"
+#include "machine/event_queue.h"
+#include "machine/packet.h"
+#include "machine/resources.h"
+#include "operators/aggregator.h"
+#include "operators/dedup.h"
+#include "operators/kernels.h"
+#include "operators/set_ops.h"
+#include "storage/tuple.h"
+
+namespace dfdb {
+
+std::string MachineReport::ToString() const {
+  return StrFormat(
+      "makespan=%s outer=%s inner=%s cache=%s disk=%s ipUtil=%.1f%% "
+      "(ipkt=%llu rpkt=%llu cpkt=%llu bcast=%llu events=%llu)",
+      makespan.ToString().c_str(), HumanBitsPerSecond(OuterRingBps()).c_str(),
+      HumanBitsPerSecond(InnerRingBps()).c_str(),
+      HumanBitsPerSecond(CacheBps()).c_str(),
+      HumanBitsPerSecond(DiskBps()).c_str(), IpUtilization() * 100.0,
+      static_cast<unsigned long long>(instruction_packets),
+      static_cast<unsigned long long>(result_packets),
+      static_cast<unsigned long long>(control_packets),
+      static_cast<unsigned long long>(broadcasts),
+      static_cast<unsigned long long>(events));
+}
+
+namespace {
+
+// Analytic wire sizes, consistent with packet.cc (asserted in tests).
+constexpr int64_t kInstrHeaderBytes = 48;
+constexpr int64_t kPerOperandBytes = 16;     // name + tuple len + page len.
+constexpr int64_t kPageHeaderBytes = 16;     // Serialized page header.
+constexpr int64_t kControlBytes = 20;
+constexpr int64_t kResultHeaderBytes = 20;   // ICid + len + name + page len.
+
+int64_t OperandWire(int64_t payload) {
+  return kPerOperandBytes + (payload > 0 ? kPageHeaderBytes + payload : 0);
+}
+int64_t UnaryPacketWire(int64_t payload) {
+  return kInstrHeaderBytes + OperandWire(payload);
+}
+int64_t JoinPacketWire(int64_t outer_payload, int64_t inner_payload,
+                       bool has_inner) {
+  return kInstrHeaderBytes + OperandWire(outer_payload) +
+         (has_inner ? OperandWire(inner_payload) : 0);
+}
+int64_t ResultPacketWire(int64_t payload) {
+  return kResultHeaderBytes + (payload > 0 ? kPageHeaderBytes + payload : 0);
+}
+
+/// A page staged at an IC, identified for residency accounting.
+struct StagedPage {
+  PagePtr page;
+  uint64_t uid = 0;
+  /// Section 5.0 direct routing: the page was shipped straight to an IP
+  /// and never entered the IC's memory; dispatching it needs only a
+  /// header-only instruction packet.
+  bool at_ip = false;
+};
+
+enum class InstrPhase { kWaiting, kRunning, kFlushing, kFinished };
+
+struct OperandRt {
+  std::vector<StagedPage> pages;
+  bool complete = false;
+  /// Streaming cursor: pages before this index have been assigned.
+  size_t next_unassigned = 0;
+  /// Compressor for repacking partial/mismatched pages into machine units.
+  std::unique_ptr<Page> partial;
+  uint64_t total_tuples = 0;
+};
+
+struct IpRt {
+  int id = 0;
+  SerialResource proc;
+  int instr = -1;  ///< Owning instruction, -1 = in the MC pool.
+  bool busy = false;
+  bool flush_sent = false;
+  std::unique_ptr<Page> result_buf;
+
+  // Join protocol state (Section 4.2).
+  bool has_outer = false;
+  StagedPage outer;
+  size_t outer_idx = 0;
+  BitVector irc;
+  std::deque<size_t> pending_inner;  ///< Broadcast pages queued (cap 2).
+  bool awaiting_request = false;     ///< Sent kRequestPage, no reply yet.
+};
+
+struct InstrRt {
+  const MachineInstruction* def = nullptr;
+  int ic = 0;
+  InstrPhase phase = InstrPhase::kWaiting;
+  std::vector<OperandRt> operands;
+  std::vector<int> ips;
+  bool request_outstanding = false;
+  int outstanding_packets = 0;
+  uint64_t outer_done = 0;
+  int unflushed = 0;
+  /// Arrival time of an in-flight broadcast per inner page (suppresses the
+  /// paper's "subsequent requests ... received soon afterwards").
+  std::vector<SimTime> inner_bcast_until;
+  bool inner_complete_sent = false;
+  /// Outer pages taken back from reclaimed IPs, with their join progress
+  /// (IRC vector) preserved; re-dispatched before fresh outer pages.
+  std::vector<std::pair<size_t, BitVector>> requeued_outers;
+
+  // Barrier-operator state.
+  std::unique_ptr<Aggregator> agg;
+  DuplicateEliminator dedup;
+  DifferenceOp diff;
+  uint64_t delete_matches = 0;
+  /// Parallel project: one eliminator per hash partition (lives at the
+  /// instruction so processor reassignment cannot lose it).
+  std::vector<DuplicateEliminator> pp_partitions;
+};
+
+struct IcRt {
+  int id = 0;
+  LruPageSet local;
+  IcRt(int id_, size_t capacity) : id(id_), local(capacity) {}
+};
+
+/// The whole machine for one Run() call.
+class Sim {
+ public:
+  Sim(StorageEngine* storage, const MachineOptions& options,
+      MachineProgram program, size_t num_queries)
+      : storage_(storage),
+        opt_(options),
+        cfg_(options.config),
+        prog_(std::move(program)),
+        disk_cache_(static_cast<size_t>(cfg_.disk_cache_pages)),
+        report_() {
+    report_.num_ips = cfg_.num_instruction_processors;
+    report_.query_completion.assign(num_queries, SimTime::Zero());
+    report_.results.resize(num_queries);
+    drives_.resize(static_cast<size_t>(std::max(1, cfg_.num_disk_drives)));
+    for (int i = 0; i < cfg_.num_instruction_controllers; ++i) {
+      ics_.emplace_back(i, static_cast<size_t>(cfg_.ic_local_memory_pages));
+    }
+    for (int i = 0; i < cfg_.num_instruction_processors; ++i) {
+      ips_.emplace_back();
+      ips_.back().id = i;
+      free_ips_.push_back(i);
+    }
+    instrs_.resize(prog_.instructions.size());
+    for (size_t i = 0; i < prog_.instructions.size(); ++i) {
+      instrs_[i].def = &prog_.instructions[i];
+      instrs_[i].ic = static_cast<int>(i) % cfg_.num_instruction_controllers;
+      instrs_[i].operands.resize(prog_.instructions[i].operands.size());
+      InitBarrierState(&instrs_[i]);
+    }
+  }
+
+  Status Run();
+  MachineReport&& TakeReport() { return std::move(report_); }
+
+ private:
+  // ---- helpers -----------------------------------------------------------
+  int MachineUnitBytes(const Schema& schema) const {
+    const int width = std::max(1, schema.tuple_width());
+    return opt_.granularity == Granularity::kTuple
+               ? width
+               : std::max(cfg_.page_bytes, width);
+  }
+
+  void Fail(const Status& s) {
+    if (error_.ok()) error_ = s;
+  }
+
+  void InitBarrierState(InstrRt* ir) {
+    const MachineInstruction& def = *ir->def;
+    if (def.op == PlanOp::kAggregate) {
+      auto agg = Aggregator::Create(def.operands[0].schema, def.output_schema,
+                                    def.node->columns, def.node->aggregates);
+      if (!agg.ok()) {
+        Fail(agg.status());
+        return;
+      }
+      ir->agg = std::make_unique<Aggregator>(*std::move(agg));
+    }
+  }
+
+  /// Arrival time of an outer-ring message of \p bytes.
+  SimTime SendOuter(int64_t bytes) {
+    report_.bytes.outer_ring += static_cast<uint64_t>(bytes);
+    const SimTime done =
+        outer_ring_.Acquire(eq_.now(), cfg_.outer_ring.InsertionTime(bytes));
+    const int stations =
+        cfg_.num_instruction_controllers + cfg_.num_instruction_processors;
+    return done + cfg_.outer_ring.PropagationTime(stations);
+  }
+
+  /// Arrival time of an inner-ring (control) message.
+  SimTime SendInner(int64_t bytes) {
+    report_.bytes.inner_ring += static_cast<uint64_t>(bytes);
+    const SimTime done =
+        inner_ring_.Acquire(eq_.now(), cfg_.inner_ring.InsertionTime(bytes));
+    return done + cfg_.inner_ring.PropagationTime(
+                      cfg_.num_instruction_controllers + 1) +
+           kMcProcessing;
+  }
+
+  SerialResource& DriveFor(uint64_t uid) {
+    return drives_[uid % drives_.size()];
+  }
+
+  int64_t BytesOf(uint64_t uid) const {
+    auto it = page_sizes_.find(uid);
+    return it != page_sizes_.end() ? it->second
+                                   : static_cast<int64_t>(cfg_.page_bytes);
+  }
+
+  /// Makes \p uid resident in the disk-cache level; victims displaced from
+  /// the cache are written back to a disk drive (time and bytes).
+  void SpillToCache(uint64_t uid) {
+    std::vector<uint64_t> evicted;
+    disk_cache_.InsertEvict(uid, &evicted);
+    for (uint64_t v : evicted) {
+      const int64_t b = BytesOf(v);
+      report_.bytes.disk_write += static_cast<uint64_t>(b);
+      DriveFor(v).Acquire(eq_.now(), cfg_.disk.SequentialTime(b));
+    }
+  }
+
+  /// Inserts \p uid into \p ic's local memory, spilling LRU victims to the
+  /// disk cache ("the IC will write the least desirable pages to its
+  /// segment of the multiport disk cache", Section 4.1).
+  void InsertLocal(IcRt* ic, uint64_t uid, int64_t bytes) {
+    page_sizes_.emplace(uid, bytes);
+    std::vector<uint64_t> evicted;
+    ic->local.InsertEvict(uid, &evicted);
+    for (uint64_t v : evicted) {
+      report_.bytes.ic_to_cache += static_cast<uint64_t>(BytesOf(v));
+      SpillToCache(v);
+    }
+  }
+
+  /// Makes page \p uid resident in \p ic's local memory, walking down the
+  /// hierarchy as needed: local hit is free; a disk-cache hit pays one
+  /// cache access; a full miss pays a disk access (with drive contention)
+  /// plus the cache transfer.
+  SimTime EnsureLocal(IcRt* ic, uint64_t uid, int64_t bytes) {
+    if (ic->local.Touch(uid)) return SimTime::Zero();
+    SimTime delay;
+    if (disk_cache_.Touch(uid)) {
+      report_.bytes.cache_to_ic += static_cast<uint64_t>(bytes);
+      delay = cfg_.cache.AccessTime(bytes);
+    } else {
+      const SimTime done =
+          DriveFor(uid).Acquire(eq_.now(), cfg_.disk.AccessTime(bytes));
+      report_.bytes.disk_read += static_cast<uint64_t>(bytes);
+      SpillToCache(uid);
+      report_.bytes.cache_to_ic += static_cast<uint64_t>(bytes);
+      delay = (done - eq_.now()) + cfg_.cache.AccessTime(bytes);
+    }
+    InsertLocal(ic, uid, bytes);
+    return delay;
+  }
+
+  uint64_t NextUid() { return next_uid_++; }
+
+  // ---- lifecycle ---------------------------------------------------------
+  void SubmitAll();
+  void TryAdmitWaiting();
+  void StartQuery(size_t qi);
+  void StartStaging(int instr_id, int slot);
+  void StageNextRawPage(int instr_id, int slot,
+                        std::shared_ptr<std::vector<PageId>> ids, size_t idx);
+  void RepackInto(int instr_id, int slot, const Page& raw);
+  void FlushPartialOperand(int instr_id, int slot);
+  void DeliverOperandPage(int instr_id, int slot, StagedPage staged);
+  void CompleteOperand(int instr_id, int slot);
+  void TryStart(int instr_id);
+  void RequestIps(int instr_id);
+  void HandleIpRequestAtMc(int instr_id);
+  void GrantArrive(int instr_id, int count);
+  void ReleaseIdleIp(int instr_id, int ip_id);
+  void ReleaseAllIps(int instr_id);
+  void PumpPendingRequests();
+  void ReclaimIdleIps();
+
+  void DispatchWork(int instr_id);
+  std::optional<std::pair<int, size_t>> NextStreamPage(InstrRt* ir);
+
+  /// Diagnostic dump of every unfinished instruction (stall debugging).
+  std::string DebugStates() const {
+    std::string out;
+    for (size_t i = 0; i < instrs_.size(); ++i) {
+      const InstrRt& ir = instrs_[i];
+      if (ir.phase == InstrPhase::kFinished) continue;
+      out += StrFormat(
+          "instr %zu q%llu op=%s phase=%d ips=%zu outstanding=%d "
+          "outer_done=%llu req_out=%d unflushed=%d |",
+          i, static_cast<unsigned long long>(ir.def->query_id),
+          std::string(PlanOpToString(ir.def->op)).c_str(),
+          static_cast<int>(ir.phase), ir.ips.size(), ir.outstanding_packets,
+          static_cast<unsigned long long>(ir.outer_done),
+          ir.request_outstanding ? 1 : 0, ir.unflushed);
+      for (const OperandRt& op : ir.operands) {
+        out += StrFormat(" [pages=%zu next=%zu complete=%d]", op.pages.size(),
+                         op.next_unassigned, op.complete ? 1 : 0);
+      }
+      for (int ip_id : ir.ips) {
+        const IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+        out += StrFormat(" ip%d{busy=%d outer=%d irc=%zu/%zu wait=%d}", ip_id,
+                         ip.busy ? 1 : 0, ip.has_outer ? 1 : 0,
+                         ip.irc.Count(), ip.irc.size(),
+                         ip.awaiting_request ? 1 : 0);
+      }
+      out += "\n";
+    }
+    out += StrFormat("free_ips=%zu pending_requests=%zu\n", free_ips_.size(),
+                     pending_requests_.size());
+    return out;
+  }
+
+  /// Section 5.0: is this instruction the parallel dedup-project?
+  bool IsParallelProject(const InstrRt& ir) const {
+    return opt_.parallel_project && ir.def->op == PlanOp::kProject &&
+           ir.def->node->dedup;
+  }
+
+  /// Barrier semantics apply unless the parallel-project option lifts them.
+  bool IsBarrier(const InstrRt& ir) const {
+    return ir.def->barrier && !IsParallelProject(ir);
+  }
+
+  /// Hash-partition fan-out of one instruction (1 for everything except
+  /// the parallel project).
+  int PartitionsOf(const InstrRt& ir) const {
+    if (!IsParallelProject(ir)) return 1;
+    return std::max(1, std::min(opt_.project_partitions,
+                                cfg_.num_instruction_processors));
+  }
+
+  /// Streaming work units of one operand: pages, times partitions (each
+  /// parallel-project page is processed once per partition).
+  size_t StreamUnits(const InstrRt& ir, const OperandRt& op) const {
+    return op.pages.size() * static_cast<size_t>(PartitionsOf(ir));
+  }
+
+  /// True if NextStreamPage would return a unit (no cursor movement).
+  bool HasStreamWork(const InstrRt& ir) const {
+    for (size_t slot = 0; slot < ir.operands.size(); ++slot) {
+      const OperandRt& op = ir.operands[slot];
+      if (op.next_unassigned < StreamUnits(ir, op)) return true;
+    }
+    return false;
+  }
+
+  void SendUnaryPacket(int instr_id, int ip_id, int slot, size_t page_idx);
+  void IpUnaryArrive(int instr_id, int ip_id, int slot, size_t page_idx);
+  void IpUnaryDone(int instr_id, int ip_id, std::vector<PagePtr> full_pages);
+
+  void SendJoinAssign(int instr_id, int ip_id, size_t outer_idx,
+                      const BitVector* resume_irc = nullptr);
+  void IpJoinAssignArrive(int instr_id, int ip_id, size_t outer_idx,
+                          std::optional<size_t> inner_idx);
+  void IpStartJoinStep(int instr_id, int ip_id, size_t inner_idx);
+  void IpJoinStepDone(int instr_id, int ip_id, size_t inner_idx,
+                      std::vector<PagePtr> full_pages);
+  void IpJoinAdvance(int instr_id, int ip_id);
+  void IpOuterDone(int instr_id, int ip_id);
+  void IcHandlePageRequest(int instr_id, size_t inner_idx);
+
+  /// A directly routed outer page taken back from a reclaimed IP returns
+  /// to the IC's custody (it can no longer be assumed resident at an IP).
+  void NormalizeRequeuedOuter(InstrRt* ir, size_t outer_idx) {
+    StagedPage& sp = ir->operands[0].pages[outer_idx];
+    if (sp.at_ip) {
+      sp.at_ip = false;
+      InsertLocal(&ics_[static_cast<size_t>(ir->ic)], sp.uid,
+                  sp.page->payload_bytes());
+    }
+  }
+  void BroadcastInner(int instr_id, size_t inner_idx);
+  void NotifyInnerComplete(int instr_id);
+
+  void SendResultPage(int instr_id, PagePtr page);
+  void DeliverResult(int producer_instr, PagePtr page);
+
+  void MaybeFlush(int instr_id);
+  void SendFlush(int instr_id, int ip_id);
+  void IpFlushArrive(int instr_id, int ip_id);
+  void FinishInstr(int instr_id);
+
+  // Kernel execution: runs the operator on \p in (and \p inner for joins),
+  // appending output tuples to the IP's result buffer; returns the full
+  // result pages produced and the output byte count.
+  StatusOr<std::pair<std::vector<PagePtr>, int64_t>> RunKernel(
+      InstrRt* ir, IpRt* ip, int slot, const Page& in, const Page* inner,
+      int partition = 0);
+  std::vector<PagePtr> DrainFullResultPages(InstrRt* ir, IpRt* ip,
+                                            bool flush_partial);
+  Status AppendResultTuple(InstrRt* ir, IpRt* ip, Slice tuple,
+                           std::vector<PagePtr>* full);
+
+  // ---- state -------------------------------------------------------------
+  static constexpr SimTime kMcProcessing = SimTime::Micros(50);
+
+  StorageEngine* storage_;
+  MachineOptions opt_;
+  MachineConfig cfg_;
+  MachineProgram prog_;
+
+  EventQueue eq_;
+  SerialResource outer_ring_;
+  SerialResource inner_ring_;
+  std::vector<SerialResource> drives_;
+  LruPageSet disk_cache_;
+  std::vector<IcRt> ics_;
+  std::vector<IpRt> ips_;
+  std::vector<InstrRt> instrs_;
+  std::deque<int> free_ips_;
+  std::deque<int> pending_requests_;
+  ConflictManager conflicts_;
+  std::deque<size_t> waiting_queries_;
+  size_t active_queries_ = 0;
+  bool in_reclaim_ = false;
+  /// Byte size per page uid (raw PageIds and staged uids share the space).
+  std::unordered_map<uint64_t, int64_t> page_sizes_;
+
+  MachineReport report_;
+  Status error_;
+  uint64_t next_uid_ = 1ull << 40;
+};
+
+// ---------------------------------------------------------------------------
+// Submission and admission
+// ---------------------------------------------------------------------------
+
+void Sim::SubmitAll() {
+  for (size_t qi = 0; qi < prog_.roots.size(); ++qi) {
+    waiting_queries_.push_back(qi);
+  }
+  TryAdmitWaiting();
+}
+
+void Sim::TryAdmitWaiting() {
+  for (auto it = waiting_queries_.begin(); it != waiting_queries_.end();) {
+    const size_t qi = *it;
+    const QueryAnalysis& analysis = prog_.analyses[qi];
+    if (conflicts_.TryAdmit(qi + 1, analysis.read_set, analysis.write_set)) {
+      ++active_queries_;
+      it = waiting_queries_.erase(it);
+      StartQuery(qi);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Sim::StartQuery(size_t qi) {
+  // The MC distributes the query's instructions to the ICs over the inner
+  // ring (small control messages).
+  for (size_t i = 0; i < prog_.instructions.size(); ++i) {
+    if (prog_.instructions[i].query_index != qi) continue;
+    const SimTime arrival = SendInner(kControlBytes * 2);
+    report_.control_packets++;
+    const int id = static_cast<int>(i);
+    eq_.ScheduleAt(arrival, [this, id] {
+      InstrRt& ir = instrs_[static_cast<size_t>(id)];
+      for (size_t slot = 0; slot < ir.def->operands.size(); ++slot) {
+        if (ir.def->operands[slot].is_base) {
+          StartStaging(id, static_cast<int>(slot));
+        }
+      }
+      TryStart(id);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Base-operand staging through the storage hierarchy
+// ---------------------------------------------------------------------------
+
+void Sim::StartStaging(int instr_id, int slot) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  const std::string& rel =
+      ir.def->operands[static_cast<size_t>(slot)].base_relation;
+  auto file = storage_->GetHeapFile(rel);
+  if (!file.ok()) {
+    Fail(file.status().WithContext("staging " + rel));
+    CompleteOperand(instr_id, slot);
+    return;
+  }
+  Status flushed = (*file)->Flush();
+  if (!flushed.ok()) Fail(flushed);
+  auto ids = std::make_shared<std::vector<PageId>>((*file)->PageIds());
+  StageNextRawPage(instr_id, slot, ids, 0);
+}
+
+void Sim::StageNextRawPage(int instr_id, int slot,
+                           std::shared_ptr<std::vector<PageId>> ids,
+                           size_t idx) {
+  if (idx >= ids->size()) {
+    CompleteOperand(instr_id, slot);
+    return;
+  }
+  const PageId raw_id = (*ids)[idx];
+  auto raw = storage_->page_store().Get(raw_id);
+  if (!raw.ok()) {
+    Fail(raw.status().WithContext("staging read"));
+    CompleteOperand(instr_id, slot);
+    return;
+  }
+  const int64_t bytes = (*raw)->payload_bytes();
+  page_sizes_.emplace(raw_id, bytes);
+  SimTime arrival;
+  if (disk_cache_.Touch(raw_id)) {
+    // Disk-cache hit: only the cache -> IC transfer.
+    report_.bytes.cache_to_ic += static_cast<uint64_t>(bytes);
+    arrival = eq_.now() + cfg_.cache.AccessTime(bytes);
+  } else {
+    // Read from a drive into the cache, then to the IC. Positioning is
+    // charged on the first page of a run and every 10th page thereafter
+    // (cylinder crossings); intermediate pages stream sequentially.
+    const InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+    const std::string& rel =
+        ir.def->operands[static_cast<size_t>(slot)].base_relation;
+    SerialResource& drive =
+        drives_[Hash64(rel.data(), rel.size()) % drives_.size()];
+    const bool position = (idx % 10) == 0;
+    const SimTime service =
+        position ? cfg_.disk.AccessTime(bytes) : cfg_.disk.SequentialTime(bytes);
+    const SimTime disk_done = drive.Acquire(eq_.now(), service);
+    report_.bytes.disk_read += static_cast<uint64_t>(bytes);
+    SpillToCache(raw_id);
+    report_.bytes.cache_to_ic += static_cast<uint64_t>(bytes);
+    arrival = disk_done + cfg_.cache.AccessTime(bytes);
+  }
+  PagePtr page = *std::move(raw);
+  eq_.ScheduleAt(arrival, [this, instr_id, slot, ids, idx, page] {
+    RepackInto(instr_id, slot, *page);
+    StageNextRawPage(instr_id, slot, ids, idx + 1);
+  });
+}
+
+void Sim::RepackInto(int instr_id, int slot, const Page& raw) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  OperandRt& op = ir.operands[static_cast<size_t>(slot)];
+  const Schema& schema = ir.def->operands[static_cast<size_t>(slot)].schema;
+  const int unit = MachineUnitBytes(schema);
+  for (int i = 0; i < raw.num_tuples(); ++i) {
+    if (op.partial == nullptr) {
+      auto page = Page::Create(0, schema.tuple_width(), unit);
+      if (!page.ok()) {
+        Fail(page.status());
+        return;
+      }
+      op.partial = std::make_unique<Page>(*std::move(page));
+    }
+    Status s = op.partial->Append(raw.tuple(i));
+    if (!s.ok()) {
+      Fail(s);
+      return;
+    }
+    op.total_tuples++;
+    if (op.partial->full()) {
+      StagedPage staged{SealPage(std::move(*op.partial)), NextUid()};
+      op.partial.reset();
+      DeliverOperandPage(instr_id, slot, std::move(staged));
+    }
+  }
+}
+
+void Sim::FlushPartialOperand(int instr_id, int slot) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  OperandRt& op = ir.operands[static_cast<size_t>(slot)];
+  if (op.partial != nullptr && !op.partial->empty()) {
+    StagedPage staged{SealPage(std::move(*op.partial)), NextUid()};
+    op.partial.reset();
+    DeliverOperandPage(instr_id, slot, std::move(staged));
+  }
+  op.partial.reset();
+}
+
+void Sim::DeliverOperandPage(int instr_id, int slot, StagedPage staged) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  OperandRt& op = ir.operands[static_cast<size_t>(slot)];
+  InsertLocal(&ics_[static_cast<size_t>(ir.ic)], staged.uid,
+              staged.page->payload_bytes());
+  op.pages.push_back(std::move(staged));
+  if (ir.phase == InstrPhase::kWaiting) {
+    TryStart(instr_id);
+  } else if (ir.phase == InstrPhase::kRunning) {
+    if (ir.def->op == PlanOp::kJoin && slot == 1) {
+      BroadcastInner(instr_id, op.pages.size() - 1);
+    }
+    DispatchWork(instr_id);
+  }
+}
+
+void Sim::CompleteOperand(int instr_id, int slot) {
+  FlushPartialOperand(instr_id, slot);
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  ir.operands[static_cast<size_t>(slot)].complete = true;
+  if (ir.phase == InstrPhase::kWaiting) {
+    TryStart(instr_id);
+  } else if (ir.phase == InstrPhase::kRunning) {
+    if (ir.def->op == PlanOp::kJoin && slot == 1) {
+      NotifyInnerComplete(instr_id);
+    }
+    DispatchWork(instr_id);
+    MaybeFlush(instr_id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Enablement and IP allocation
+// ---------------------------------------------------------------------------
+
+void Sim::TryStart(int instr_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  if (ir.phase != InstrPhase::kWaiting) return;
+  const bool relation_mode =
+      opt_.granularity == Granularity::kRelation || IsBarrier(ir);
+  for (const OperandRt& op : ir.operands) {
+    if (relation_mode) {
+      if (!op.complete) return;
+    } else {
+      // Page (and tuple) granularity: "as soon as at least one page of each
+      // participating relation(s) exists" (Section 3.2).
+      if (op.pages.empty() && !op.complete) return;
+    }
+  }
+  ir.phase = InstrPhase::kRunning;
+  RequestIps(instr_id);
+}
+
+void Sim::RequestIps(int instr_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  if (ir.request_outstanding || ir.phase != InstrPhase::kRunning) return;
+  ir.request_outstanding = true;
+  report_.control_packets++;
+  const SimTime arrival = SendInner(kControlBytes);
+  eq_.ScheduleAt(arrival, [this, instr_id] { HandleIpRequestAtMc(instr_id); });
+}
+
+void Sim::HandleIpRequestAtMc(int instr_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  if (ir.phase == InstrPhase::kFinished) {
+    ir.request_outstanding = false;
+    return;
+  }
+  // Fair share: "insuring that processors are distributed across all nodes
+  // in the query tree" (Section 4.1). The policy is work-conserving: an
+  // instruction above its share may still claim one processor from an
+  // otherwise idle pool.
+  int active = 0;
+  for (const InstrRt& other : instrs_) {
+    if (other.phase == InstrPhase::kRunning ||
+        other.phase == InstrPhase::kFlushing) {
+      ++active;
+    }
+  }
+  const int share = std::max(
+      1, cfg_.num_instruction_processors / std::max(1, active));
+  int desired = 0;
+  if (ir.def->op == PlanOp::kJoin) {
+    desired = static_cast<int>(ir.operands[0].pages.size() -
+                               ir.operands[0].next_unassigned +
+                               ir.requeued_outers.size());
+  } else {
+    for (const OperandRt& op : ir.operands) {
+      desired += static_cast<int>(StreamUnits(ir, op) - op.next_unassigned);
+    }
+  }
+  desired = std::max(desired, 1);
+  if (IsBarrier(ir)) desired = 1;
+  if (IsParallelProject(ir)) desired = std::min(desired, PartitionsOf(ir));
+  const int have = static_cast<int>(ir.ips.size());
+  int want = std::min(desired, std::max(1, share - have));
+  if (IsBarrier(ir) && have >= 1) want = 0;
+  int granted = 0;
+  std::vector<int> grant;
+  while (granted < want && !free_ips_.empty()) {
+    grant.push_back(free_ips_.front());
+    free_ips_.pop_front();
+    ++granted;
+  }
+  if (granted == 0 && want == 0) {
+    ir.request_outstanding = false;
+    DispatchWork(instr_id);
+    MaybeFlush(instr_id);
+    return;
+  }
+  if (granted == 0) {
+    // "When another instruction has terminated, the MC will send the
+    // remaining requested resources to the IC." Additionally, the MC
+    // reclaims processors idling at instructions whose operand streams
+    // have momentarily run dry, so a starved request cannot deadlock
+    // against held-but-idle processors.
+    pending_requests_.push_back(instr_id);
+    ReclaimIdleIps();
+    return;
+  }
+  // Bind the processors immediately so the pool stays consistent; the IC
+  // only uses them once the grant message arrives.
+  for (int ip : grant) {
+    ips_[static_cast<size_t>(ip)].instr = instr_id;
+    ips_[static_cast<size_t>(ip)].flush_sent = false;
+    ir.ips.push_back(ip);
+  }
+  report_.control_packets++;
+  const SimTime arrival = SendInner(kControlBytes);
+  eq_.ScheduleAt(arrival, [this, instr_id, n = grant.size()] {
+    GrantArrive(instr_id, static_cast<int>(n));
+  });
+}
+
+void Sim::GrantArrive(int instr_id, int count) {
+  (void)count;
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  ir.request_outstanding = false;
+  if (ir.phase == InstrPhase::kFinished) return;
+  DispatchWork(instr_id);
+  MaybeFlush(instr_id);
+}
+
+void Sim::ReleaseIdleIp(int instr_id, int ip_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  auto it = std::find(ir.ips.begin(), ir.ips.end(), ip_id);
+  if (it == ir.ips.end()) return;
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  // Ship any buffered partial result before the IP changes hands.
+  for (PagePtr& page : DrainFullResultPages(&ir, &ip, /*flush_partial=*/true)) {
+    SendResultPage(instr_id, std::move(page));
+  }
+  ir.ips.erase(it);
+  ip.instr = -1;
+  ip.result_buf.reset();
+  free_ips_.push_back(ip_id);
+  report_.control_packets++;
+  (void)SendInner(kControlBytes);  // Release message to the MC.
+  PumpPendingRequests();
+}
+
+void Sim::ReleaseAllIps(int instr_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  for (int ip_id : ir.ips) {
+    IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+    ip.instr = -1;
+    ip.result_buf.reset();
+    ip.has_outer = false;
+    ip.irc.Resize(0);
+    ip.pending_inner.clear();
+    free_ips_.push_back(ip_id);
+  }
+  if (!ir.ips.empty()) {
+    report_.control_packets++;
+    (void)SendInner(kControlBytes);
+  }
+  ir.ips.clear();
+  PumpPendingRequests();
+}
+
+void Sim::PumpPendingRequests() {
+  // Serve queued IP requests now that processors freed up.
+  std::deque<int> pending;
+  pending.swap(pending_requests_);
+  for (int instr_id : pending) {
+    HandleIpRequestAtMc(instr_id);
+  }
+}
+
+void Sim::ReclaimIdleIps() {
+  if (in_reclaim_) return;
+  in_reclaim_ = true;
+  for (size_t i = 0; i < instrs_.size(); ++i) {
+    InstrRt& ir = instrs_[i];
+    if (ir.phase != InstrPhase::kRunning) continue;
+    const bool is_join = ir.def->op == PlanOp::kJoin;
+    const bool has_work =
+        is_join
+            ? (ir.operands[0].next_unassigned < ir.operands[0].pages.size() ||
+               !ir.requeued_outers.empty())
+            : HasStreamWork(ir);
+    std::vector<int> idle;
+    for (int ip_id : ir.ips) {
+      IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+      if (ip.busy || ip.flush_sent) continue;
+      if (is_join && ip.has_outer) {
+        // A join IP stuck mid-outer (every staged inner page already
+        // joined, inner relation incomplete) is reclaimed regardless of
+        // other pending outer work: it cannot progress until the inner
+        // producer runs, and the producer may be the starved requester.
+        // Its outer page and IRC progress are stashed and resumed later.
+        const OperandRt& inner = ir.operands[1];
+        if (!inner.complete && ip.pending_inner.empty() &&
+            ip.irc.size() >= inner.pages.size() &&
+            ip.irc.Count() >= inner.pages.size()) {
+          NormalizeRequeuedOuter(&ir, ip.outer_idx);
+          ir.requeued_outers.emplace_back(ip.outer_idx, ip.irc);
+          ip.has_outer = false;
+          ip.irc.Resize(0);
+          idle.push_back(ip_id);
+        }
+        continue;
+      }
+      // A plainly idle IP is released only when its instruction's operand
+      // stream has run dry.
+      if (!has_work) idle.push_back(ip_id);
+    }
+    for (int ip_id : idle) {
+      ReleaseIdleIp(static_cast<int>(i), ip_id);
+    }
+  }
+  in_reclaim_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Work dispatch
+// ---------------------------------------------------------------------------
+
+std::optional<std::pair<int, size_t>> Sim::NextStreamPage(InstrRt* ir) {
+  // Barrier difference consumes the subtrahend (slot 1) before the left
+  // input; every other operator streams its slots in order.
+  std::vector<int> order;
+  if (ir->def->op == PlanOp::kDifference) {
+    order = {1, 0};
+  } else {
+    for (size_t i = 0; i < ir->operands.size(); ++i) {
+      order.push_back(static_cast<int>(i));
+    }
+  }
+  for (int slot : order) {
+    OperandRt& op = ir->operands[static_cast<size_t>(slot)];
+    // The cursor counts units: page index x partition (PartitionsOf == 1
+    // everywhere except the parallel project).
+    if (op.next_unassigned < StreamUnits(*ir, op)) {
+      return std::make_pair(slot, op.next_unassigned++);
+    }
+    if (ir->def->op == PlanOp::kDifference && slot == 1 && !op.complete) {
+      // Cannot start the left side until the right side is complete.
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void Sim::DispatchWork(int instr_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  if (ir.phase != InstrPhase::kRunning) return;
+  const bool is_join = ir.def->op == PlanOp::kJoin;
+  for (int ip_id : ir.ips) {
+    IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+    if (ip.busy || ip.flush_sent) continue;
+    if (is_join) {
+      if (ip.has_outer) continue;
+      OperandRt& outer = ir.operands[0];
+      if (!ir.requeued_outers.empty()) {
+        auto [idx, irc] = std::move(ir.requeued_outers.back());
+        ir.requeued_outers.pop_back();
+        SendJoinAssign(instr_id, ip_id, idx, &irc);
+      } else if (outer.next_unassigned < outer.pages.size()) {
+        SendJoinAssign(instr_id, ip_id, outer.next_unassigned++);
+      }
+    } else {
+      auto next = NextStreamPage(&ir);
+      if (!next.has_value()) break;
+      SendUnaryPacket(instr_id, ip_id, next->first, next->second);
+    }
+  }
+  const bool has_work =
+      is_join ? (ir.operands[0].next_unassigned < ir.operands[0].pages.size() ||
+                 !ir.requeued_outers.empty())
+              : HasStreamWork(ir);
+  // Work remains beyond what the current processors absorbed: ask the MC
+  // for more (it applies the fair-share policy). Barrier instructions are
+  // capped at one processor and never re-request.
+  if (has_work && !(IsBarrier(ir) && !ir.ips.empty())) {
+    RequestIps(instr_id);
+  }
+  // No hold-and-wait: while other instructions are starved of processors,
+  // an IP idling here (its operand stream has momentarily run dry) goes
+  // back to the MC pool; it will be re-requested when work arrives.
+  if (!has_work && !pending_requests_.empty()) {
+    std::vector<int> idle;
+    for (int ip_id : ir.ips) {
+      IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+      if (!ip.busy && !ip.flush_sent && (!is_join || !ip.has_outer)) {
+        idle.push_back(ip_id);
+      }
+    }
+    for (int ip_id : idle) {
+      ReleaseIdleIp(instr_id, ip_id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming unary execution
+// ---------------------------------------------------------------------------
+
+void Sim::SendUnaryPacket(int instr_id, int ip_id, int slot, size_t unit_idx) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  OperandRt& op = ir.operands[static_cast<size_t>(slot)];
+  const int parts = PartitionsOf(ir);
+  const size_t page_idx = unit_idx / static_cast<size_t>(parts);
+  const int partition = static_cast<int>(unit_idx % static_cast<size_t>(parts));
+  StagedPage& staged = op.pages[page_idx];
+  IcRt& ic = ics_[static_cast<size_t>(ir.ic)];
+
+  const int64_t payload = staged.page->payload_bytes();
+  // A parallel-project page rides the ring once, broadcast to every
+  // participating IP; later partition units are header-only packets
+  // telling an IP to process its partition of the already-received page.
+  const bool page_rides = partition == 0 && !staged.at_ip;
+  const SimTime fetch_delay =
+      page_rides ? EnsureLocal(&ic, staged.uid, payload) : SimTime::Zero();
+  ip.busy = true;
+  ir.outstanding_packets++;
+  report_.instruction_packets++;
+  if (parts > 1 && partition == 0) report_.broadcasts++;
+  // The page leaves the IC's working set once its last unit is dispatched.
+  if (!staged.at_ip && partition == parts - 1) ic.local.Remove(staged.uid);
+
+  const int64_t wire = page_rides ? UnaryPacketWire(payload) : kInstrHeaderBytes;
+  // Charge the fetch delay before the ring insertion.
+  eq_.ScheduleAfter(fetch_delay, [this, instr_id, ip_id, slot, unit_idx,
+                                  wire] {
+    const SimTime arrival = SendOuter(wire);
+    eq_.ScheduleAt(arrival, [this, instr_id, ip_id, slot, unit_idx] {
+      IpUnaryArrive(instr_id, ip_id, slot, unit_idx);
+    });
+  });
+}
+
+void Sim::IpUnaryArrive(int instr_id, int ip_id, int slot, size_t unit_idx) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  const int parts = PartitionsOf(ir);
+  const size_t page_idx = unit_idx / static_cast<size_t>(parts);
+  const int partition = static_cast<int>(unit_idx % static_cast<size_t>(parts));
+  const StagedPage& staged =
+      ir.operands[static_cast<size_t>(slot)].pages[page_idx];
+  const Page& in = *staged.page;
+
+  auto run = RunKernel(&ir, &ip, slot, in, nullptr, partition);
+  if (!run.ok()) {
+    Fail(run.status());
+    IpUnaryDone(instr_id, ip_id, {});
+    return;
+  }
+  auto [full_pages, out_bytes] = *std::move(run);
+  // A partitioned scan only touches its share of the comparisons; the page
+  // scan itself is charged in full (every tuple is hashed and examined).
+  const SimTime service =
+      cfg_.processor.OperatorTime(in.payload_bytes(), out_bytes) +
+      (staged.at_ip ? opt_.direct_routing_overhead : SimTime::Zero());
+  const SimTime done = ip.proc.Acquire(eq_.now(), service);
+  report_.ip_busy_total += service;
+  eq_.ScheduleAt(done, [this, instr_id, ip_id,
+                        pages = std::move(full_pages)]() mutable {
+    IpUnaryDone(instr_id, ip_id, std::move(pages));
+  });
+}
+
+void Sim::IpUnaryDone(int instr_id, int ip_id, std::vector<PagePtr> pages) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  for (PagePtr& page : pages) {
+    SendResultPage(instr_id, std::move(page));
+  }
+  // Done control packet back to the controlling IC.
+  report_.control_packets++;
+  const SimTime arrival = SendOuter(kControlBytes);
+  eq_.ScheduleAt(arrival, [this, instr_id, ip_id] {
+    InstrRt& ir2 = instrs_[static_cast<size_t>(instr_id)];
+    IpRt& ip2 = ips_[static_cast<size_t>(ip_id)];
+    ip2.busy = false;
+    ir2.outstanding_packets--;
+    DispatchWork(instr_id);
+    MaybeFlush(instr_id);
+  });
+  (void)ir;
+  (void)ip;
+}
+
+// ---------------------------------------------------------------------------
+// Join execution (Section 4.2 protocol)
+// ---------------------------------------------------------------------------
+
+void Sim::SendJoinAssign(int instr_id, int ip_id, size_t outer_idx,
+                         const BitVector* resume_irc) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  IcRt& ic = ics_[static_cast<size_t>(ir.ic)];
+  OperandRt& outer_op = ir.operands[0];
+  OperandRt& inner_op = ir.operands[1];
+  StagedPage& outer = outer_op.pages[outer_idx];
+
+  ip.irc.Resize(inner_op.pages.size());
+  ip.irc.ClearAll();
+  if (resume_irc != nullptr) {
+    // Resuming a reclaimed outer page: restore its join progress.
+    for (size_t i = 0; i < resume_irc->size() && i < ip.irc.size(); ++i) {
+      if (resume_irc->Get(i)) ip.irc.Set(i);
+    }
+  }
+  // Pick the first unprocessed inner page to ship with the assignment
+  // (Figure 4.3: "the two operands in the packet").
+  std::optional<size_t> first_inner;
+  {
+    const size_t idx = ip.irc.FirstZero();
+    if (idx < inner_op.pages.size()) first_inner = idx;
+  }
+
+  const int64_t outer_payload = outer.page->payload_bytes();
+  const int64_t inner_payload =
+      first_inner.has_value()
+          ? inner_op.pages[*first_inner].page->payload_bytes()
+          : 0;
+  // Directly routed outer pages are already at an IP (Section 5.0).
+  const bool direct_outer = outer.at_ip;
+  SimTime fetch_delay = direct_outer
+                            ? SimTime::Zero()
+                            : EnsureLocal(&ic, outer.uid, outer_payload);
+  if (first_inner.has_value()) {
+    fetch_delay += EnsureLocal(&ic, inner_op.pages[*first_inner].uid,
+                               inner_payload);
+  }
+  if (!direct_outer) ic.local.Remove(outer.uid);
+
+  ip.busy = true;  // Busy until the assignment lands.
+  ip.has_outer = true;
+  ip.outer = outer;
+  ip.outer_idx = outer_idx;
+  ip.pending_inner.clear();
+  ip.awaiting_request = false;
+  report_.instruction_packets++;
+
+  const int64_t wire =
+      JoinPacketWire(direct_outer ? 0 : outer_payload, inner_payload,
+                     first_inner.has_value());
+  eq_.ScheduleAfter(fetch_delay, [this, instr_id, ip_id, outer_idx, wire,
+                                  first_inner] {
+    const SimTime arrival = SendOuter(wire);
+    eq_.ScheduleAt(arrival, [this, instr_id, ip_id, outer_idx, first_inner] {
+      IpJoinAssignArrive(instr_id, ip_id, outer_idx, first_inner);
+    });
+  });
+}
+
+void Sim::IpJoinAssignArrive(int instr_id, int ip_id, size_t outer_idx,
+                             std::optional<size_t> inner_idx) {
+  (void)outer_idx;
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  ip.busy = false;
+  if (ip.outer.at_ip) {
+    // The IP managed the directly routed outer page itself (Section 5.0's
+    // "increased IP complexity"); charge it once.
+    ip.proc.Acquire(eq_.now(), opt_.direct_routing_overhead);
+    report_.ip_busy_total += opt_.direct_routing_overhead;
+    ip.outer.at_ip = false;
+  }
+  if (inner_idx.has_value()) {
+    IpStartJoinStep(instr_id, ip_id, *inner_idx);
+  } else {
+    IpJoinAdvance(instr_id, ip_id);
+  }
+}
+
+void Sim::IpStartJoinStep(int instr_id, int ip_id, size_t inner_idx) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  if (ip.irc.size() <= inner_idx) {
+    ip.irc.Resize(ir.operands[1].pages.size());
+  }
+  if (ip.irc.Get(inner_idx)) {
+    IpJoinAdvance(instr_id, ip_id);
+    return;
+  }
+  ip.busy = true;
+  ip.irc.Set(inner_idx);
+  const Page& outer = *ip.outer.page;
+  const Page& inner = *ir.operands[1].pages[inner_idx].page;
+  auto run = RunKernel(&ir, &ip, /*slot=*/0, outer, &inner);
+  if (!run.ok()) {
+    Fail(run.status());
+    IpJoinStepDone(instr_id, ip_id, inner_idx, {});
+    return;
+  }
+  auto [full_pages, out_bytes] = *std::move(run);
+  const SimTime service = cfg_.processor.JoinStepTime(
+      outer.payload_bytes(), inner.payload_bytes(), out_bytes);
+  const SimTime done = ip.proc.Acquire(eq_.now(), service);
+  report_.ip_busy_total += service;
+  eq_.ScheduleAt(done, [this, instr_id, ip_id, inner_idx,
+                        pages = std::move(full_pages)]() mutable {
+    IpJoinStepDone(instr_id, ip_id, inner_idx, std::move(pages));
+  });
+}
+
+void Sim::IpJoinStepDone(int instr_id, int ip_id, size_t inner_idx,
+                         std::vector<PagePtr> pages) {
+  (void)inner_idx;
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  ip.busy = false;
+  for (PagePtr& page : pages) {
+    SendResultPage(instr_id, std::move(page));
+  }
+  IpJoinAdvance(instr_id, ip_id);
+}
+
+void Sim::IpJoinAdvance(int instr_id, int ip_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  if (!ip.has_outer || ip.busy) return;
+  // Opportunistic: process any broadcast page already queued locally.
+  while (!ip.pending_inner.empty()) {
+    const size_t idx = ip.pending_inner.front();
+    ip.pending_inner.pop_front();
+    if (ip.irc.size() <= idx || !ip.irc.Get(idx)) {
+      IpStartJoinStep(instr_id, ip_id, idx);
+      return;
+    }
+  }
+  const OperandRt& inner_op = ir.operands[1];
+  ip.irc.Resize(inner_op.pages.size());
+  if (inner_op.complete) {
+    const size_t missing = ip.irc.FirstZero();
+    if (missing < ip.irc.size()) {
+      // "Scan its IRC vector and then proceed to request those pages which
+      // it missed."
+      if (!ip.awaiting_request) {
+        ip.awaiting_request = true;
+        report_.control_packets++;
+        const SimTime arrival = SendOuter(kControlBytes);
+        eq_.ScheduleAt(arrival, [this, instr_id, missing] {
+          IcHandlePageRequest(instr_id, missing);
+        });
+      }
+      return;
+    }
+    // Outer page fully joined: "zero its IRC vector and then signal the IC
+    // that it is ready for another page of the outer relation".
+    IpOuterDone(instr_id, ip_id);
+    return;
+  }
+  // Inner incomplete: request the next page beyond what we have seen (the
+  // IC responds by broadcasting when it arrives; quiesce until then).
+  if (!ip.awaiting_request && ip.irc.size() > 0 &&
+      ip.irc.FirstZero() < ip.irc.size()) {
+    const size_t missing = ip.irc.FirstZero();
+    ip.awaiting_request = true;
+    report_.control_packets++;
+    const SimTime arrival = SendOuter(kControlBytes);
+    eq_.ScheduleAt(arrival, [this, instr_id, missing] {
+      IcHandlePageRequest(instr_id, missing);
+    });
+    return;
+  }
+  // Quiescing mid-outer (all staged inner pages joined, inner relation
+  // incomplete) while other instructions are starved at the MC: hand the
+  // processor back instead of hold-and-wait. The outer page resumes later
+  // with its IRC progress intact.
+  if (!pending_requests_.empty() && ip.has_outer && !ip.busy &&
+      ip.pending_inner.empty() && !inner_op.complete &&
+      ip.irc.Count() >= inner_op.pages.size()) {
+    NormalizeRequeuedOuter(&ir, ip.outer_idx);
+    ir.requeued_outers.emplace_back(ip.outer_idx, ip.irc);
+    ip.has_outer = false;
+    ip.irc.Resize(0);
+    ReleaseIdleIp(instr_id, ip_id);
+  }
+}
+
+void Sim::IpOuterDone(int instr_id, int ip_id) {
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  ip.has_outer = false;
+  ip.irc.ClearAll();
+  ip.pending_inner.clear();
+  report_.control_packets++;
+  const SimTime arrival = SendOuter(kControlBytes);
+  eq_.ScheduleAt(arrival, [this, instr_id] {
+    InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+    ir.outer_done++;
+    DispatchWork(instr_id);
+    MaybeFlush(instr_id);
+  });
+}
+
+void Sim::IcHandlePageRequest(int instr_id, size_t inner_idx) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  if (ir.phase == InstrPhase::kFinished) return;
+  OperandRt& inner_op = ir.operands[1];
+  if (inner_idx >= inner_op.pages.size()) {
+    // Page not staged yet; it will be broadcast on arrival.
+    for (int ip_id : ir.ips) {
+      ips_[static_cast<size_t>(ip_id)].awaiting_request = false;
+    }
+    return;
+  }
+  // Suppress duplicates while a broadcast of this page is in flight:
+  // "Subsequent requests for the same page which are received by the IC
+  // 'soon' afterwards can be ignored."
+  if (inner_idx < ir.inner_bcast_until.size() &&
+      ir.inner_bcast_until[inner_idx] > eq_.now()) {
+    return;
+  }
+  BroadcastInner(instr_id, inner_idx);
+}
+
+void Sim::BroadcastInner(int instr_id, size_t inner_idx) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  if (ir.phase != InstrPhase::kRunning) return;
+  OperandRt& inner_op = ir.operands[1];
+  IcRt& ic = ics_[static_cast<size_t>(ir.ic)];
+  StagedPage& staged = inner_op.pages[inner_idx];
+  const int64_t payload = staged.page->payload_bytes();
+  const SimTime fetch_delay = EnsureLocal(&ic, staged.uid, payload);
+  const int64_t wire = UnaryPacketWire(payload);
+
+  if (ir.inner_bcast_until.size() <= inner_idx) {
+    ir.inner_bcast_until.resize(inner_idx + 1, SimTime::Zero());
+  }
+
+  auto deliver = [this, instr_id, inner_idx](SimTime arrival) {
+    InstrRt& ir2 = instrs_[static_cast<size_t>(instr_id)];
+    ir2.inner_bcast_until[inner_idx] = arrival;
+    eq_.ScheduleAt(arrival, [this, instr_id, inner_idx] {
+      InstrRt& ir3 = instrs_[static_cast<size_t>(instr_id)];
+      if (ir3.phase != InstrPhase::kRunning) return;
+      for (int ip_id : ir3.ips) {
+        IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+        ip.awaiting_request = false;
+        if (!ip.has_outer) continue;
+        ip.irc.Resize(ir3.operands[1].pages.size());
+        if (ip.irc.Get(inner_idx)) continue;
+        if (!ip.busy) {
+          IpStartJoinStep(instr_id, ip_id, inner_idx);
+        } else if (ip.pending_inner.size() < 2) {
+          // Local memory can hold the broadcast page for later.
+          ip.pending_inner.push_back(inner_idx);
+        }
+        // Otherwise the IP "ignores the packet" and will request the page
+        // after seeing the last-page marker (IRC catch-up).
+      }
+    });
+  };
+
+  if (opt_.broadcast_join) {
+    // One ring insertion reaches every participating IP (requirement 4).
+    report_.broadcasts++;
+    eq_.ScheduleAfter(fetch_delay, [this, wire, deliver] {
+      deliver(SendOuter(wire));
+    });
+  } else {
+    // Ablation: unicast the page to each IP separately.
+    const size_t n = std::max<size_t>(1, ir.ips.size());
+    eq_.ScheduleAfter(fetch_delay, [this, wire, deliver, n] {
+      SimTime last;
+      for (size_t i = 0; i < n; ++i) {
+        last = SendOuter(wire);
+      }
+      deliver(last);
+    });
+  }
+}
+
+void Sim::NotifyInnerComplete(int instr_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  if (ir.inner_complete_sent) return;
+  ir.inner_complete_sent = true;
+  // Small broadcast: "a packet ... which indicates that this is the last
+  // page of the inner relation."
+  report_.control_packets++;
+  const SimTime arrival = SendOuter(kControlBytes);
+  eq_.ScheduleAt(arrival, [this, instr_id] {
+    InstrRt& ir2 = instrs_[static_cast<size_t>(instr_id)];
+    for (int ip_id : ir2.ips) {
+      IpJoinAdvance(instr_id, ip_id);
+    }
+    MaybeFlush(instr_id);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+void Sim::SendResultPage(int instr_id, PagePtr page) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  report_.result_packets++;
+  const int64_t wire = ResultPacketWire(page->payload_bytes());
+  const SimTime arrival = SendOuter(wire);
+  eq_.ScheduleAt(arrival, [this, instr_id, page = std::move(page)] {
+    DeliverResult(instr_id, page);
+  });
+  (void)ir;
+}
+
+void Sim::DeliverResult(int producer_instr, PagePtr page) {
+  const MachineInstruction& def =
+      prog_.instructions[static_cast<size_t>(producer_instr)];
+  if (def.consumer < 0) {
+    // Root: results stream to the host through the MC.
+    report_.results[def.query_index].AddPage(std::move(page));
+    return;
+  }
+  // Section 5.0 direct routing: a streaming (non-join, non-barrier)
+  // consumer can take the page at an IP directly; the IC only learns of it
+  // via a notification and skips both the compression step and the later
+  // full-page instruction packet.
+  // Eligible consumers: streaming unary operators, and the OUTER side of a
+  // join (outer pages are handed to one IP each; the inner side must stay
+  // IC-controlled for the broadcast protocol).
+  const MachineInstruction& consumer =
+      prog_.instructions[static_cast<size_t>(def.consumer)];
+  // Only full pages travel directly ("route SOME of the data pages"):
+  // partial flush pages still go to the IC so they can be compressed into
+  // full pages — otherwise fragment outers would multiply join work.
+  InstrRt& consumer_rt = instrs_[static_cast<size_t>(def.consumer)];
+  const bool eligible =
+      (consumer.op == PlanOp::kJoin ? def.consumer_slot == 0
+                                    : !consumer.barrier) &&
+      // Parallel-project pages must reach the IC: every partition's IP
+      // needs them, so a single-IP delivery would strand the page.
+      !IsParallelProject(consumer_rt) && page->full();
+  if (opt_.ip_direct_routing && eligible && page->num_tuples() > 0) {
+    report_.direct_routes++;
+    report_.control_packets++;
+    (void)SendOuter(kControlBytes);  // Notification to the controlling IC.
+    InstrRt& ir = instrs_[static_cast<size_t>(def.consumer)];
+    OperandRt& op = ir.operands[static_cast<size_t>(def.consumer_slot)];
+    StagedPage staged{std::move(page), NextUid(), /*at_ip=*/true};
+    page_sizes_.emplace(staged.uid, staged.page->payload_bytes());
+    op.pages.push_back(std::move(staged));
+    op.total_tuples += static_cast<uint64_t>(op.pages.back().page->num_tuples());
+    if (ir.phase == InstrPhase::kWaiting) {
+      TryStart(def.consumer);
+    } else if (ir.phase == InstrPhase::kRunning) {
+      DispatchWork(def.consumer);
+    }
+    return;
+  }
+  // Repack into the consumer's operand units (the ICs "compress [pages] to
+  // form full pages").
+  RepackInto(def.consumer, def.consumer_slot, *page);
+}
+
+// ---------------------------------------------------------------------------
+// Flush and finish
+// ---------------------------------------------------------------------------
+
+void Sim::MaybeFlush(int instr_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  if (ir.phase != InstrPhase::kRunning) return;
+  for (const OperandRt& op : ir.operands) {
+    if (!op.complete) return;
+  }
+  if (ir.def->op == PlanOp::kJoin) {
+    const OperandRt& outer = ir.operands[0];
+    if (outer.next_unassigned < outer.pages.size()) return;
+    if (ir.outer_done < outer.pages.size()) return;
+  } else {
+    for (const OperandRt& op : ir.operands) {
+      if (op.next_unassigned < StreamUnits(ir, op)) return;
+    }
+    if (ir.outstanding_packets > 0) return;
+  }
+  if (ir.request_outstanding) {
+    // A request parked in the MC's queue can be withdrawn (there is no
+    // work left for the processors it asked for); a grant already in
+    // flight will re-trigger this check on arrival.
+    auto it = std::find(pending_requests_.begin(), pending_requests_.end(),
+                        instr_id);
+    if (it == pending_requests_.end()) return;
+    pending_requests_.erase(it);
+    ir.request_outstanding = false;
+  }
+  ir.phase = InstrPhase::kFlushing;
+  if (ir.ips.empty()) {
+    FinishInstr(instr_id);
+    return;
+  }
+  ir.unflushed = static_cast<int>(ir.ips.size());
+  for (int ip_id : ir.ips) {
+    SendFlush(instr_id, ip_id);
+  }
+}
+
+void Sim::SendFlush(int instr_id, int ip_id) {
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  ip.flush_sent = true;
+  report_.instruction_packets++;
+  // Header-only instruction packet with flush-when-done set.
+  const SimTime arrival = SendOuter(kInstrHeaderBytes);
+  eq_.ScheduleAt(arrival,
+                 [this, instr_id, ip_id] { IpFlushArrive(instr_id, ip_id); });
+}
+
+void Sim::IpFlushArrive(int instr_id, int ip_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  // Aggregates materialize their groups at flush time on the single
+  // barrier IP.
+  std::vector<PagePtr> pages;
+  if (ir.def->op == PlanOp::kAggregate && ir.agg != nullptr) {
+    struct FlushSink final : public PageSink {
+      Sim* sim;
+      InstrRt* ir;
+      IpRt* ip;
+      std::vector<PagePtr>* full;
+      Status Emit(Slice tuple) override {
+        return sim->AppendResultTuple(ir, ip, tuple, full);
+      }
+    };
+    FlushSink sink;
+    sink.sim = this;
+    sink.ir = &ir;
+    sink.ip = &ip;
+    sink.full = &pages;
+    Status s = ir.agg->Finish(&sink);
+    if (!s.ok()) Fail(s);
+  }
+  std::vector<PagePtr> partial = DrainFullResultPages(&ir, &ip, true);
+  for (PagePtr& p : pages) SendResultPage(instr_id, std::move(p));
+  for (PagePtr& p : partial) SendResultPage(instr_id, std::move(p));
+  const SimTime service = cfg_.processor.packet_overhead;
+  const SimTime done = ip.proc.Acquire(eq_.now(), service);
+  report_.ip_busy_total += service;
+  report_.control_packets++;
+  eq_.ScheduleAt(done, [this, instr_id] {
+    const SimTime arrival = SendOuter(kControlBytes);
+    eq_.ScheduleAt(arrival, [this, instr_id] {
+      InstrRt& ir2 = instrs_[static_cast<size_t>(instr_id)];
+      if (--ir2.unflushed == 0) {
+        FinishInstr(instr_id);
+      }
+    });
+  });
+}
+
+void Sim::FinishInstr(int instr_id) {
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  if (ir.phase == InstrPhase::kFinished) return;
+  ir.phase = InstrPhase::kFinished;
+
+  // Deferred side effects.
+  if (ir.def->op == PlanOp::kDelete) {
+    auto file = storage_->GetHeapFile(ir.def->node->relation);
+    if (file.ok()) {
+      const Expr* pred = ir.def->node->predicate.get();
+      auto removed = (*file)->DeleteWhere([pred](const TupleView& t) {
+        auto r = pred->EvalBool(t, nullptr);
+        return r.ok() && *r;
+      });
+      if (!removed.ok()) Fail(removed.status());
+      auto meta = storage_->catalog().GetRelation(ir.def->node->relation);
+      if (meta.ok()) {
+        Status s = storage_->SyncStats(meta->id);
+        if (!s.ok()) Fail(s);
+      }
+    } else {
+      Fail(file.status());
+    }
+  }
+  if (ir.def->op == PlanOp::kAppend) {
+    auto meta = storage_->catalog().GetRelation(ir.def->node->relation);
+    if (meta.ok()) {
+      Status s = storage_->SyncStats(meta->id);
+      if (!s.ok()) Fail(s);
+    }
+  }
+
+  // Free the inner relation and any remaining residency.
+  IcRt& ic = ics_[static_cast<size_t>(ir.ic)];
+  for (OperandRt& op : ir.operands) {
+    for (StagedPage& p : op.pages) {
+      ic.local.Remove(p.uid);
+    }
+  }
+
+  ReleaseAllIps(instr_id);
+
+  if (ir.def->consumer >= 0) {
+    // Tell the consumer's IC that this operand is complete (a small
+    // message following the last result page on the ring, so ordering is
+    // preserved by the ring's FIFO service).
+    report_.control_packets++;
+    const SimTime arrival = SendOuter(kControlBytes);
+    const int consumer = ir.def->consumer;
+    const int slot = ir.def->consumer_slot;
+    eq_.ScheduleAt(arrival, [this, consumer, slot] {
+      CompleteOperand(consumer, slot);
+    });
+  } else {
+    // Root of a query: completion reaches the host via the MC.
+    const size_t qi = ir.def->query_index;
+    report_.control_packets++;
+    const SimTime arrival = SendOuter(kControlBytes);
+    eq_.ScheduleAt(arrival, [this, qi] {
+      report_.query_completion[qi] = eq_.now();
+      conflicts_.Release(qi + 1);
+      --active_queries_;
+      TryAdmitWaiting();
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels at the IPs (execution-driven)
+// ---------------------------------------------------------------------------
+
+Status Sim::AppendResultTuple(InstrRt* ir, IpRt* ip, Slice tuple,
+                              std::vector<PagePtr>* full) {
+  if (ip->result_buf == nullptr) {
+    const int unit = MachineUnitBytes(ir->def->output_schema);
+    DFDB_ASSIGN_OR_RETURN(
+        Page page,
+        Page::Create(0, std::max(1, ir->def->output_schema.tuple_width()),
+                     unit));
+    ip->result_buf = std::make_unique<Page>(std::move(page));
+  }
+  DFDB_RETURN_IF_ERROR(ip->result_buf->Append(tuple));
+  if (ip->result_buf->full()) {
+    full->push_back(SealPage(std::move(*ip->result_buf)));
+    ip->result_buf.reset();
+  }
+  return Status::OK();
+}
+
+std::vector<PagePtr> Sim::DrainFullResultPages(InstrRt* ir, IpRt* ip,
+                                               bool flush_partial) {
+  (void)ir;
+  std::vector<PagePtr> out;
+  if (flush_partial && ip->result_buf != nullptr && !ip->result_buf->empty()) {
+    out.push_back(SealPage(std::move(*ip->result_buf)));
+    ip->result_buf.reset();
+  }
+  return out;
+}
+
+StatusOr<std::pair<std::vector<PagePtr>, int64_t>> Sim::RunKernel(
+    InstrRt* ir, IpRt* ip, int slot, const Page& in, const Page* inner,
+    int partition) {
+  std::vector<PagePtr> full;
+  struct Sink final : public PageSink {
+    Sim* sim;
+    InstrRt* ir;
+    IpRt* ip;
+    std::vector<PagePtr>* full;
+    int64_t bytes = 0;
+    Status Emit(Slice tuple) override {
+      bytes += static_cast<int64_t>(tuple.size());
+      return sim->AppendResultTuple(ir, ip, tuple, full);
+    }
+  };
+  Sink sink;
+  sink.sim = this;
+  sink.ir = ir;
+  sink.ip = ip;
+  sink.full = &full;
+
+  const MachineInstruction& def = *ir->def;
+  const Schema& in_schema =
+      def.operands[static_cast<size_t>(slot)].schema;
+  Status s = Status::OK();
+  switch (def.op) {
+    case PlanOp::kRestrict:
+      s = RestrictPage(in_schema, *def.node->predicate, in, &sink);
+      break;
+    case PlanOp::kProject: {
+      std::vector<int> indices;
+      for (const std::string& name : def.node->columns) {
+        auto idx = in_schema.ColumnIndex(name);
+        if (!idx.ok()) {
+          s = idx.status();
+          break;
+        }
+        indices.push_back(*idx);
+      }
+      if (!s.ok()) break;
+      if (!def.node->dedup) {
+        s = ProjectPage(in_schema, indices, in, &sink);
+      } else if (IsParallelProject(*ir)) {
+        // Section 5.0 parallel project: this IP owns one hash partition
+        // and emits only first-seen tuples of that partition.
+        const int parts = PartitionsOf(*ir);
+        if (ir->pp_partitions.empty()) {
+          ir->pp_partitions.resize(static_cast<size_t>(parts));
+        }
+        DuplicateEliminator& mine =
+            ir->pp_partitions[static_cast<size_t>(partition)];
+        for (int i = 0; i < in.num_tuples() && s.ok(); ++i) {
+          const std::string projected =
+              ProjectTuple(in_schema, in.tuple(i), indices);
+          if (DedupPartition(Slice(projected), parts) != partition) continue;
+          if (mine.Insert(Slice(projected))) {
+            s = sink.Emit(Slice(projected));
+          }
+        }
+      } else {
+        for (int i = 0; i < in.num_tuples() && s.ok(); ++i) {
+          const std::string projected =
+              ProjectTuple(in_schema, in.tuple(i), indices);
+          if (ir->dedup.Insert(Slice(projected))) {
+            s = sink.Emit(Slice(projected));
+          }
+        }
+      }
+      break;
+    }
+    case PlanOp::kJoin:
+      s = JoinPages(def.operands[0].schema, def.operands[1].schema,
+                    *def.node->predicate, in, *inner, &sink);
+      break;
+    case PlanOp::kUnion:
+      if (def.node->bag_semantics) {
+        s = CopyPage(in, &sink);
+      } else {
+        for (int i = 0; i < in.num_tuples() && s.ok(); ++i) {
+          if (ir->dedup.Insert(in.tuple(i))) {
+            s = sink.Emit(in.tuple(i));
+          }
+        }
+      }
+      break;
+    case PlanOp::kDifference:
+      if (slot == 1) {
+        ir->diff.ConsumeRight(in);
+      } else {
+        s = ir->diff.ConsumeLeft(in, &sink);
+      }
+      break;
+    case PlanOp::kAggregate:
+      s = ir->agg->Consume(in);
+      break;
+    case PlanOp::kAppend: {
+      auto file = storage_->GetHeapFile(def.node->relation);
+      if (!file.ok()) {
+        s = file.status();
+      } else {
+        s = (*file)->AppendPage(in);
+      }
+      break;
+    }
+    case PlanOp::kDelete: {
+      auto matched = CountMatches(in_schema, *def.node->predicate, in);
+      if (!matched.ok()) {
+        s = matched.status();
+      } else {
+        ir->delete_matches += *matched;
+      }
+      break;
+    }
+    default:
+      s = Status::Internal("unsupported machine op");
+  }
+  if (!s.ok()) return s;
+  return std::make_pair(std::move(full), sink.bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+Status Sim::Run() {
+  SubmitAll();
+  report_.events = eq_.RunToCompletion(opt_.max_events);
+  if (!error_.ok()) return error_;
+  if (!eq_.empty()) {
+    return Status::ResourceExhausted("simulation exceeded max_events");
+  }
+  if (active_queries_ > 0 || !waiting_queries_.empty()) {
+    return Status::Internal("simulation drained with unfinished queries\n" +
+                            DebugStates());
+  }
+  report_.makespan = eq_.now();
+  for (size_t qi = 0; qi < report_.results.size(); ++qi) {
+    report_.results[qi].set_schema(prog_.plans[qi]->output_schema);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+MachineSimulator::MachineSimulator(StorageEngine* storage,
+                                   MachineOptions options)
+    : storage_(storage), options_(options) {
+  DFDB_CHECK(storage != nullptr);
+}
+
+StatusOr<MachineReport> MachineSimulator::Run(
+    const std::vector<const PlanNode*>& queries) {
+  DFDB_ASSIGN_OR_RETURN(MachineProgram program,
+                        CompileProgram(storage_->catalog(), queries));
+  Sim sim(storage_, options_, std::move(program), queries.size());
+  DFDB_RETURN_IF_ERROR(sim.Run());
+  return sim.TakeReport();
+}
+
+}  // namespace dfdb

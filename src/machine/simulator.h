@@ -1,0 +1,55 @@
+/// \file simulator.h
+/// \brief Execution-driven discrete-event simulator of the Section 4
+/// ring-based data-flow database machine.
+///
+/// The simulated machine is the paper's Figure 4.1 configuration:
+///
+///   - a master controller (MC) that admits queries under concurrency
+///     control, distributes instructions to ICs, and arbitrates the IP pool;
+///   - instruction controllers (ICs) forming the distributed arbitration
+///     network: they stage operand pages through the three-level storage
+///     hierarchy, enable instructions per the chosen granularity, and drive
+///     the IPs with instruction packets;
+///   - instruction processors (IPs) executing the packets — including the
+///     Section 4.2 broadcast nested-loops join with IRC vectors — and
+///     returning result/control packets;
+///   - an inner control ring (MC<->IC) and an outer data ring (IC<->IP),
+///     both modelled as DLCN shift-register-insertion loops;
+///   - a multiport CCD disk cache and IBM 3330 drives.
+///
+/// The simulator is execution-driven: IPs run the real operator kernels on
+/// real pages, so results are exact and verifiable against the reference
+/// executor, while all timing comes from the device models.
+
+#ifndef DFDB_MACHINE_SIMULATOR_H_
+#define DFDB_MACHINE_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/macros.h"
+#include "common/statusor.h"
+#include "machine/instruction.h"
+#include "machine/report.h"
+#include "ra/plan.h"
+#include "storage/storage_engine.h"
+
+namespace dfdb {
+
+/// \brief Simulates a batch of queries on the configured machine.
+class MachineSimulator {
+ public:
+  MachineSimulator(StorageEngine* storage, MachineOptions options);
+  DFDB_DISALLOW_COPY(MachineSimulator);
+
+  /// Runs \p queries to completion on a fresh machine instance and reports
+  /// timing, per-level byte traffic, and the (real) query results.
+  StatusOr<MachineReport> Run(const std::vector<const PlanNode*>& queries);
+
+ private:
+  StorageEngine* storage_;
+  MachineOptions options_;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_MACHINE_SIMULATOR_H_

@@ -1,0 +1,63 @@
+#include "operators/kernels.h"
+
+#include "common/macros.h"
+
+namespace dfdb {
+
+Status RestrictPage(const Schema& schema, const Expr& pred, const Page& in,
+                    PageSink* out) {
+  for (int i = 0; i < in.num_tuples(); ++i) {
+    TupleView view(&schema, in.tuple(i));
+    DFDB_ASSIGN_OR_RETURN(bool keep, pred.EvalBool(view, nullptr));
+    if (keep) {
+      DFDB_RETURN_IF_ERROR(out->Emit(in.tuple(i)));
+    }
+  }
+  return Status::OK();
+}
+
+Status ProjectPage(const Schema& schema, const std::vector<int>& indices,
+                   const Page& in, PageSink* out) {
+  for (int i = 0; i < in.num_tuples(); ++i) {
+    const std::string projected = ProjectTuple(schema, in.tuple(i), indices);
+    DFDB_RETURN_IF_ERROR(out->Emit(Slice(projected)));
+  }
+  return Status::OK();
+}
+
+Status JoinPages(const Schema& outer_schema, const Schema& inner_schema,
+                 const Expr& pred, const Page& outer, const Page& inner,
+                 PageSink* out) {
+  for (int i = 0; i < outer.num_tuples(); ++i) {
+    TupleView outer_view(&outer_schema, outer.tuple(i));
+    for (int j = 0; j < inner.num_tuples(); ++j) {
+      TupleView inner_view(&inner_schema, inner.tuple(j));
+      DFDB_ASSIGN_OR_RETURN(bool match, pred.EvalBool(outer_view, &inner_view));
+      if (match) {
+        const std::string joined = ConcatTuples(outer.tuple(i), inner.tuple(j));
+        DFDB_RETURN_IF_ERROR(out->Emit(Slice(joined)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CopyPage(const Page& in, PageSink* out) {
+  for (int i = 0; i < in.num_tuples(); ++i) {
+    DFDB_RETURN_IF_ERROR(out->Emit(in.tuple(i)));
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> CountMatches(const Schema& schema, const Expr& pred,
+                                const Page& in) {
+  uint64_t n = 0;
+  for (int i = 0; i < in.num_tuples(); ++i) {
+    TupleView view(&schema, in.tuple(i));
+    DFDB_ASSIGN_OR_RETURN(bool keep, pred.EvalBool(view, nullptr));
+    if (keep) ++n;
+  }
+  return n;
+}
+
+}  // namespace dfdb

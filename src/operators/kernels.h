@@ -1,0 +1,53 @@
+/// \file kernels.h
+/// \brief Stateless page-at-a-time operator kernels.
+///
+/// These are the computations an instruction processor performs on the data
+/// page(s) of one instruction packet. Both execution engines call them: the
+/// multithreaded engine directly, the machine simulator to derive result
+/// sizes for its timing model.
+
+#ifndef DFDB_OPERATORS_KERNELS_H_
+#define DFDB_OPERATORS_KERNELS_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "operators/page_sink.h"
+#include "ra/expr.h"
+#include "storage/page.h"
+#include "storage/tuple.h"
+
+namespace dfdb {
+
+/// \brief Emits tuples of \p in satisfying \p pred (the `restrict` operator
+/// applied to one page).
+Status RestrictPage(const Schema& schema, const Expr& pred, const Page& in,
+                    PageSink* out);
+
+/// \brief Emits the \p indices columns of every tuple of \p in (projection
+/// without duplicate elimination; see DuplicateEliminator for full project).
+Status ProjectPage(const Schema& schema, const std::vector<int>& indices,
+                   const Page& in, PageSink* out);
+
+/// \brief Joins one outer page against one inner page with the nested-loops
+/// method: every outer tuple against every inner tuple, emitting
+/// outer ++ inner whenever \p pred holds.
+///
+/// This is the page-granularity unit of the paper's join: "each processor
+/// will join a distinct set of pages from the outer relation with all the
+/// pages of the inner relation" (Section 4.0).
+Status JoinPages(const Schema& outer_schema, const Schema& inner_schema,
+                 const Expr& pred, const Page& outer, const Page& inner,
+                 PageSink* out);
+
+/// \brief Copies every tuple of \p in to \p out (union branch plumbing).
+Status CopyPage(const Page& in, PageSink* out);
+
+/// \brief Counts tuples of \p in satisfying \p pred without emitting
+/// (selectivity probes in the workload generator).
+StatusOr<uint64_t> CountMatches(const Schema& schema, const Expr& pred,
+                                const Page& in);
+
+}  // namespace dfdb
+
+#endif  // DFDB_OPERATORS_KERNELS_H_

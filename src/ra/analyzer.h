@@ -1,0 +1,49 @@
+/// \file analyzer.h
+/// \brief Semantic analysis of query trees: schema resolution, expression
+/// binding, validation, and read/write-set extraction.
+
+#ifndef DFDB_RA_ANALYZER_H_
+#define DFDB_RA_ANALYZER_H_
+
+#include <set>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "ra/plan.h"
+
+namespace dfdb {
+
+/// \brief Facts about a resolved query used for admission control and
+/// reporting (the paper's MC "checks [a query] for concurrency conflicts").
+struct QueryAnalysis {
+  int num_nodes = 0;
+  int num_joins = 0;
+  int num_restricts = 0;
+  int num_projects = 0;
+  int max_depth = 0;
+  /// Base relations read (scan sources, delete targets' old tuples).
+  std::set<std::string> read_set;
+  /// Base relations mutated (append/delete targets).
+  std::set<std::string> write_set;
+};
+
+/// \brief Resolves and validates query trees against a catalog.
+class Analyzer {
+ public:
+  explicit Analyzer(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Resolves \p root in place: assigns post-order node ids, binds every
+  /// expression, computes output schemas, and validates operator arity and
+  /// union compatibility. Idempotent.
+  StatusOr<QueryAnalysis> Resolve(PlanNode* root) const;
+
+ private:
+  Status ResolveNode(PlanNode* node, int depth, int* next_id,
+                     QueryAnalysis* analysis) const;
+
+  const Catalog* catalog_;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_RA_ANALYZER_H_

@@ -1,0 +1,386 @@
+#include "ra/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace dfdb {
+
+namespace {
+
+/// Splits an AND tree into its conjuncts.
+void CollectConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  const auto* logic = dynamic_cast<const LogicExpr*>(e.get());
+  if (logic != nullptr && logic->op() == LogicOp::kAnd) {
+    CollectConjuncts(logic->shared_lhs(), out);
+    CollectConjuncts(logic->shared_rhs(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// Rebuilds an AND of \p conjuncts (nullptr if empty).
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr acc;
+  for (const ExprPtr& c : conjuncts) {
+    acc = acc == nullptr ? c : And(acc, c);
+  }
+  return acc;
+}
+
+/// Clones an expression tree (column refs reconstructed unbound).
+ExprPtr CloneExpr(const Expr& e) {
+  return e.TransformColumns([](const ColumnRefExpr& ref) {
+    return std::make_shared<ColumnRefExpr>(ref.name(), ref.side());
+  });
+}
+
+/// Swaps the sides of every column reference (for join input swapping).
+ExprPtr SwapSides(const Expr& e) {
+  return e.TransformColumns([](const ColumnRefExpr& ref) {
+    return std::make_shared<ColumnRefExpr>(
+        ref.name(),
+        ref.side() == Side::kLeft ? Side::kRight : Side::kLeft);
+  });
+}
+
+/// True if every column named in \p e exists in \p schema (left side only).
+bool AllColumnsIn(const Expr& e, const Schema& schema) {
+  std::vector<const ColumnRefExpr*> refs;
+  e.CollectColumnRefs(&refs);
+  for (const ColumnRefExpr* ref : refs) {
+    if (ref->side() != Side::kLeft) return false;
+    if (!schema.ColumnIndex(ref->name()).ok()) return false;
+  }
+  return true;
+}
+
+/// If \p name matches the benchmark convention "k<N>", returns N.
+bool UniformDomain(const std::string& name, double* domain) {
+  if (name.size() < 2 || name[0] != 'k') return false;
+  double d = 0;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    d = d * 10 + (name[i] - '0');
+  }
+  if (d <= 0) return false;
+  *domain = d;
+  return true;
+}
+
+}  // namespace
+
+std::string OptimizerReport::ToString() const {
+  return StrFormat("merged=%d pushed=%d swapped=%d", restricts_merged,
+                   predicates_pushed, joins_swapped);
+}
+
+double Optimizer::EstimateSelectivity(const Expr& pred,
+                                      const Schema& schema) const {
+  if (const auto* cmp = dynamic_cast<const CompareExpr*>(&pred)) {
+    // Column-vs-literal with a known uniform domain gets an exact estimate.
+    const auto* col = dynamic_cast<const ColumnRefExpr*>(&cmp->lhs());
+    const auto* lit = dynamic_cast<const LiteralExpr*>(&cmp->rhs());
+    if (col == nullptr || lit == nullptr) {
+      // Mirror literal-vs-column.
+      col = dynamic_cast<const ColumnRefExpr*>(&cmp->rhs());
+      lit = dynamic_cast<const LiteralExpr*>(&cmp->lhs());
+    }
+    double domain = 0;
+    if (col != nullptr && lit != nullptr &&
+        UniformDomain(col->name(), &domain) &&
+        lit->value().type() != ColumnType::kChar) {
+      const double v = lit->value().AsNumeric().value_or(0.0);
+      const double frac = std::clamp(v / domain, 0.0, 1.0);
+      switch (cmp->op()) {
+        case CompareOp::kEq:
+          return 1.0 / domain;
+        case CompareOp::kNe:
+          return 1.0 - 1.0 / domain;
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+          return frac;
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+          return 1.0 - frac;
+      }
+    }
+    switch (cmp->op()) {
+      case CompareOp::kEq:
+        return 0.05;
+      case CompareOp::kNe:
+        return 0.95;
+      default:
+        return 1.0 / 3.0;
+    }
+  }
+  if (const auto* logic = dynamic_cast<const LogicExpr*>(&pred)) {
+    const double s1 = EstimateSelectivity(logic->lhs(), schema);
+    switch (logic->op()) {
+      case LogicOp::kNot:
+        return 1.0 - s1;
+      case LogicOp::kAnd: {
+        const double s2 = EstimateSelectivity(*logic->rhs(), schema);
+        return s1 * s2;
+      }
+      case LogicOp::kOr: {
+        const double s2 = EstimateSelectivity(*logic->rhs(), schema);
+        return s1 + s2 - s1 * s2;
+      }
+    }
+  }
+  return 0.5;
+}
+
+double Optimizer::EstimateRows(const PlanNode& node) const {
+  switch (node.op) {
+    case PlanOp::kScan: {
+      auto meta = catalog_->GetRelation(node.relation);
+      if (!meta.ok()) return 1000.0;
+      return std::max<double>(1.0, static_cast<double>(meta->tuple_count));
+    }
+    case PlanOp::kRestrict: {
+      const double child = EstimateRows(node.child(0));
+      const double sel = node.predicate == nullptr
+                             ? 0.5
+                             : EstimateSelectivity(*node.predicate,
+                                                   node.child(0).output_schema);
+      return std::max(1.0, child * sel);
+    }
+    case PlanOp::kProject: {
+      const double child = EstimateRows(node.child(0));
+      return node.dedup ? std::max(1.0, child * 0.7) : child;
+    }
+    case PlanOp::kJoin: {
+      const double l = EstimateRows(node.child(0));
+      const double r = EstimateRows(node.child(1));
+      double sel = 0.25;
+      // Equi-join on a uniform-domain key: 1/domain.
+      if (const auto* cmp =
+              dynamic_cast<const CompareExpr*>(node.predicate.get())) {
+        if (cmp->op() == CompareOp::kEq) {
+          const auto* a = dynamic_cast<const ColumnRefExpr*>(&cmp->lhs());
+          double domain = 0;
+          if (a != nullptr && UniformDomain(a->name(), &domain)) {
+            sel = 1.0 / domain;
+          } else {
+            sel = 0.01;
+          }
+        }
+      }
+      return std::max(1.0, l * r * sel);
+    }
+    case PlanOp::kUnion: {
+      const double sum =
+          EstimateRows(node.child(0)) + EstimateRows(node.child(1));
+      return node.bag_semantics ? sum : std::max(1.0, sum * 0.8);
+    }
+    case PlanOp::kDifference:
+      return std::max(1.0, EstimateRows(node.child(0)) * 0.5);
+    case PlanOp::kAggregate: {
+      const double child = EstimateRows(node.child(0));
+      return node.columns.empty() ? 1.0 : std::max(1.0, child * 0.1);
+    }
+    case PlanOp::kAppend:
+      return EstimateRows(node.child(0));
+    case PlanOp::kDelete: {
+      auto meta = catalog_->GetRelation(node.relation);
+      return meta.ok() ? static_cast<double>(meta->tuple_count) : 1000.0;
+    }
+  }
+  return 1000.0;
+}
+
+namespace {
+
+/// One optimization pass over a resolved tree (recursive, bottom-up).
+/// Rewrites in place; returns counters through \p report.
+class Rewriter {
+ public:
+  Rewriter(const Optimizer* optimizer, OptimizerReport* report)
+      : optimizer_(optimizer), report_(report) {}
+
+  void Rewrite(PlanNodePtr* node) {
+    for (auto& child : (*node)->children) {
+      Rewrite(&child);
+    }
+    MergeRestricts(node);
+    PushThroughUnion(node);
+    PushThroughProject(node);
+    PushIntoJoin(node);
+    ReorderJoin(node);
+  }
+
+ private:
+  /// restrict(restrict(x, p), q) => restrict(x, q AND p).
+  void MergeRestricts(PlanNodePtr* node) {
+    PlanNode& n = **node;
+    if (n.op != PlanOp::kRestrict || n.child(0).op != PlanOp::kRestrict) {
+      return;
+    }
+    PlanNodePtr inner = std::move(n.children[0]);
+    n.predicate = And(n.predicate, inner->predicate);
+    n.children[0] = std::move(inner->children[0]);
+    report_->restricts_merged++;
+  }
+
+  /// restrict(union(a, b), p) => union(restrict(a, p), restrict(b, p)).
+  void PushThroughUnion(PlanNodePtr* node) {
+    PlanNode& n = **node;
+    if (n.op != PlanOp::kRestrict || n.child(0).op != PlanOp::kUnion) return;
+    PlanNodePtr u = std::move(n.children[0]);
+    ExprPtr pred = n.predicate;
+    u->children[0] =
+        MakeRestrict(std::move(u->children[0]), CloneExpr(*pred));
+    u->children[1] =
+        MakeRestrict(std::move(u->children[1]), CloneExpr(*pred));
+    report_->predicates_pushed += 2;
+    *node = std::move(u);
+  }
+
+  /// restrict(project(x, cols), p) => project(restrict(x, p'), cols) where
+  /// p' renames output columns back to the input names. Only when every
+  /// projected column name maps uniquely (no dedup-breaking: restrict
+  /// commutes with dedup-project).
+  void PushThroughProject(PlanNodePtr* node) {
+    PlanNode& n = **node;
+    if (n.op != PlanOp::kRestrict || n.child(0).op != PlanOp::kProject) return;
+    PlanNode& proj = n.child(0);
+    // Output name -> input name mapping.
+    const Schema& out = proj.output_schema;
+    if (out.num_columns() != static_cast<int>(proj.columns.size())) return;
+    std::map<std::string, std::string> rename;
+    for (int i = 0; i < out.num_columns(); ++i) {
+      rename[out.column(i).name] = proj.columns[static_cast<size_t>(i)];
+    }
+    ExprPtr renamed = n.predicate->TransformColumns(
+        [&rename](const ColumnRefExpr& ref) -> ExprPtr {
+          auto it = rename.find(ref.name());
+          return std::make_shared<ColumnRefExpr>(
+              it != rename.end() ? it->second : ref.name(), ref.side());
+        });
+    PlanNodePtr p = std::move(n.children[0]);
+    p->children[0] = MakeRestrict(std::move(p->children[0]), renamed);
+    report_->predicates_pushed++;
+    *node = std::move(p);
+  }
+
+  /// restrict(join(l, r), p): conjuncts of p whose columns all exist in
+  /// l's schema move onto l. (Right-side pushes would need the rename map
+  /// of Concat; left names pass through unchanged, so only those move.)
+  void PushIntoJoin(PlanNodePtr* node) {
+    PlanNode& n = **node;
+    if (n.op != PlanOp::kRestrict || n.child(0).op != PlanOp::kJoin) return;
+    PlanNode& join = n.child(0);
+    const Schema& left_schema = join.child(0).output_schema;
+    std::vector<ExprPtr> conjuncts;
+    CollectConjuncts(n.predicate, &conjuncts);
+    std::vector<ExprPtr> pushed, kept;
+    for (ExprPtr& c : conjuncts) {
+      if (AllColumnsIn(*c, left_schema)) {
+        pushed.push_back(CloneExpr(*c));
+      } else {
+        kept.push_back(c);
+      }
+    }
+    if (pushed.empty()) return;
+    join.children[0] =
+        MakeRestrict(std::move(join.children[0]), AndAll(pushed));
+    report_->predicates_pushed += static_cast<int>(pushed.size());
+    if (kept.empty()) {
+      // The whole restrict moved; splice it out.
+      *node = std::move(n.children[0]);
+    } else {
+      n.predicate = AndAll(kept);
+    }
+  }
+
+  /// join(small, big) => project(join(big, small)): more outer pages means
+  /// more parallelism across IPs, and a smaller inner relation means less
+  /// broadcast traffic and shorter IRC vectors. The wrapping projection
+  /// restores the original output schema (column order and names), because
+  /// swapping the inputs both reorders the concatenation and flips which
+  /// duplicate names get the "_r" suffix.
+  void ReorderJoin(PlanNodePtr* node) {
+    PlanNode& n = **node;
+    if (n.op != PlanOp::kJoin || !n.resolved) return;
+    const double left = optimizer_->EstimateRows(n.child(0));
+    const double right = optimizer_->EstimateRows(n.child(1));
+    if (left >= right) return;
+
+    const Schema original = n.output_schema;
+    const Schema& old_left = n.child(0).output_schema;
+    const Schema& old_right = n.child(1).output_schema;
+    const int old_left_n = old_left.num_columns();
+    const int old_right_n = old_right.num_columns();
+    // A child rewritten earlier in this pass leaves this node's schema
+    // stale (it reflects the pre-rewrite children). Defer to the next
+    // fixpoint pass, which re-resolves before rules run again.
+    if (!n.child(0).resolved || !n.child(1).resolved ||
+        original.num_columns() != old_left_n + old_right_n) {
+      return;
+    }
+    const Schema swapped = old_right.Concat(old_left);
+
+    std::vector<std::string> cols;
+    std::vector<std::string> aliases;
+    cols.reserve(static_cast<size_t>(original.num_columns()));
+    for (int i = 0; i < original.num_columns(); ++i) {
+      const int swapped_pos =
+          i < old_left_n ? old_right_n + i : i - old_left_n;
+      cols.push_back(swapped.column(swapped_pos).name);
+      aliases.push_back(original.column(i).name);
+    }
+
+    std::swap(n.children[0], n.children[1]);
+    n.predicate = SwapSides(*n.predicate);
+    PlanNodePtr wrapper = MakeProject(std::move(*node), std::move(cols));
+    wrapper->project_aliases = std::move(aliases);
+    *node = std::move(wrapper);
+    report_->joins_swapped++;
+  }
+
+  const Optimizer* optimizer_;
+  OptimizerReport* report_;
+};
+
+}  // namespace
+
+StatusOr<PlanNodePtr> Optimizer::Optimize(const PlanNode& plan,
+                                          OptimizerReport* report) const {
+  Analyzer analyzer(catalog_);
+  PlanNodePtr original = plan.Clone();
+  DFDB_RETURN_IF_ERROR(analyzer.Resolve(original.get()).status());
+
+  PlanNodePtr optimized = original->Clone();
+  DFDB_RETURN_IF_ERROR(analyzer.Resolve(optimized.get()).status());
+  OptimizerReport local;
+  Rewriter rewriter(this, &local);
+  // Run to a fixpoint (pushes can expose further merges), bounded for
+  // safety.
+  for (int pass = 0; pass < 5; ++pass) {
+    const int before = local.restricts_merged + local.predicates_pushed +
+                       local.joins_swapped;
+    rewriter.Rewrite(&optimized);
+    // Rules need resolved schemas; rebind between passes.
+    auto mid = analyzer.Resolve(optimized.get());
+    if (!mid.ok()) break;
+    const int after = local.restricts_merged + local.predicates_pushed +
+                      local.joins_swapped;
+    if (after == before) break;
+  }
+
+  // Safety: a rewrite must re-resolve; if not, keep the original.
+  auto reresolved = analyzer.Resolve(optimized.get());
+  if (!reresolved.ok()) {
+    if (report != nullptr) *report = OptimizerReport{};
+    return original;
+  }
+  if (report != nullptr) *report = local;
+  return optimized;
+}
+
+}  // namespace dfdb

@@ -1,0 +1,65 @@
+/// \file optimizer.h
+/// \brief Heuristic query-tree optimizer.
+///
+/// The paper's queries are hand-shaped trees; a downstream user wants the
+/// system to shape them. This optimizer applies the classic rewrites that
+/// matter most for the nested-loops data-flow engine:
+///
+///  1. restrict merging            — adjacent restricts fold into one AND;
+///  2. predicate pushdown          — conjuncts move below joins, unions and
+///                                   projections toward the scans, shrinking
+///                                   every stream early;
+///  3. join input ordering         — the smaller (estimated) input becomes
+///                                   the inner relation, minimizing the
+///                                   broadcast traffic of the Section 4.2
+///                                   join and the IRC-vector length.
+///
+/// Cardinality estimates combine catalog statistics with selectivity
+/// heuristics; columns following the benchmark convention "k<N>" (uniform
+/// over [0,N)) get exact range selectivities.
+
+#ifndef DFDB_RA_OPTIMIZER_H_
+#define DFDB_RA_OPTIMIZER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "ra/analyzer.h"
+#include "ra/plan.h"
+
+namespace dfdb {
+
+/// \brief Rewrite counters for tests and EXPLAIN-style reporting.
+struct OptimizerReport {
+  int restricts_merged = 0;
+  int predicates_pushed = 0;
+  int joins_swapped = 0;
+  std::string ToString() const;
+};
+
+/// \brief Rule-based optimizer over resolved plans.
+class Optimizer {
+ public:
+  explicit Optimizer(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Returns an optimized copy of \p plan (which may be unresolved). The
+  /// result is resolved. If a rewrite would not re-resolve (a rule bug),
+  /// the original resolved clone is returned instead — optimization is
+  /// never allowed to break a valid query.
+  StatusOr<PlanNodePtr> Optimize(const PlanNode& plan,
+                                 OptimizerReport* report = nullptr) const;
+
+  /// Estimated output rows of a resolved node (used by the join-ordering
+  /// rule; exposed for tests and EXPLAIN output).
+  double EstimateRows(const PlanNode& node) const;
+
+  /// Estimated selectivity in [0,1] of \p pred against \p schema.
+  double EstimateSelectivity(const Expr& pred, const Schema& schema) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_RA_OPTIMIZER_H_

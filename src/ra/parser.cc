@@ -1,0 +1,469 @@
+#include "ra/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace dfdb {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kSymbol,  // ( ) [ ] , .
+  kOp,      // = != < <= > >= + - * /
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      const size_t start = pos_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back({TokKind::kIdent,
+                       std::string(text_.substr(start, pos_ - start)), start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) &&
+           LastWasValueContext(out))) {
+        bool is_float = false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+          const char d = text_[pos_];
+          if (std::isdigit(static_cast<unsigned char>(d))) {
+            ++pos_;
+          } else if (d == '.' && !is_float) {
+            is_float = true;
+            ++pos_;
+          } else {
+            break;
+          }
+        }
+        out.push_back({is_float ? TokKind::kFloat : TokKind::kInt,
+                       std::string(text_.substr(start, pos_ - start)), start});
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        std::string s;
+        while (pos_ < text_.size() && text_[pos_] != '\'') {
+          s += text_[pos_++];
+        }
+        if (pos_ >= text_.size()) {
+          return Err(start, "unterminated string literal");
+        }
+        ++pos_;  // Closing quote.
+        out.push_back({TokKind::kString, std::move(s), start});
+        continue;
+      }
+      if (c == '(' || c == ')' || c == '[' || c == ']' || c == ',' ||
+          c == '.') {
+        ++pos_;
+        out.push_back({TokKind::kSymbol, std::string(1, c), start});
+        continue;
+      }
+      if (c == '!' || c == '<' || c == '>' || c == '=') {
+        ++pos_;
+        std::string op(1, c);
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          op += '=';
+          ++pos_;
+        }
+        if (op == "!") return Err(start, "expected '!='");
+        out.push_back({TokKind::kOp, std::move(op), start});
+        continue;
+      }
+      if (c == '+' || c == '-' || c == '*' || c == '/') {
+        ++pos_;
+        out.push_back({TokKind::kOp, std::string(1, c), start});
+        continue;
+      }
+      return Err(start, StrFormat("unexpected character '%c'", c));
+    }
+    out.push_back({TokKind::kEnd, "", text_.size()});
+    return out;
+  }
+
+ private:
+  /// Unary minus only directly after an operator / opening bracket.
+  static bool LastWasValueContext(const std::vector<Token>& toks) {
+    if (toks.empty()) return true;
+    const Token& t = toks.back();
+    return t.kind == TokKind::kOp ||
+           (t.kind == TokKind::kSymbol &&
+            (t.text == "(" || t.text == "[" || t.text == ","));
+  }
+
+  Status Err(size_t pos, std::string msg) const {
+    return Status::InvalidArgument(
+        StrFormat("parse error at %zu: %s", pos, msg.c_str()));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  StatusOr<PlanNodePtr> ParseTopQuery() {
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr q, ParseExpr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kEnd, ""));
+    return q;
+  }
+
+  StatusOr<ExprPtr> ParseTopPredicate() {
+    DFDB_ASSIGN_OR_RETURN(ExprPtr p, ParseOr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kEnd, ""));
+    return p;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[i_]; }
+  const Token& Next() { return toks_[i_++]; }
+  bool PeekIs(TokKind kind, std::string_view text = "") const {
+    return Peek().kind == kind && (text.empty() || Peek().text == text);
+  }
+  bool Eat(TokKind kind, std::string_view text = "") {
+    if (!PeekIs(kind, text)) return false;
+    ++i_;
+    return true;
+  }
+  Status Expect(TokKind kind, std::string_view text) {
+    if (Eat(kind, text)) return Status::OK();
+    return Status::InvalidArgument(
+        StrFormat("parse error at %zu: expected %s, got '%s'", Peek().pos,
+                  text.empty() ? "end of input" : std::string(text).c_str(),
+                  Peek().text.c_str()));
+  }
+  Status ErrHere(std::string msg) {
+    return Status::InvalidArgument(
+        StrFormat("parse error at %zu: %s", Peek().pos, msg.c_str()));
+  }
+
+  // ---- query trees --------------------------------------------------------
+
+  StatusOr<PlanNodePtr> ParseExpr() {
+    if (!PeekIs(TokKind::kIdent)) {
+      return ErrHere("expected an operator or relation name");
+    }
+    const std::string head = Peek().text;
+    // A bare identifier (no call parens) is a scan.
+    if (toks_[i_ + 1].kind != TokKind::kSymbol || toks_[i_ + 1].text != "(") {
+      Next();
+      return MakeScan(head);
+    }
+    if (head == "restrict") return ParseRestrict();
+    if (head == "project") return ParseProject();
+    if (head == "join") return ParseJoin();
+    if (head == "union") return ParseUnion();
+    if (head == "diff") return ParseDiff();
+    if (head == "agg") return ParseAgg();
+    if (head == "append") return ParseAppend();
+    if (head == "delete") return ParseDelete();
+    return ErrHere("unknown operator '" + head + "'");
+  }
+
+  StatusOr<PlanNodePtr> ParseRestrict() {
+    Next();  // restrict
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr child, ParseExpr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ","));
+    DFDB_ASSIGN_OR_RETURN(ExprPtr pred, ParseOr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+    return MakeRestrict(std::move(child), std::move(pred));
+  }
+
+  StatusOr<PlanNodePtr> ParseProject() {
+    Next();
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr child, ParseExpr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ","));
+    DFDB_ASSIGN_OR_RETURN(std::vector<std::string> cols, ParseNameList());
+    bool dedup = false;
+    if (Eat(TokKind::kSymbol, ",")) {
+      if (!Eat(TokKind::kIdent, "dedup")) {
+        return ErrHere("expected 'dedup'");
+      }
+      dedup = true;
+    }
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+    return MakeProject(std::move(child), std::move(cols), dedup);
+  }
+
+  StatusOr<PlanNodePtr> ParseJoin() {
+    Next();
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr left, ParseExpr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ","));
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr right, ParseExpr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ","));
+    DFDB_ASSIGN_OR_RETURN(ExprPtr pred, ParseOr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+    return MakeJoin(std::move(left), std::move(right), std::move(pred));
+  }
+
+  StatusOr<PlanNodePtr> ParseUnion() {
+    Next();
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr left, ParseExpr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ","));
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr right, ParseExpr());
+    bool bag = false;
+    if (Eat(TokKind::kSymbol, ",")) {
+      if (!Eat(TokKind::kIdent, "bag")) return ErrHere("expected 'bag'");
+      bag = true;
+    }
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+    return MakeUnion(std::move(left), std::move(right), bag);
+  }
+
+  StatusOr<PlanNodePtr> ParseDiff() {
+    Next();
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr left, ParseExpr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ","));
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr right, ParseExpr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+    return MakeDifference(std::move(left), std::move(right));
+  }
+
+  StatusOr<PlanNodePtr> ParseAgg() {
+    Next();
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr child, ParseExpr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ","));
+    DFDB_ASSIGN_OR_RETURN(std::vector<std::string> group_by, ParseNameList());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ","));
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "["));
+    std::vector<AggregateSpec> specs;
+    for (;;) {
+      DFDB_ASSIGN_OR_RETURN(AggregateSpec spec, ParseAggSpec());
+      specs.push_back(std::move(spec));
+      if (!Eat(TokKind::kSymbol, ",")) break;
+    }
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "]"));
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+    return MakeAggregate(std::move(child), std::move(group_by),
+                         std::move(specs));
+  }
+
+  StatusOr<AggregateSpec> ParseAggSpec() {
+    if (!PeekIs(TokKind::kIdent)) return ErrHere("expected aggregate function");
+    const std::string func = Next().text;
+    AggregateSpec spec;
+    if (func == "count") {
+      spec.func = AggregateSpec::Func::kCount;
+    } else if (func == "sum") {
+      spec.func = AggregateSpec::Func::kSum;
+    } else if (func == "min") {
+      spec.func = AggregateSpec::Func::kMin;
+    } else if (func == "max") {
+      spec.func = AggregateSpec::Func::kMax;
+    } else if (func == "avg") {
+      spec.func = AggregateSpec::Func::kAvg;
+    } else {
+      return ErrHere("unknown aggregate '" + func + "'");
+    }
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    if (PeekIs(TokKind::kIdent)) {
+      spec.column = Next().text;
+    } else if (spec.func != AggregateSpec::Func::kCount) {
+      return ErrHere("aggregate needs a column");
+    }
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+    if (!Eat(TokKind::kIdent, "as")) return ErrHere("expected 'as'");
+    if (!PeekIs(TokKind::kIdent)) return ErrHere("expected output name");
+    spec.output_name = Next().text;
+    return spec;
+  }
+
+  StatusOr<PlanNodePtr> ParseAppend() {
+    Next();
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    DFDB_ASSIGN_OR_RETURN(PlanNodePtr child, ParseExpr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ","));
+    if (!PeekIs(TokKind::kIdent)) return ErrHere("expected target relation");
+    const std::string target = Next().text;
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+    return MakeAppend(std::move(child), target);
+  }
+
+  StatusOr<PlanNodePtr> ParseDelete() {
+    Next();
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    if (!PeekIs(TokKind::kIdent)) return ErrHere("expected target relation");
+    const std::string target = Next().text;
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ","));
+    DFDB_ASSIGN_OR_RETURN(ExprPtr pred, ParseOr());
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+    return MakeDelete(target, std::move(pred));
+  }
+
+  StatusOr<std::vector<std::string>> ParseNameList() {
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "["));
+    std::vector<std::string> names;
+    if (!PeekIs(TokKind::kSymbol, "]")) {
+      for (;;) {
+        if (!PeekIs(TokKind::kIdent)) return ErrHere("expected column name");
+        names.push_back(Next().text);
+        if (!Eat(TokKind::kSymbol, ",")) break;
+      }
+    }
+    DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "]"));
+    return names;
+  }
+
+  // ---- predicates ----------------------------------------------------------
+
+  StatusOr<ExprPtr> ParseOr() {
+    DFDB_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (Eat(TokKind::kIdent, "or")) {
+      DFDB_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    DFDB_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (Eat(TokKind::kIdent, "and")) {
+      DFDB_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (Eat(TokKind::kIdent, "not")) {
+      DFDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return Not(std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<ExprPtr> ParseComparison() {
+    DFDB_ASSIGN_OR_RETURN(ExprPtr left, ParseAdd());
+    if (PeekIs(TokKind::kOp)) {
+      const std::string op = Peek().text;
+      CompareOp cmp;
+      if (op == "=") {
+        cmp = CompareOp::kEq;
+      } else if (op == "!=") {
+        cmp = CompareOp::kNe;
+      } else if (op == "<") {
+        cmp = CompareOp::kLt;
+      } else if (op == "<=") {
+        cmp = CompareOp::kLe;
+      } else if (op == ">") {
+        cmp = CompareOp::kGt;
+      } else if (op == ">=") {
+        cmp = CompareOp::kGe;
+      } else {
+        return left;  // Arithmetic ops handled below ParseAdd.
+      }
+      Next();
+      DFDB_ASSIGN_OR_RETURN(ExprPtr right, ParseAdd());
+      return ExprPtr(std::make_shared<CompareExpr>(cmp, std::move(left),
+                                                   std::move(right)));
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseAdd() {
+    DFDB_ASSIGN_OR_RETURN(ExprPtr left, ParseMul());
+    while (PeekIs(TokKind::kOp, "+") || PeekIs(TokKind::kOp, "-")) {
+      const bool add = Next().text == "+";
+      DFDB_ASSIGN_OR_RETURN(ExprPtr right, ParseMul());
+      left = add ? Add(std::move(left), std::move(right))
+                 : Sub(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseMul() {
+    DFDB_ASSIGN_OR_RETURN(ExprPtr left, ParseAtom());
+    while (PeekIs(TokKind::kOp, "*") || PeekIs(TokKind::kOp, "/")) {
+      const bool mul = Next().text == "*";
+      DFDB_ASSIGN_OR_RETURN(ExprPtr right, ParseAtom());
+      left = mul ? Mul(std::move(left), std::move(right))
+                 : Div(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseAtom() {
+    if (Eat(TokKind::kSymbol, "(")) {
+      DFDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+      DFDB_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+      return inner;
+    }
+    if (PeekIs(TokKind::kInt)) {
+      return Lit(static_cast<int32_t>(std::atoi(Next().text.c_str())));
+    }
+    if (PeekIs(TokKind::kFloat)) {
+      return Lit(std::atof(Next().text.c_str()));
+    }
+    if (PeekIs(TokKind::kString)) {
+      return Lit(Value::Char(Next().text));
+    }
+    if (PeekIs(TokKind::kIdent)) {
+      const std::string name = Next().text;
+      if (name == "right" && Eat(TokKind::kSymbol, ".")) {
+        if (!PeekIs(TokKind::kIdent)) return ErrHere("expected column name");
+        return RightCol(Next().text);
+      }
+      return Col(name);
+    }
+    return ErrHere("expected a value, column, or '('");
+  }
+
+  std::vector<Token> toks_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+StatusOr<PlanNodePtr> ParseQuery(std::string_view text) {
+  Lexer lexer(text);
+  DFDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  return parser.ParseTopQuery();
+}
+
+StatusOr<ExprPtr> ParsePredicate(std::string_view text) {
+  Lexer lexer(text);
+  DFDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  return parser.ParseTopPredicate();
+}
+
+}  // namespace dfdb

@@ -1,0 +1,41 @@
+/// \file parser.h
+/// \brief A textual relational-algebra language ("RAQL") for dfdb.
+///
+/// The paper's interface is relational algebra trees; RAQL is that algebra
+/// as text, so queries can be typed, logged, and shipped:
+///
+///   restrict(r01, k1000 < 100 and k2 = 1)
+///   project(r05, [k100, val], dedup)
+///   join(restrict(r01, k1000 < 100), r06, k100 = right.k100)
+///   union(a, b)            union(a, b, bag)
+///   diff(a, b)
+///   agg(r01, [k10], [count() as n, sum(k1000) as total, avg(val) as m])
+///   append(restrict(r01, k2 = 0), archive)
+///   delete(archive, k1000 >= 500)
+///
+/// Predicates support and/or/not, the six comparisons (= != < <= > >=),
+/// + - * /, integer/float/'string' literals, column names, and
+/// `right.column` for the right join input. A bare identifier is a scan.
+
+#ifndef DFDB_RA_PARSER_H_
+#define DFDB_RA_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "ra/plan.h"
+
+namespace dfdb {
+
+/// \brief Parses one RAQL query into an (unresolved) plan tree.
+///
+/// Errors are InvalidArgument with a position-annotated message.
+StatusOr<PlanNodePtr> ParseQuery(std::string_view text);
+
+/// \brief Parses just a predicate (testing / tooling hook).
+StatusOr<ExprPtr> ParsePredicate(std::string_view text);
+
+}  // namespace dfdb
+
+#endif  // DFDB_RA_PARSER_H_

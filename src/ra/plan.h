@@ -1,0 +1,128 @@
+/// \file plan.h
+/// \brief The relational-algebra query tree (the paper's Figure 2.1).
+///
+/// "Each relational algebra query is generally comprised of one or more
+/// relational algebra operations (instructions) and is organized in the form
+/// of a tree." Each PlanNode is one such instruction; in the data-flow
+/// engines every node becomes a memory cell / instruction-controller
+/// assignment.
+
+#ifndef DFDB_RA_PLAN_H_
+#define DFDB_RA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "ra/expr.h"
+
+namespace dfdb {
+
+/// Relational algebra operators (the paper names restrict, join, project,
+/// append, delete; union/difference/aggregate round out the algebra).
+enum class PlanOp {
+  kScan,        ///< Leaf: read a base relation.
+  kRestrict,    ///< Selection by predicate.
+  kProject,     ///< Column elimination, optional duplicate elimination.
+  kJoin,        ///< Conditional cross product (nested loops in the engine).
+  kUnion,       ///< Bag or set union of union-compatible inputs.
+  kDifference,  ///< Set difference of union-compatible inputs.
+  kAggregate,   ///< Grouped aggregation (extension).
+  kAppend,      ///< Insert the input stream into a base relation.
+  kDelete,      ///< Remove matching tuples from a base relation.
+};
+
+std::string_view PlanOpToString(PlanOp op);
+
+/// \brief One aggregate computation within a kAggregate node.
+struct AggregateSpec {
+  enum class Func { kCount, kSum, kMin, kMax, kAvg };
+  Func func = Func::kCount;
+  /// Input column; ignored for kCount.
+  std::string column;
+  /// Name of the output column.
+  std::string output_name;
+};
+
+std::string_view AggregateFuncToString(AggregateSpec::Func f);
+
+/// \brief A node of the query tree.
+///
+/// Built by the helper constructors below, then resolved once by
+/// Analyzer::Resolve which fills node ids, binds expressions, and computes
+/// output schemas. After resolution the tree is immutable and may be shared
+/// by concurrent engine runs.
+struct PlanNode {
+  PlanOp op;
+  /// Post-order id assigned by the analyzer; -1 before resolution.
+  int id = -1;
+
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// kScan: source relation. kAppend/kDelete: target relation.
+  std::string relation;
+  /// kRestrict/kJoin/kDelete predicate.
+  ExprPtr predicate;
+  /// kProject: output columns. kAggregate: group-by columns.
+  std::vector<std::string> columns;
+  /// kProject: optional output column names (aliases), parallel to
+  /// `columns`. Empty keeps the source names. Used by the optimizer to
+  /// restore the public schema after join-input swaps.
+  std::vector<std::string> project_aliases;
+  /// kProject: eliminate duplicates (the full relational project).
+  bool dedup = false;
+  /// kUnion: keep duplicates (bag union) when true.
+  bool bag_semantics = false;
+  /// kAggregate only.
+  std::vector<AggregateSpec> aggregates;
+
+  /// Filled by the analyzer.
+  Schema output_schema;
+  bool resolved = false;
+
+  bool is_leaf() const { return children.empty(); }
+  int num_children() const { return static_cast<int>(children.size()); }
+  const PlanNode& child(int i) const { return *children[static_cast<size_t>(i)]; }
+  PlanNode& child(int i) { return *children[static_cast<size_t>(i)]; }
+
+  /// Number of nodes in this subtree.
+  int TreeSize() const;
+
+  /// Indented multi-line rendering of the subtree.
+  std::string ToString(int indent = 0) const;
+
+  /// Deep copy (unresolved; the copy must be re-analyzed). Expressions are
+  /// shared, which is safe because re-binding against the same catalog
+  /// produces identical indices.
+  std::unique_ptr<PlanNode> Clone() const;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// \name Tree constructors
+/// @{
+PlanNodePtr MakeScan(std::string relation);
+PlanNodePtr MakeRestrict(PlanNodePtr child, ExprPtr predicate);
+PlanNodePtr MakeProject(PlanNodePtr child, std::vector<std::string> columns,
+                        bool dedup = false);
+PlanNodePtr MakeJoin(PlanNodePtr left, PlanNodePtr right, ExprPtr predicate);
+PlanNodePtr MakeUnion(PlanNodePtr left, PlanNodePtr right,
+                      bool bag_semantics = false);
+PlanNodePtr MakeDifference(PlanNodePtr left, PlanNodePtr right);
+PlanNodePtr MakeAggregate(PlanNodePtr child, std::vector<std::string> group_by,
+                          std::vector<AggregateSpec> aggregates);
+PlanNodePtr MakeAppend(PlanNodePtr child, std::string target_relation);
+PlanNodePtr MakeDelete(std::string target_relation, ExprPtr predicate);
+/// @}
+
+/// \brief A named query: a tree plus identity for admission control.
+struct Query {
+  uint64_t id = 0;
+  std::string name;
+  PlanNodePtr root;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_RA_PLAN_H_

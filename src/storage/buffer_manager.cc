@@ -1,0 +1,153 @@
+#include "storage/buffer_manager.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dfdb {
+
+std::string BufferStats::ToString() const {
+  return StrFormat(
+      "disk r/w: %s / %s, cache r/w: %s / %s, local hits: %llu",
+      HumanBytes(static_cast<int64_t>(disk_read_bytes)).c_str(),
+      HumanBytes(static_cast<int64_t>(disk_write_bytes)).c_str(),
+      HumanBytes(static_cast<int64_t>(cache_read_bytes)).c_str(),
+      HumanBytes(static_cast<int64_t>(cache_write_bytes)).c_str(),
+      static_cast<unsigned long long>(local_hits));
+}
+
+BufferManager::BufferManager(PageStore* store, int local_capacity_pages,
+                             int cache_capacity_pages)
+    : store_(store),
+      local_capacity_(local_capacity_pages),
+      cache_capacity_(cache_capacity_pages) {
+  DFDB_CHECK(store != nullptr);
+  DFDB_CHECK(local_capacity_pages >= 1);
+  DFDB_CHECK(cache_capacity_pages >= 1);
+}
+
+StatusOr<PagePtr> BufferManager::Fetch(PageId id) {
+  auto page = store_->Get(id);
+  if (!page.ok()) return page.status();
+  const int bytes = (*page)->payload_bytes();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it != entries_.end() && it->second.level == Level::kLocal) {
+    stats_.local_hits++;
+    // Refresh LRU position.
+    local_lru_.erase(it->second.lru_it);
+    local_lru_.push_front(id);
+    it->second.lru_it = local_lru_.begin();
+    return *page;
+  }
+  if (it != entries_.end() && it->second.level == Level::kCache) {
+    // Cache hit: transfer cache -> local.
+    stats_.cache_reads++;
+    stats_.cache_read_bytes += static_cast<uint64_t>(bytes);
+    cache_lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    InsertLocalLocked(id, bytes);
+    return *page;
+  }
+  // Miss: disk -> cache -> local. The cache residency is transient (the
+  // page streams through), so we charge disk->cache and cache->local and
+  // land it in local memory.
+  stats_.disk_reads++;
+  stats_.disk_read_bytes += static_cast<uint64_t>(bytes);
+  stats_.cache_reads++;
+  stats_.cache_read_bytes += static_cast<uint64_t>(bytes);
+  InsertLocalLocked(id, bytes);
+  return *page;
+}
+
+PageId BufferManager::PutNew(PagePtr page) {
+  const int bytes = page->payload_bytes();
+  const PageId id = store_->Put(std::move(page));
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocalLocked(id, bytes);
+  return id;
+}
+
+Status BufferManager::Discard(PageId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it != entries_.end()) {
+      if (it->second.level == Level::kLocal) {
+        local_lru_.erase(it->second.lru_it);
+      } else if (it->second.level == Level::kCache) {
+        cache_lru_.erase(it->second.lru_it);
+      }
+      entries_.erase(it);
+    }
+  }
+  return store_->Free(id);
+}
+
+void BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!local_lru_.empty()) EvictFromLocalLocked();
+  while (!cache_lru_.empty()) EvictFromCacheLocked();
+}
+
+BufferStats BufferManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferManager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = BufferStats{};
+}
+
+int BufferManager::local_resident_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(local_lru_.size());
+}
+
+int BufferManager::cache_resident_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(cache_lru_.size());
+}
+
+void BufferManager::InsertLocalLocked(PageId id, int bytes) {
+  while (static_cast<int>(local_lru_.size()) >= local_capacity_) {
+    EvictFromLocalLocked();
+  }
+  local_lru_.push_front(id);
+  entries_[id] = Entry{Level::kLocal, bytes, local_lru_.begin()};
+}
+
+void BufferManager::EvictFromLocalLocked() {
+  if (local_lru_.empty()) return;
+  const PageId victim = local_lru_.back();
+  local_lru_.pop_back();
+  auto it = entries_.find(victim);
+  DFDB_CHECK(it != entries_.end());
+  const int bytes = it->second.bytes;
+  // Writeback local -> cache ("the IC will write the least desirable pages
+  // to its segment of the multiport disk cache", Section 4.1).
+  stats_.cache_writes++;
+  stats_.cache_write_bytes += static_cast<uint64_t>(bytes);
+  while (static_cast<int>(cache_lru_.size()) >= cache_capacity_) {
+    EvictFromCacheLocked();
+  }
+  cache_lru_.push_front(victim);
+  it->second.level = Level::kCache;
+  it->second.lru_it = cache_lru_.begin();
+}
+
+void BufferManager::EvictFromCacheLocked() {
+  if (cache_lru_.empty()) return;
+  const PageId victim = cache_lru_.back();
+  cache_lru_.pop_back();
+  auto it = entries_.find(victim);
+  DFDB_CHECK(it != entries_.end());
+  // Writeback cache -> disk ("when an IC fills its segment of the disk
+  // cache, pages will be swapped out to disk").
+  stats_.disk_writes++;
+  stats_.disk_write_bytes += static_cast<uint64_t>(it->second.bytes);
+  entries_.erase(it);
+}
+
+}  // namespace dfdb

@@ -1,0 +1,110 @@
+/// \file buffer_manager.h
+/// \brief The three-level storage hierarchy of Section 4.1.
+///
+/// "Thus, the IC local memory, the disk cache, and the mass storage devices
+/// form a three-level storage hierarchy." The BufferManager tracks page
+/// *residency* in the two upper levels (the PageStore is the always-valid
+/// mass-storage level) and accounts for every byte that crosses a level
+/// boundary. Those byte counters are what Figure 4.2 plots.
+
+#ifndef DFDB_STORAGE_BUFFER_MANAGER_H_
+#define DFDB_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "storage/page_store.h"
+
+namespace dfdb {
+
+/// \brief Byte and operation counters across the hierarchy boundaries.
+struct BufferStats {
+  /// Mass storage <-> disk cache.
+  uint64_t disk_read_bytes = 0;
+  uint64_t disk_write_bytes = 0;
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  /// Disk cache <-> local memory.
+  uint64_t cache_read_bytes = 0;
+  uint64_t cache_write_bytes = 0;
+  uint64_t cache_reads = 0;
+  uint64_t cache_writes = 0;
+  /// Requests satisfied without any transfer.
+  uint64_t local_hits = 0;
+
+  uint64_t total_transferred_bytes() const {
+    return disk_read_bytes + disk_write_bytes + cache_read_bytes +
+           cache_write_bytes;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief LRU-managed two-level cache over a PageStore.
+///
+/// Level 0 ("local memory") and level 1 ("disk cache") have fixed capacities
+/// in pages. A fetch promotes the page to level 0; eviction cascades
+/// 0 -> 1 -> gone (mass storage always holds the bytes). Newly produced
+/// pages enter at level 0 (they were just materialized by a processor).
+class BufferManager {
+ public:
+  /// \p local_capacity_pages and \p cache_capacity_pages must be >= 1.
+  BufferManager(PageStore* store, int local_capacity_pages,
+                int cache_capacity_pages);
+  DFDB_DISALLOW_COPY(BufferManager);
+
+  /// Fetches a page through the hierarchy, counting transfers.
+  StatusOr<PagePtr> Fetch(PageId id);
+
+  /// Registers a freshly produced page: stores it in mass storage's map
+  /// (logical home), makes it resident in local memory, and returns its id.
+  /// No transfer is counted until it is evicted or re-fetched.
+  PageId PutNew(PagePtr page);
+
+  /// Drops residency everywhere and frees the page from the store.
+  Status Discard(PageId id);
+
+  /// Evicts everything from both levels (counting writebacks), e.g. between
+  /// benchmark phases.
+  void FlushAll();
+
+  BufferStats stats() const;
+  void ResetStats();
+
+  int local_resident_pages() const;
+  int cache_resident_pages() const;
+
+ private:
+  enum class Level { kLocal, kCache, kNone };
+
+  struct Entry {
+    Level level;
+    int bytes;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  // All private helpers require mu_ held.
+  void TouchLocked(PageId id, Entry* entry);
+  void InsertLocalLocked(PageId id, int bytes);
+  void EvictFromLocalLocked();
+  void EvictFromCacheLocked();
+  Level FindLocked(PageId id) const;
+
+  PageStore* store_;
+  const int local_capacity_;
+  const int cache_capacity_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, Entry> entries_;
+  std::list<PageId> local_lru_;  // Front = most recent.
+  std::list<PageId> cache_lru_;
+  BufferStats stats_;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,121 @@
+#include "storage/heap_file.h"
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace dfdb {
+
+HeapFile::HeapFile(RelationId relation, Schema schema, int page_bytes,
+                   PageStore* store)
+    : relation_(relation),
+      schema_(std::move(schema)),
+      page_bytes_(page_bytes),
+      store_(store) {
+  DFDB_CHECK(store != nullptr);
+  DFDB_CHECK(page_bytes_ >= schema_.tuple_width())
+      << "page size " << page_bytes_ << " below tuple width "
+      << schema_.tuple_width();
+}
+
+Status HeapFile::Append(const std::vector<Value>& values) {
+  auto encoded = EncodeTuple(schema_, values);
+  if (!encoded.ok()) return encoded.status();
+  return AppendEncoded(Slice(*encoded));
+}
+
+Status HeapFile::AppendEncoded(Slice tuple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ == nullptr) {
+    auto page = Page::Create(relation_, schema_.tuple_width(), page_bytes_);
+    if (!page.ok()) return page.status();
+    current_ = std::make_unique<Page>(*std::move(page));
+  }
+  DFDB_RETURN_IF_ERROR(current_->Append(tuple));
+  ++tuple_count_;
+  if (current_->full()) {
+    DFDB_RETURN_IF_ERROR(SealCurrentLocked());
+  }
+  return Status::OK();
+}
+
+Status HeapFile::AppendPage(const Page& page) {
+  if (page.tuple_width() != schema_.tuple_width()) {
+    return Status::InvalidArgument("page tuple width does not match relation");
+  }
+  for (int i = 0; i < page.num_tuples(); ++i) {
+    DFDB_RETURN_IF_ERROR(AppendEncoded(page.tuple(i)));
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ != nullptr && !current_->empty()) {
+    return SealCurrentLocked();
+  }
+  return Status::OK();
+}
+
+Status HeapFile::SealCurrentLocked() {
+  pages_.push_back(store_->Put(SealPage(std::move(*current_))));
+  current_.reset();
+  return Status::OK();
+}
+
+std::vector<PageId> HeapFile::PageIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_;
+}
+
+uint64_t HeapFile::tuple_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tuple_count_;
+}
+
+uint64_t HeapFile::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size() + ((current_ && !current_->empty()) ? 1 : 0);
+}
+
+StatusOr<uint64_t> HeapFile::DeleteWhere(
+    const std::function<bool(const TupleView&)>& pred) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ != nullptr && !current_->empty()) {
+    DFDB_RETURN_IF_ERROR(SealCurrentLocked());
+  }
+  uint64_t removed = 0;
+  std::vector<PageId> new_pages;
+  std::unique_ptr<Page> out;
+  auto flush_out = [&]() -> Status {
+    if (out != nullptr && !out->empty()) {
+      new_pages.push_back(store_->Put(SealPage(std::move(*out))));
+    }
+    out.reset();
+    return Status::OK();
+  };
+  for (PageId id : pages_) {
+    auto page = store_->Get(id);
+    if (!page.ok()) return page.status();
+    for (int i = 0; i < (*page)->num_tuples(); ++i) {
+      TupleView view(&schema_, (*page)->tuple(i));
+      if (pred(view)) {
+        ++removed;
+        continue;
+      }
+      if (out == nullptr) {
+        auto np = Page::Create(relation_, schema_.tuple_width(), page_bytes_);
+        if (!np.ok()) return np.status();
+        out = std::make_unique<Page>(*std::move(np));
+      }
+      DFDB_RETURN_IF_ERROR(out->Append((*page)->tuple(i)));
+      if (out->full()) DFDB_RETURN_IF_ERROR(flush_out());
+    }
+    DFDB_RETURN_IF_ERROR(store_->Free(id));
+  }
+  DFDB_RETURN_IF_ERROR(flush_out());
+  pages_ = std::move(new_pages);
+  tuple_count_ -= removed;
+  return removed;
+}
+
+}  // namespace dfdb

@@ -1,0 +1,75 @@
+/// \file heap_file.h
+/// \brief Heap files: base-relation tuple storage over the PageStore.
+
+#ifndef DFDB_STORAGE_HEAP_FILE_H_
+#define DFDB_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/macros.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+#include "storage/tuple.h"
+
+namespace dfdb {
+
+/// \brief Append-oriented tuple storage for one relation.
+///
+/// Tuples accumulate in an open page; when it fills it is sealed into the
+/// PageStore and recorded. Delete is supported by rewriting affected pages
+/// (fine at 1979 scale and for the paper's `delete` query-tree operator).
+class HeapFile {
+ public:
+  HeapFile(RelationId relation, Schema schema, int page_bytes,
+           PageStore* store);
+  DFDB_DISALLOW_COPY(HeapFile);
+
+  RelationId relation() const { return relation_; }
+  const Schema& schema() const { return schema_; }
+  int page_bytes() const { return page_bytes_; }
+
+  /// Appends one row of Values.
+  Status Append(const std::vector<Value>& values);
+
+  /// Appends a pre-encoded tuple (must match the schema width).
+  Status AppendEncoded(Slice tuple);
+
+  /// Appends every tuple of \p page (the query-tree `append` operator).
+  Status AppendPage(const Page& page);
+
+  /// Seals the open page (if non-empty) so scans see all data.
+  Status Flush();
+
+  /// Ids of all sealed pages, in order.
+  std::vector<PageId> PageIds() const;
+
+  uint64_t tuple_count() const;
+  uint64_t page_count() const;
+
+  /// Removes tuples matching \p pred (exact byte equality against an
+  /// encoded tuple is handled by the caller providing the predicate).
+  /// Returns the number removed. Pages are rewritten compactly.
+  StatusOr<uint64_t> DeleteWhere(
+      const std::function<bool(const TupleView&)>& pred);
+
+ private:
+  Status SealCurrentLocked();
+
+  const RelationId relation_;
+  const Schema schema_;
+  const int page_bytes_;
+  PageStore* store_;
+
+  mutable std::mutex mu_;
+  std::vector<PageId> pages_;
+  std::unique_ptr<Page> current_;
+  uint64_t tuple_count_ = 0;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_STORAGE_HEAP_FILE_H_

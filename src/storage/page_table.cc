@@ -1,0 +1,45 @@
+#include "storage/page_table.h"
+
+namespace dfdb {
+
+Status PageTable::Append(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (complete_) {
+    return Status::FailedPrecondition("page table already marked complete");
+  }
+  ids_.push_back(id);
+  return Status::OK();
+}
+
+void PageTable::MarkComplete() {
+  std::lock_guard<std::mutex> lock(mu_);
+  complete_ = true;
+}
+
+bool PageTable::complete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return complete_;
+}
+
+size_t PageTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_.size();
+}
+
+std::optional<PageId> PageTable::At(size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= ids_.size()) return std::nullopt;
+  return ids_[index];
+}
+
+std::vector<PageId> PageTable::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_;
+}
+
+bool PageTable::Exhausted(size_t consumed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return complete_ && consumed >= ids_.size();
+}
+
+}  // namespace dfdb

@@ -1,0 +1,55 @@
+/// \file page_table.h
+/// \brief Page tables: a relation as an (open-ended) sequence of pages.
+///
+/// "We assume that ... the data is represented by page tables, pointing to
+/// pages either in a cache or on mass storage. Thus a relation can also be
+/// thought of as a stream of pages." (Section 2.3.) A PageTable is that
+/// stream: an ordered list of PageIds plus a completeness mark set when the
+/// producing operator finishes.
+
+#ifndef DFDB_STORAGE_PAGE_TABLE_H_
+#define DFDB_STORAGE_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/page.h"
+
+namespace dfdb {
+
+/// \brief Thread-safe ordered list of page ids with an end-of-stream mark.
+class PageTable {
+ public:
+  PageTable() = default;
+  DFDB_DISALLOW_COPY(PageTable);
+
+  /// Appends a produced page. FailedPrecondition after MarkComplete().
+  Status Append(PageId id);
+
+  /// Declares that no further pages will arrive.
+  void MarkComplete();
+
+  bool complete() const;
+  size_t size() const;
+
+  /// Page id at position \p index if already produced.
+  std::optional<PageId> At(size_t index) const;
+
+  /// Snapshot of all ids appended so far.
+  std::vector<PageId> Snapshot() const;
+
+  /// True once complete() and the consumer has seen all size() pages.
+  bool Exhausted(size_t consumed) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PageId> ids_;
+  bool complete_ = false;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_STORAGE_PAGE_TABLE_H_

@@ -1,0 +1,75 @@
+#include "storage/storage_engine.h"
+
+#include "common/macros.h"
+
+namespace dfdb {
+
+StorageEngine::StorageEngine(int default_page_bytes)
+    : default_page_bytes_(default_page_bytes) {}
+
+StatusOr<RelationId> StorageEngine::CreateRelation(std::string name,
+                                                   Schema schema) {
+  return CreateRelation(std::move(name), std::move(schema),
+                        default_page_bytes_);
+}
+
+StatusOr<RelationId> StorageEngine::CreateRelation(std::string name,
+                                                   Schema schema,
+                                                   int page_bytes) {
+  if (page_bytes < schema.tuple_width()) {
+    return Status::InvalidArgument(
+        "page size cannot hold a single tuple of this schema");
+  }
+  DFDB_ASSIGN_OR_RETURN(RelationId id,
+                        catalog_.CreateRelation(name, schema));
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.emplace(id, std::make_unique<HeapFile>(id, std::move(schema),
+                                                page_bytes, &store_));
+  return id;
+}
+
+Status StorageEngine::DropRelation(std::string_view name) {
+  DFDB_ASSIGN_OR_RETURN(RelationMeta meta, catalog_.GetRelation(name));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(meta.id);
+    if (it != files_.end()) {
+      for (PageId pid : it->second->PageIds()) {
+        // Best effort: a page may already have been freed by a consumer.
+        (void)store_.Free(pid);
+      }
+      files_.erase(it);
+    }
+  }
+  return catalog_.DropRelation(name);
+}
+
+StatusOr<HeapFile*> StorageEngine::GetHeapFile(RelationId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    return Status::NotFound("no heap file for relation id");
+  }
+  return it->second.get();
+}
+
+StatusOr<HeapFile*> StorageEngine::GetHeapFile(std::string_view name) {
+  DFDB_ASSIGN_OR_RETURN(RelationMeta meta, catalog_.GetRelation(name));
+  return GetHeapFile(meta.id);
+}
+
+Status StorageEngine::SyncStats(RelationId id) {
+  DFDB_ASSIGN_OR_RETURN(HeapFile * file, GetHeapFile(id));
+  DFDB_RETURN_IF_ERROR(file->Flush());
+  return catalog_.UpdateStats(id, file->tuple_count(), file->page_count());
+}
+
+Status StorageEngine::SyncAllStats() {
+  for (const std::string& name : catalog_.ListRelations()) {
+    DFDB_ASSIGN_OR_RETURN(RelationMeta meta, catalog_.GetRelation(name));
+    DFDB_RETURN_IF_ERROR(SyncStats(meta.id));
+  }
+  return Status::OK();
+}
+
+}  // namespace dfdb

@@ -1,0 +1,63 @@
+/// \file storage_engine.h
+/// \brief Facade tying the catalog, page store, and heap files together.
+
+#ifndef DFDB_STORAGE_STORAGE_ENGINE_H_
+#define DFDB_STORAGE_STORAGE_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "common/macros.h"
+#include "storage/heap_file.h"
+#include "storage/page_store.h"
+
+namespace dfdb {
+
+/// \brief The database substrate the engines execute against: one catalog,
+/// one mass-storage page store, one heap file per relation.
+class StorageEngine {
+ public:
+  /// \p default_page_bytes is the page size for newly created relations
+  /// (the paper's experiments use 16 KB operand pages; Section 3.3 reasons
+  /// about 1 KB and 10 KB pages).
+  explicit StorageEngine(int default_page_bytes = 16384);
+  DFDB_DISALLOW_COPY(StorageEngine);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  PageStore& page_store() { return store_; }
+  const PageStore& page_store() const { return store_; }
+  int default_page_bytes() const { return default_page_bytes_; }
+
+  /// Creates relation + heap file; returns the new id.
+  StatusOr<RelationId> CreateRelation(std::string name, Schema schema);
+  StatusOr<RelationId> CreateRelation(std::string name, Schema schema,
+                                      int page_bytes);
+
+  /// Drops the relation, freeing its pages.
+  Status DropRelation(std::string_view name);
+
+  /// Borrowed pointer; valid until the relation is dropped.
+  StatusOr<HeapFile*> GetHeapFile(RelationId id);
+  StatusOr<HeapFile*> GetHeapFile(std::string_view name);
+
+  /// Flushes the heap file and refreshes catalog statistics.
+  Status SyncStats(RelationId id);
+
+  /// Flushes and refreshes statistics for every relation.
+  Status SyncAllStats();
+
+ private:
+  const int default_page_bytes_;
+  Catalog catalog_;
+  PageStore store_;
+  mutable std::mutex mu_;
+  std::unordered_map<RelationId, std::unique_ptr<HeapFile>> files_;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_STORAGE_STORAGE_ENGINE_H_

@@ -1,0 +1,168 @@
+#include "storage/tuple.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dfdb {
+
+StatusOr<std::string> EncodeTuple(const Schema& schema,
+                                  const std::vector<Value>& values) {
+  if (static_cast<int>(values.size()) != schema.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %d values, got %zu", schema.num_columns(),
+                  values.size()));
+  }
+  std::string out(static_cast<size_t>(schema.tuple_width()), '\0');
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    const Column& col = schema.column(i);
+    const Value& v = values[static_cast<size_t>(i)];
+    char* dst = out.data() + schema.offset(i);
+    if (v.type() != col.type) {
+      return Status::InvalidArgument(
+          StrFormat("column %s: value type %s does not match column type %s",
+                    col.name.c_str(),
+                    std::string(ColumnTypeToString(v.type())).c_str(),
+                    std::string(ColumnTypeToString(col.type)).c_str()));
+    }
+    switch (col.type) {
+      case ColumnType::kInt32: {
+        const int32_t x = v.as_int32();
+        std::memcpy(dst, &x, 4);
+        break;
+      }
+      case ColumnType::kInt64: {
+        const int64_t x = v.as_int64();
+        std::memcpy(dst, &x, 8);
+        break;
+      }
+      case ColumnType::kDouble: {
+        const double x = v.as_double();
+        std::memcpy(dst, &x, 8);
+        break;
+      }
+      case ColumnType::kChar: {
+        const std::string& s = v.as_char();
+        if (static_cast<int>(s.size()) > col.width) {
+          return Status::InvalidArgument(
+              StrFormat("column %s: string of %zu bytes exceeds CHAR(%d)",
+                        col.name.c_str(), s.size(), col.width));
+        }
+        std::memcpy(dst, s.data(), s.size());
+        std::memset(dst + s.size(), ' ', static_cast<size_t>(col.width) - s.size());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status TupleView::Validate() const {
+  if (static_cast<int>(data_.size()) != schema_->tuple_width()) {
+    return Status::InvalidArgument(
+        StrFormat("tuple is %zu bytes, schema requires %d", data_.size(),
+                  schema_->tuple_width()));
+  }
+  return Status::OK();
+}
+
+StatusOr<Value> TupleView::GetValue(int col) const {
+  if (col < 0 || col >= schema_->num_columns()) {
+    return Status::OutOfRange(StrFormat("column %d out of range", col));
+  }
+  const Column& c = schema_->column(col);
+  const char* src = data_.data() + schema_->offset(col);
+  switch (c.type) {
+    case ColumnType::kInt32: {
+      int32_t x;
+      std::memcpy(&x, src, 4);
+      return Value::Int32(x);
+    }
+    case ColumnType::kInt64: {
+      int64_t x;
+      std::memcpy(&x, src, 8);
+      return Value::Int64(x);
+    }
+    case ColumnType::kDouble: {
+      double x;
+      std::memcpy(&x, src, 8);
+      return Value::Double(x);
+    }
+    case ColumnType::kChar: {
+      size_t len = static_cast<size_t>(c.width);
+      while (len > 0 && src[len - 1] == ' ') --len;
+      return Value::Char(std::string(src, len));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Slice TupleView::GetRaw(int col) const {
+  const Column& c = schema_->column(col);
+  return Slice(data_.data() + schema_->offset(col),
+               static_cast<size_t>(c.width));
+}
+
+StatusOr<int> TupleView::CompareColumn(int col, const TupleView& other,
+                                       int other_col) const {
+  if (col < 0 || col >= schema_->num_columns() || other_col < 0 ||
+      other_col >= other.schema_->num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  const Column& a = schema_->column(col);
+  const Column& b = other.schema_->column(other_col);
+  if (a.type == b.type && a.type != ColumnType::kDouble) {
+    // Fast paths on raw bytes for identical types.
+    if (a.type == ColumnType::kChar) {
+      if (a.width == b.width) {
+        return GetRaw(col).compare(other.GetRaw(other_col));
+      }
+    } else {
+      if (a.type == ColumnType::kInt32) {
+        int32_t x, y;
+        std::memcpy(&x, GetRaw(col).data(), 4);
+        std::memcpy(&y, other.GetRaw(other_col).data(), 4);
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      int64_t x, y;
+      std::memcpy(&x, GetRaw(col).data(), 8);
+      std::memcpy(&y, other.GetRaw(other_col).data(), 8);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+  }
+  auto va = GetValue(col);
+  if (!va.ok()) return va.status();
+  auto vb = other.GetValue(other_col);
+  if (!vb.ok()) return vb.status();
+  return va->Compare(*vb);
+}
+
+std::string TupleView::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(static_cast<size_t>(schema_->num_columns()));
+  for (int i = 0; i < schema_->num_columns(); ++i) {
+    auto v = GetValue(i);
+    parts.push_back(v.ok() ? v->ToString() : "<err>");
+  }
+  return "(" + JoinStrings(parts, ", ") + ")";
+}
+
+std::string ConcatTuples(Slice left, Slice right) {
+  std::string out;
+  out.reserve(left.size() + right.size());
+  out.append(left.data(), left.size());
+  out.append(right.data(), right.size());
+  return out;
+}
+
+std::string ProjectTuple(const Schema& schema, Slice src,
+                         const std::vector<int>& indices) {
+  std::string out;
+  for (int i : indices) {
+    const Column& c = schema.column(i);
+    out.append(src.data() + schema.offset(i), static_cast<size_t>(c.width));
+  }
+  return out;
+}
+
+}  // namespace dfdb

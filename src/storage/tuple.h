@@ -1,0 +1,71 @@
+/// \file tuple.h
+/// \brief Encoding and decoding of fixed-width tuples.
+
+#ifndef DFDB_STORAGE_TUPLE_H_
+#define DFDB_STORAGE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/types.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace dfdb {
+
+/// \brief Encodes a row of Values into the fixed-width layout of \p schema.
+///
+/// CHAR values shorter than the column width are blank-padded; longer values
+/// are an InvalidArgument error. Numeric values must match the column type
+/// exactly (no silent narrowing).
+StatusOr<std::string> EncodeTuple(const Schema& schema,
+                                  const std::vector<Value>& values);
+
+/// \brief Zero-copy reader over one encoded tuple.
+///
+/// The underlying bytes (typically inside a Page) must outlive the view.
+class TupleView {
+ public:
+  /// \p data must be exactly schema.tuple_width() bytes (checked lazily by
+  /// Validate()).
+  TupleView(const Schema* schema, Slice data) : schema_(schema), data_(data) {}
+
+  const Schema& schema() const { return *schema_; }
+  Slice raw() const { return data_; }
+
+  /// InvalidArgument if the byte length does not match the schema.
+  Status Validate() const;
+
+  /// Decodes column \p col into a Value. CHAR values keep their padding
+  /// trimmed from the right.
+  StatusOr<Value> GetValue(int col) const;
+
+  /// Borrowed bytes of column \p col (CHAR padding included).
+  Slice GetRaw(int col) const;
+
+  /// Compares column \p col of this tuple against the same-typed \p other
+  /// column of another tuple, without materializing Values.
+  StatusOr<int> CompareColumn(int col, const TupleView& other,
+                              int other_col) const;
+
+  /// Renders "(v1, v2, ...)" for debugging.
+  std::string ToString() const;
+
+ private:
+  const Schema* schema_;
+  Slice data_;
+};
+
+/// \brief Concatenates two encoded tuples (join output: outer ++ inner).
+std::string ConcatTuples(Slice left, Slice right);
+
+/// \brief Copies selected columns of \p src (described by \p schema) in
+/// \p indices order into a new encoded tuple for the projected schema.
+std::string ProjectTuple(const Schema& schema, Slice src,
+                         const std::vector<int>& indices);
+
+}  // namespace dfdb
+
+#endif  // DFDB_STORAGE_TUPLE_H_

@@ -1,0 +1,279 @@
+#include "workload/csv.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace dfdb {
+
+namespace {
+
+/// Splits one CSV line honoring quotes. Returns false on malformed quoting.
+bool SplitCsvLine(const std::string& line, char delim,
+                  std::vector<std::string>* fields) {
+  fields->clear();
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields->push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF.
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(cur));
+  return true;
+}
+
+void WriteCsvField(std::ostream& out, const std::string& s, char delim) {
+  const bool needs_quotes = s.find(delim) != std::string::npos ||
+                            s.find('"') != std::string::npos ||
+                            s.find('\n') != std::string::npos;
+  if (!needs_quotes) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+StatusOr<Value> ParseField(const std::string& field, const Column& col) {
+  switch (col.type) {
+    case ColumnType::kInt32: {
+      char* end = nullptr;
+      const long v = std::strtol(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("not an integer: '" + field + "'");
+      }
+      return Value::Int32(static_cast<int32_t>(v));
+    }
+    case ColumnType::kInt64: {
+      char* end = nullptr;
+      const long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("not an integer: '" + field + "'");
+      }
+      return Value::Int64(v);
+    }
+    case ColumnType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("not a number: '" + field + "'");
+      }
+      return Value::Double(v);
+    }
+    case ColumnType::kChar: {
+      if (static_cast<int>(field.size()) > col.width) {
+        return Status::InvalidArgument(
+            StrFormat("string of %zu bytes exceeds CHAR(%d)", field.size(),
+                      col.width));
+      }
+      return Value::Char(field);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' ? 1 : 0;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  char* end = nullptr;
+  if (s.empty()) return false;
+  std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+Status LoadRows(StorageEngine* storage, RelationId id, const Schema& schema,
+                std::istream& in, const CsvOptions& options, bool skip_header,
+                uint64_t* rows) {
+  DFDB_ASSIGN_OR_RETURN(HeapFile * file, storage->GetHeapFile(id));
+  std::string line;
+  std::vector<std::string> fields;
+  uint64_t line_no = 0;
+  *rows = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1 && skip_header) continue;
+    if (line.empty()) continue;
+    if (!SplitCsvLine(line, options.delimiter, &fields)) {
+      return Status::InvalidArgument(
+          StrFormat("line %llu: unbalanced quotes",
+                    static_cast<unsigned long long>(line_no)));
+    }
+    if (static_cast<int>(fields.size()) != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("line %llu: expected %d fields, got %zu",
+                    static_cast<unsigned long long>(line_no),
+                    schema.num_columns(), fields.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      auto v = ParseField(fields[static_cast<size_t>(c)], schema.column(c));
+      if (!v.ok()) {
+        return v.status().WithContext(
+            StrFormat("line %llu column %s",
+                      static_cast<unsigned long long>(line_no),
+                      schema.column(c).name.c_str()));
+      }
+      row.push_back(*std::move(v));
+    }
+    DFDB_RETURN_IF_ERROR(file->Append(row));
+    ++*rows;
+  }
+  return storage->SyncStats(id);
+}
+
+}  // namespace
+
+StatusOr<uint64_t> ImportCsv(StorageEngine* storage, const std::string& name,
+                             const Schema& schema, std::istream& in,
+                             const CsvOptions& options) {
+  DFDB_ASSIGN_OR_RETURN(RelationId id, storage->CreateRelation(name, schema));
+  uint64_t rows = 0;
+  Status s = LoadRows(storage, id, schema, in, options, options.header, &rows);
+  if (!s.ok()) {
+    (void)storage->DropRelation(name);  // Atomic import.
+    return s;
+  }
+  return rows;
+}
+
+StatusOr<uint64_t> ImportCsvInferred(StorageEngine* storage,
+                                     const std::string& name, std::istream& in,
+                                     const CsvOptions& options) {
+  if (!options.header) {
+    return Status::InvalidArgument("schema inference requires a header row");
+  }
+  std::string header_line, first_row;
+  if (!std::getline(in, header_line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  if (!std::getline(in, first_row)) {
+    return Status::InvalidArgument("CSV has a header but no data rows");
+  }
+  std::vector<std::string> names, samples;
+  if (!SplitCsvLine(header_line, options.delimiter, &names) ||
+      !SplitCsvLine(first_row, options.delimiter, &samples)) {
+    return Status::InvalidArgument("unbalanced quotes in header/first row");
+  }
+  if (names.size() != samples.size()) {
+    return Status::InvalidArgument("header/data field count mismatch");
+  }
+  std::vector<Column> cols;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (LooksLikeInt(samples[i])) {
+      cols.push_back(Column::Int64(names[i]));
+    } else if (LooksLikeDouble(samples[i])) {
+      cols.push_back(Column::Double(names[i]));
+    } else {
+      cols.push_back(Column::Char(names[i], options.char_width));
+    }
+  }
+  DFDB_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(cols)));
+  DFDB_ASSIGN_OR_RETURN(RelationId id, storage->CreateRelation(name, schema));
+
+  // Load the sampled first row, then the rest of the stream.
+  uint64_t rows = 0;
+  {
+    DFDB_ASSIGN_OR_RETURN(HeapFile * file, storage->GetHeapFile(id));
+    std::vector<Value> row;
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      auto v = ParseField(samples[static_cast<size_t>(c)], schema.column(c));
+      if (!v.ok()) {
+        (void)storage->DropRelation(name);
+        return v.status();
+      }
+      row.push_back(*std::move(v));
+    }
+    Status s = file->Append(row);
+    if (!s.ok()) {
+      (void)storage->DropRelation(name);
+      return s;
+    }
+    rows = 1;
+  }
+  uint64_t more = 0;
+  Status s = LoadRows(storage, id, schema, in, options, /*skip_header=*/false,
+                      &more);
+  if (!s.ok()) {
+    (void)storage->DropRelation(name);
+    return s;
+  }
+  return rows + more;
+}
+
+StatusOr<uint64_t> ExportResultCsv(const QueryResult& result, std::ostream& out,
+                                   const CsvOptions& options) {
+  const Schema& schema = result.schema();
+  if (options.header) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      WriteCsvField(out, schema.column(c).name, options.delimiter);
+    }
+    out << '\n';
+  }
+  uint64_t rows = 0;
+  Status s = result.ForEachTuple([&](const TupleView& t) -> Status {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      DFDB_ASSIGN_OR_RETURN(Value v, t.GetValue(c));
+      WriteCsvField(out, v.ToString(), options.delimiter);
+    }
+    out << '\n';
+    ++rows;
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return rows;
+}
+
+StatusOr<uint64_t> ExportCsv(StorageEngine* storage, const std::string& name,
+                             std::ostream& out, const CsvOptions& options) {
+  DFDB_ASSIGN_OR_RETURN(RelationMeta meta, storage->catalog().GetRelation(name));
+  DFDB_ASSIGN_OR_RETURN(HeapFile * file, storage->GetHeapFile(meta.id));
+  DFDB_RETURN_IF_ERROR(file->Flush());
+  QueryResult as_result(meta.schema);
+  for (PageId id : file->PageIds()) {
+    DFDB_ASSIGN_OR_RETURN(PagePtr page, storage->page_store().Get(id));
+    as_result.AddPage(std::move(page));
+  }
+  return ExportResultCsv(as_result, out, options);
+}
+
+}  // namespace dfdb

@@ -1,0 +1,57 @@
+/// \file csv.h
+/// \brief CSV import/export for relations.
+///
+/// Import infers or accepts a schema and bulk-loads a heap file; export
+/// writes any relation (or query result) back out. Strings are quoted with
+/// double quotes; embedded quotes double up (RFC 4180 style).
+
+#ifndef DFDB_WORKLOAD_CSV_H_
+#define DFDB_WORKLOAD_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/statusor.h"
+#include "engine/query_result.h"
+#include "storage/storage_engine.h"
+
+namespace dfdb {
+
+/// \brief Options controlling CSV import.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names.
+  bool header = true;
+  /// Width used for inferred CHAR columns.
+  int char_width = 32;
+};
+
+/// \brief Creates relation \p name from CSV text with the given \p schema
+/// and loads every row. Returns the number of rows loaded.
+///
+/// Values are parsed per column type; a row with the wrong field count or
+/// an unparsable value fails the whole import (atomic: the relation is
+/// dropped on error).
+StatusOr<uint64_t> ImportCsv(StorageEngine* storage, const std::string& name,
+                             const Schema& schema, std::istream& in,
+                             const CsvOptions& options = CsvOptions());
+
+/// \brief Like ImportCsv but infers the schema from the header and the
+/// first data row: integral fields become INT64, numeric fields DOUBLE,
+/// everything else CHAR(options.char_width).
+StatusOr<uint64_t> ImportCsvInferred(StorageEngine* storage,
+                                     const std::string& name, std::istream& in,
+                                     const CsvOptions& options = CsvOptions());
+
+/// \brief Writes a relation as CSV (with header). Returns rows written.
+StatusOr<uint64_t> ExportCsv(StorageEngine* storage, const std::string& name,
+                             std::ostream& out,
+                             const CsvOptions& options = CsvOptions());
+
+/// \brief Writes a query result as CSV (with header). Returns rows written.
+StatusOr<uint64_t> ExportResultCsv(const QueryResult& result, std::ostream& out,
+                                   const CsvOptions& options = CsvOptions());
+
+}  // namespace dfdb
+
+#endif  // DFDB_WORKLOAD_CSV_H_

@@ -1,0 +1,63 @@
+#include "workload/generator.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "storage/tuple.h"
+
+namespace dfdb {
+
+Schema BenchmarkSchema() {
+  return Schema::CreateOrDie({
+      Column::Int32("id"),
+      Column::Int32("seq"),
+      Column::Int32("k2"),
+      Column::Int32("k5"),
+      Column::Int32("k10"),
+      Column::Int32("k25"),
+      Column::Int32("k100"),
+      Column::Int32("k1000"),
+      Column::Double("val"),
+      Column::Char("pad", 60),
+  });
+}
+
+StatusOr<RelationId> GenerateRelation(StorageEngine* storage,
+                                      const std::string& name,
+                                      uint64_t num_tuples, uint64_t seed) {
+  Schema schema = BenchmarkSchema();
+  DFDB_ASSIGN_OR_RETURN(RelationId id, storage->CreateRelation(name, schema));
+  DFDB_ASSIGN_OR_RETURN(HeapFile * file, storage->GetHeapFile(id));
+
+  // Dense unique ids in a deterministic shuffle.
+  Random rng(HashCombine(seed, Hash64(name.data(), name.size())));
+  std::vector<int32_t> ids(num_tuples);
+  std::iota(ids.begin(), ids.end(), 0);
+  for (size_t i = num_tuples; i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.Uniform(i)]);
+  }
+
+  const std::string pad(60, 'x');
+  for (uint64_t i = 0; i < num_tuples; ++i) {
+    std::vector<Value> row{
+        Value::Int32(ids[i]),
+        Value::Int32(static_cast<int32_t>(i)),
+        Value::Int32(static_cast<int32_t>(rng.Uniform(2))),
+        Value::Int32(static_cast<int32_t>(rng.Uniform(5))),
+        Value::Int32(static_cast<int32_t>(rng.Uniform(10))),
+        Value::Int32(static_cast<int32_t>(rng.Uniform(25))),
+        Value::Int32(static_cast<int32_t>(rng.Uniform(100))),
+        Value::Int32(static_cast<int32_t>(rng.Uniform(1000))),
+        Value::Double(rng.NextDouble()),
+        Value::Char(pad),
+    };
+    DFDB_RETURN_IF_ERROR(file->Append(row));
+  }
+  DFDB_RETURN_IF_ERROR(storage->SyncStats(id));
+  return id;
+}
+
+}  // namespace dfdb

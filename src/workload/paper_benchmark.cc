@@ -1,0 +1,133 @@
+#include "workload/paper_benchmark.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "workload/generator.h"
+
+namespace dfdb {
+
+namespace {
+
+/// Shorthand: scan \p rel restricted to k1000 < \p upper (selectivity
+/// upper/1000).
+PlanNodePtr ScanSel(const std::string& rel, int upper) {
+  return MakeRestrict(MakeScan(rel), Lt(Col("k1000"), Lit(upper)));
+}
+
+/// Equi-join on \p key between the running left tree and a new right input.
+PlanNodePtr JoinOn(PlanNodePtr left, PlanNodePtr right, const char* key) {
+  return MakeJoin(std::move(left), std::move(right),
+                  Eq(Col(key), RightCol(key)));
+}
+
+Query MakeQuery(uint64_t id, std::string name, PlanNodePtr root) {
+  Query q;
+  q.id = id;
+  q.name = std::move(name);
+  q.root = std::move(root);
+  return q;
+}
+
+}  // namespace
+
+std::vector<PaperRelationSpec> PaperDatabaseLayout(double scale) {
+  auto scaled = [scale](uint64_t base) -> uint64_t {
+    const auto n = static_cast<uint64_t>(std::llround(base * scale));
+    return n < 20 ? 20 : n;
+  };
+  std::vector<PaperRelationSpec> specs;
+  // 4 large relations: 8,000 x 100 B = 800 KB each.
+  for (int i = 1; i <= 4; ++i) {
+    specs.push_back({"r0" + std::to_string(i), scaled(8000)});
+  }
+  // 5 medium relations: 3,000 x 100 B = 300 KB each.
+  for (int i = 5; i <= 9; ++i) {
+    specs.push_back({"r0" + std::to_string(i), scaled(3000)});
+  }
+  // 6 small relations: 1,300 x 100 B = 130 KB each.
+  for (int i = 10; i <= 15; ++i) {
+    specs.push_back({"r" + std::to_string(i), scaled(1300)});
+  }
+  return specs;
+}
+
+StatusOr<int64_t> BuildPaperDatabase(StorageEngine* storage, double scale,
+                                     uint64_t seed) {
+  for (const PaperRelationSpec& spec : PaperDatabaseLayout(scale)) {
+    DFDB_ASSIGN_OR_RETURN(RelationId id, GenerateRelation(storage, spec.name,
+                                                          spec.tuples, seed));
+    (void)id;
+  }
+  return storage->catalog().TotalBytes();
+}
+
+std::vector<Query> MakePaperBenchmarkQueries() {
+  std::vector<Query> queries;
+
+  // Q1, Q2: single restrict.
+  queries.push_back(MakeQuery(1, "Q1", ScanSel("r01", 100)));
+  queries.push_back(MakeQuery(2, "Q2", ScanSel("r05", 300)));
+
+  // Q3..Q5: 1 join + 2 restricts.
+  queries.push_back(MakeQuery(
+      3, "Q3", JoinOn(ScanSel("r02", 100), ScanSel("r06", 100), "k100")));
+  queries.push_back(MakeQuery(
+      4, "Q4", JoinOn(ScanSel("r03", 50), ScanSel("r07", 100), "k100")));
+  queries.push_back(MakeQuery(
+      5, "Q5", JoinOn(ScanSel("r10", 200), ScanSel("r11", 200), "k100")));
+
+  // Q6, Q7: 2 joins + 3 restricts. The first join fans out on the k100
+  // group key between restricted inputs; later joins hit small relations
+  // on k1000 (density ~1.3/value), keeping intermediate cardinality within
+  // one order of magnitude of the inputs.
+  queries.push_back(MakeQuery(
+      6, "Q6",
+      JoinOn(JoinOn(ScanSel("r01", 50), ScanSel("r08", 100), "k100"),
+             ScanSel("r12", 200), "k1000")));
+  queries.push_back(MakeQuery(
+      7, "Q7",
+      JoinOn(JoinOn(ScanSel("r04", 50), ScanSel("r09", 100), "k100"),
+             ScanSel("r13", 300), "k1000")));
+
+  // Q8: 3 joins + 4 restricts.
+  queries.push_back(MakeQuery(
+      8, "Q8",
+      JoinOn(JoinOn(JoinOn(ScanSel("r02", 30), ScanSel("r05", 100), "k100"),
+                    ScanSel("r10", 200), "k1000"),
+             ScanSel("r14", 300), "k1000")));
+
+  // Q9: 4 joins + 4 restricts (the fifth input scans unrestricted).
+  queries.push_back(MakeQuery(
+      9, "Q9",
+      JoinOn(JoinOn(JoinOn(JoinOn(ScanSel("r03", 30), ScanSel("r06", 100),
+                                  "k100"),
+                           ScanSel("r11", 200), "k1000"),
+                    ScanSel("r12", 300), "k1000"),
+             MakeScan("r15"), "k1000")));
+
+  // Q10: 5 joins + 6 restricts.
+  queries.push_back(MakeQuery(
+      10, "Q10",
+      JoinOn(JoinOn(JoinOn(JoinOn(JoinOn(ScanSel("r01", 50),
+                                         ScanSel("r04", 50), "k100"),
+                                  ScanSel("r10", 400), "k1000"),
+                           ScanSel("r11", 400), "k1000"),
+                    ScanSel("r13", 400), "k1000"),
+             ScanSel("r15", 500), "k1000")));
+
+  return queries;
+}
+
+std::vector<QueryShape> PaperBenchmarkShapes() {
+  return {
+      {0, 1}, {0, 1},          // Q1, Q2
+      {1, 2}, {1, 2}, {1, 2},  // Q3..Q5
+      {2, 3}, {2, 3},          // Q6, Q7
+      {3, 4},                  // Q8
+      {4, 4},                  // Q9
+      {5, 6},                  // Q10
+  };
+}
+
+}  // namespace dfdb

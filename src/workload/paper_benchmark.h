@@ -1,0 +1,61 @@
+/// \file paper_benchmark.h
+/// \brief The paper's evaluation workload (Section 3.2).
+///
+/// "Using a benchmark containing ten queries (2 queries with 1 restrict
+/// operator only, 3 queries with 1 join and 2 restricts each, 2 queries
+/// with 2 joins and 3 restricts each, 1 query with 3 joins and 4 restricts,
+/// 1 query with 4 joins and 4 restricts, and 1 query with 5 joins and 6
+/// restricts), a relational database containing 15 relations with a
+/// combined size of 5.5 megabytes, and two memory cells for each
+/// processor ..."
+
+#ifndef DFDB_WORKLOAD_PAPER_BENCHMARK_H_
+#define DFDB_WORKLOAD_PAPER_BENCHMARK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "ra/plan.h"
+#include "storage/storage_engine.h"
+
+namespace dfdb {
+
+/// \brief Size class of a generated relation.
+struct PaperRelationSpec {
+  std::string name;
+  uint64_t tuples;
+};
+
+/// \brief The 15-relation layout: 4 large + 5 medium + 6 small relations of
+/// 100-byte tuples. At scale 1.0 the total is ~5.5 MB as in the paper.
+std::vector<PaperRelationSpec> PaperDatabaseLayout(double scale = 1.0);
+
+/// \brief Generates the 15 relations into \p storage. Deterministic in
+/// \p seed. Returns the total size in bytes.
+StatusOr<int64_t> BuildPaperDatabase(StorageEngine* storage, double scale = 1.0,
+                                     uint64_t seed = 42);
+
+/// \brief Builds the ten-query benchmark over the paper database.
+///
+/// Query shapes match the published mix exactly:
+///   Q1,Q2     : 1 restrict
+///   Q3,Q4,Q5  : 1 join + 2 restricts
+///   Q6,Q7     : 2 joins + 3 restricts
+///   Q8        : 3 joins + 4 restricts
+///   Q9        : 4 joins + 4 restricts
+///   Q10       : 5 joins + 6 restricts
+/// Restrict selectivities and join keys are chosen so that intermediate
+/// results stay within the same order of magnitude as their inputs.
+std::vector<Query> MakePaperBenchmarkQueries();
+
+/// \brief Per-query shape counts for validation and reporting.
+struct QueryShape {
+  int joins = 0;
+  int restricts = 0;
+};
+std::vector<QueryShape> PaperBenchmarkShapes();
+
+}  // namespace dfdb
+
+#endif  // DFDB_WORKLOAD_PAPER_BENCHMARK_H_

@@ -1,0 +1,196 @@
+/// \file analyzer_test.cc
+/// \brief Tests for plan construction and semantic analysis.
+
+#include "ra/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace dfdb {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema = Schema::CreateOrDie(
+        {Column::Int32("k"), Column::Int32("g"), Column::Char("s", 8)});
+    ASSERT_OK_AND_ASSIGN(auto r1, catalog_.CreateRelation("r", schema));
+    ASSERT_OK_AND_ASSIGN(auto r2, catalog_.CreateRelation("t", schema));
+    Schema other =
+        Schema::CreateOrDie({Column::Int64("big"), Column::Double("x")});
+    ASSERT_OK_AND_ASSIGN(auto r3, catalog_.CreateRelation("other", other));
+    (void)r1;
+    (void)r2;
+    (void)r3;
+  }
+
+  StatusOr<QueryAnalysis> Resolve(PlanNode* root) {
+    Analyzer analyzer(&catalog_);
+    return analyzer.Resolve(root);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(AnalyzerTest, ScanResolvesToCatalogSchema) {
+  auto plan = MakeScan("r");
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a, Resolve(plan.get()));
+  EXPECT_TRUE(plan->resolved);
+  EXPECT_EQ(plan->output_schema.num_columns(), 3);
+  EXPECT_EQ(a.num_nodes, 1);
+  EXPECT_EQ(a.read_set, std::set<std::string>{"r"});
+  EXPECT_TRUE(a.write_set.empty());
+}
+
+TEST_F(AnalyzerTest, UnknownRelationFails) {
+  auto plan = MakeScan("missing");
+  EXPECT_TRUE(Resolve(plan.get()).status().IsNotFound());
+}
+
+TEST_F(AnalyzerTest, RestrictBindsAndPropagatesSchema) {
+  auto plan = MakeRestrict(MakeScan("r"), Lt(Col("k"), Lit(5)));
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a, Resolve(plan.get()));
+  EXPECT_EQ(a.num_restricts, 1);
+  EXPECT_EQ(plan->output_schema.num_columns(), 3);
+  // Post-order ids: scan 0, restrict 1.
+  EXPECT_EQ(plan->id, 1);
+  EXPECT_EQ(plan->child(0).id, 0);
+}
+
+TEST_F(AnalyzerTest, RestrictRejectsRightRefsAndMissingPredicate) {
+  auto plan = MakeRestrict(MakeScan("r"), Eq(Col("k"), RightCol("k")));
+  EXPECT_TRUE(Resolve(plan.get()).status().IsInvalidArgument());
+  auto plan2 = MakeRestrict(MakeScan("r"), nullptr);
+  EXPECT_TRUE(Resolve(plan2.get()).status().IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, ProjectComputesSubSchema) {
+  auto plan = MakeProject(MakeScan("r"), {"s", "k"});
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a, Resolve(plan.get()));
+  EXPECT_EQ(a.num_projects, 1);
+  EXPECT_EQ(plan->output_schema.num_columns(), 2);
+  EXPECT_EQ(plan->output_schema.column(0).name, "s");
+  EXPECT_EQ(plan->output_schema.tuple_width(), 12);
+  auto bad = MakeProject(MakeScan("r"), {"nope"});
+  EXPECT_TRUE(Resolve(bad.get()).status().IsNotFound());
+  auto empty = MakeProject(MakeScan("r"), {});
+  EXPECT_TRUE(Resolve(empty.get()).status().IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, JoinConcatenatesSchemas) {
+  auto plan =
+      MakeJoin(MakeScan("r"), MakeScan("t"), Eq(Col("k"), RightCol("k")));
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a, Resolve(plan.get()));
+  EXPECT_EQ(a.num_joins, 1);
+  EXPECT_EQ(plan->output_schema.num_columns(), 6);
+  EXPECT_EQ(plan->output_schema.column(3).name, "k_r");
+  EXPECT_EQ(a.read_set, (std::set<std::string>{"r", "t"}));
+  EXPECT_EQ(a.max_depth, 2);
+}
+
+TEST_F(AnalyzerTest, UnionRequiresCompatibility) {
+  auto good = MakeUnion(MakeScan("r"), MakeScan("t"));
+  EXPECT_TRUE(Resolve(good.get()).ok());
+  auto bad = MakeUnion(MakeScan("r"), MakeScan("other"));
+  EXPECT_TRUE(Resolve(bad.get()).status().IsInvalidArgument());
+  auto diff_bad = MakeDifference(MakeScan("r"), MakeScan("other"));
+  EXPECT_TRUE(Resolve(diff_bad.get()).status().IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, AggregateSchemaTyping) {
+  std::vector<AggregateSpec> specs;
+  specs.push_back({AggregateSpec::Func::kCount, "", "cnt"});
+  specs.push_back({AggregateSpec::Func::kSum, "k", "sum_k"});
+  specs.push_back({AggregateSpec::Func::kMin, "s", "min_s"});
+  auto plan = MakeAggregate(MakeScan("r"), {"g"}, specs);
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a, Resolve(plan.get()));
+  (void)a;
+  const Schema& out = plan->output_schema;
+  EXPECT_EQ(out.num_columns(), 4);
+  EXPECT_EQ(out.column(0).name, "g");
+  EXPECT_EQ(out.column(1).type, ColumnType::kInt64);  // COUNT.
+  EXPECT_EQ(out.column(2).type, ColumnType::kInt64);  // SUM of int.
+  EXPECT_EQ(out.column(3).type, ColumnType::kChar);   // MIN of char.
+  EXPECT_EQ(out.column(3).width, 8);
+}
+
+TEST_F(AnalyzerTest, AggregateRejectsSumOfChar) {
+  std::vector<AggregateSpec> specs;
+  specs.push_back({AggregateSpec::Func::kSum, "s", "bad"});
+  auto plan = MakeAggregate(MakeScan("r"), {}, specs);
+  EXPECT_TRUE(Resolve(plan.get()).status().IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, AppendChecksCompatibilityAndWriteSet) {
+  auto plan = MakeAppend(MakeScan("r"), "t");
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a, Resolve(plan.get()));
+  EXPECT_EQ(a.write_set, std::set<std::string>{"t"});
+  EXPECT_EQ(a.read_set, std::set<std::string>{"r"});
+  auto bad = MakeAppend(MakeScan("other"), "t");
+  EXPECT_TRUE(Resolve(bad.get()).status().IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, DeleteBindsAgainstTarget) {
+  auto plan = MakeDelete("t", Lt(Col("k"), Lit(3)));
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a, Resolve(plan.get()));
+  EXPECT_EQ(a.write_set, std::set<std::string>{"t"});
+  EXPECT_EQ(a.read_set, std::set<std::string>{"t"});
+  auto bad = MakeDelete("t", Lt(Col("missing"), Lit(3)));
+  EXPECT_TRUE(Resolve(bad.get()).status().IsNotFound());
+}
+
+TEST_F(AnalyzerTest, DeepTreeCountsAndDepth) {
+  auto plan = MakeJoin(
+      MakeJoin(MakeRestrict(MakeScan("r"), Lt(Col("k"), Lit(1))),
+               MakeRestrict(MakeScan("t"), Lt(Col("k"), Lit(2))),
+               Eq(Col("k"), RightCol("k"))),
+      MakeRestrict(MakeScan("r"), Lt(Col("g"), Lit(3))),
+      Eq(Col("g"), RightCol("g")));
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a, Resolve(plan.get()));
+  EXPECT_EQ(a.num_nodes, 8);
+  EXPECT_EQ(a.num_joins, 2);
+  EXPECT_EQ(a.num_restricts, 3);
+  EXPECT_EQ(a.max_depth, 4);
+  EXPECT_EQ(plan->TreeSize(), 8);
+  EXPECT_EQ(plan->id, 7);  // Root gets the last post-order id.
+}
+
+TEST_F(AnalyzerTest, CloneIsDeepAndReanalyzable) {
+  auto plan = MakeRestrict(MakeScan("r"), Lt(Col("k"), Lit(5)));
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a1, Resolve(plan.get()));
+  (void)a1;
+  auto clone = plan->Clone();
+  EXPECT_FALSE(clone->resolved);
+  EXPECT_EQ(clone->TreeSize(), 2);
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a2, Resolve(clone.get()));
+  (void)a2;
+  EXPECT_EQ(clone->output_schema, plan->output_schema);
+}
+
+TEST_F(AnalyzerTest, ResolveIsIdempotent) {
+  auto plan =
+      MakeJoin(MakeScan("r"), MakeScan("t"), Eq(Col("k"), RightCol("k")));
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a1, Resolve(plan.get()));
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a2, Resolve(plan.get()));
+  EXPECT_EQ(a1.num_nodes, a2.num_nodes);
+  EXPECT_EQ(plan->output_schema.num_columns(), 6);
+}
+
+TEST_F(AnalyzerTest, NullRootRejected) {
+  Analyzer analyzer(&catalog_);
+  EXPECT_TRUE(analyzer.Resolve(nullptr).status().IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, PlanToStringShowsStructure) {
+  auto plan = MakeRestrict(MakeScan("r"), Lt(Col("k"), Lit(5)));
+  ASSERT_OK_AND_ASSIGN(QueryAnalysis a, Resolve(plan.get()));
+  (void)a;
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("Restrict"), std::string::npos);
+  EXPECT_NE(s.find("Scan(r)"), std::string::npos);
+  EXPECT_NE(s.find("(k < 5)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfdb

@@ -1,0 +1,230 @@
+/// \file common_test.cc
+/// \brief Tests for the common substrate: Slice, Random, Hash, BitVector,
+/// SimTime, string utilities and BlockingQueue.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/bitvector.h"
+#include "common/blocking_queue.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "common/slice.h"
+#include "common/string_util.h"
+
+namespace dfdb {
+namespace {
+
+TEST(SliceTest, BasicViews) {
+  std::string s = "hello world";
+  Slice a(s);
+  EXPECT_EQ(a.size(), 11u);
+  EXPECT_EQ(a[4], 'o');
+  EXPECT_TRUE(a.starts_with(Slice("hello")));
+  EXPECT_FALSE(a.starts_with(Slice("world")));
+  a.remove_prefix(6);
+  EXPECT_EQ(a.ToString(), "world");
+}
+
+TEST(SliceTest, Comparison) {
+  EXPECT_EQ(Slice("abc"), Slice("abc"));
+  EXPECT_NE(Slice("abc"), Slice("abd"));
+  EXPECT_LT(Slice("abc"), Slice("abd"));
+  EXPECT_LT(Slice("ab"), Slice("abc"));
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  // Different seed diverges (overwhelmingly likely in 100 draws).
+  bool diverged = false;
+  Random a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RandomTest, UniformRespectsBounds) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(HashTest, StableAndSensitive) {
+  EXPECT_EQ(Hash64("abc", 3), Hash64("abc", 3));
+  EXPECT_NE(Hash64("abc", 3), Hash64("abd", 3));
+  EXPECT_NE(Hash64("abc", 3), Hash64("abc", 2));
+  EXPECT_NE(Hash64("abc", 3, 1), Hash64("abc", 3, 2));  // Seeded.
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(BitVectorTest, SetGetResize) {
+  BitVector v(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_TRUE(v.NoneSet());
+  v.Set(3);
+  v.Set(9);
+  EXPECT_TRUE(v.Get(3));
+  EXPECT_FALSE(v.Get(4));
+  EXPECT_EQ(v.Count(), 2u);
+  v.Set(3, false);
+  EXPECT_EQ(v.Count(), 1u);
+  v.Resize(100);
+  EXPECT_TRUE(v.Get(9));
+  EXPECT_FALSE(v.Get(99));
+  EXPECT_EQ(v.Count(), 1u);
+}
+
+TEST(BitVectorTest, ResizeWithOnes) {
+  BitVector v(5);
+  v.Resize(70, true);
+  EXPECT_EQ(v.Count(), 65u);  // The original 5 stay zero.
+  EXPECT_FALSE(v.Get(0));
+  EXPECT_TRUE(v.Get(5));
+  EXPECT_TRUE(v.Get(69));
+}
+
+TEST(BitVectorTest, FirstZeroScansAcrossWords) {
+  BitVector v(130, true);
+  EXPECT_EQ(v.FirstZero(), 130u);  // All set.
+  v.Set(128, false);
+  EXPECT_EQ(v.FirstZero(), 128u);
+  v.Set(1, false);
+  EXPECT_EQ(v.FirstZero(), 1u);
+  v.ClearAll();
+  EXPECT_EQ(v.FirstZero(), 0u);
+  EXPECT_TRUE(v.NoneSet());
+}
+
+TEST(BitVectorTest, AllSetEmptyEdge) {
+  BitVector empty;
+  EXPECT_TRUE(empty.AllSet());  // Vacuously.
+  EXPECT_EQ(empty.FirstZero(), 0u);
+  BitVector v(64, true);
+  EXPECT_TRUE(v.AllSet());
+}
+
+TEST(SimTimeTest, ArithmeticAndComparison) {
+  EXPECT_EQ(SimTime::Millis(1), SimTime::Micros(1000));
+  EXPECT_EQ(SimTime::Seconds(2).nanos(), 2000000000LL);
+  EXPECT_LT(SimTime::Micros(999), SimTime::Millis(1));
+  EXPECT_EQ((SimTime::Millis(3) - SimTime::Millis(1)).nanos(),
+            SimTime::Millis(2).nanos());
+  EXPECT_EQ((SimTime::Micros(5) * 3).nanos(), SimTime::Micros(15).nanos());
+  EXPECT_DOUBLE_EQ(SimTime::Millis(1500).ToSecondsF(), 1.5);
+}
+
+TEST(SimTimeTest, TransferTimeMatchesRate) {
+  // 1000 bytes at 8000 bits/s = 1 second.
+  EXPECT_EQ(TransferTime(1000, 8000.0), SimTime::Seconds(1));
+  // Zero rate = free (modelling "infinitely fast" components).
+  EXPECT_EQ(TransferTime(1000, 0.0), SimTime::Zero());
+  // Rounds up to whole nanoseconds.
+  EXPECT_GE(TransferTime(1, 3e9).nanos(), 1);
+}
+
+TEST(SimTimeTest, ToStringPicksUnits) {
+  EXPECT_EQ(SimTime::Zero().ToString(), "0s");
+  EXPECT_EQ(SimTime::Nanos(12).ToString(), "12ns");
+  EXPECT_NE(SimTime::Micros(34).ToString().find("us"), std::string::npos);
+  EXPECT_NE(SimTime::Millis(56).ToString().find("ms"), std::string::npos);
+  EXPECT_NE(SimTime::Seconds(7).ToString().find("s"), std::string::npos);
+}
+
+TEST(StringUtilTest, Formatting) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(HumanBitsPerSecond(40e6), "40.00 Mbps");
+}
+
+TEST(StringUtilTest, SplitJoinLower) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(JoinStrings({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(ToLower("AbC-9"), "abc-9");
+}
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_EQ(*q.Pop(), 3);
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenSignals) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Close();
+  EXPECT_FALSE(q.Push(2));  // Closed queues refuse pushes.
+  EXPECT_EQ(*q.Pop(), 1);   // But drain what is there.
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, TryOperations) {
+  BlockingQueue<int> q(/*capacity=*/1);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));  // Full.
+  EXPECT_EQ(*q.TryPop(), 1);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 1000;
+  constexpr int kProducers = 4;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        consumed++;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<size_t>(p)].join();
+  q.Close();
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  const int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace dfdb

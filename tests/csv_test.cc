@@ -1,0 +1,141 @@
+/// \file csv_test.cc
+/// \brief Tests for CSV import/export.
+
+#include "workload/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/reference.h"
+#include "ra/parser.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+namespace dfdb {
+namespace {
+
+Schema PeopleSchema() {
+  return Schema::CreateOrDie({Column::Int32("id"), Column::Char("name", 16),
+                              Column::Double("score")});
+}
+
+TEST(CsvTest, ImportWithSchema) {
+  StorageEngine storage(256);
+  std::istringstream in(
+      "id,name,score\n"
+      "1,alice,3.5\n"
+      "2,bob,-1.25\n"
+      "3,\"c, quoted\",0\n");
+  ASSERT_OK_AND_ASSIGN(uint64_t rows,
+                       ImportCsv(&storage, "people", PeopleSchema(), in));
+  EXPECT_EQ(rows, 3u);
+  ASSERT_OK_AND_ASSIGN(RelationMeta meta,
+                       storage.catalog().GetRelation("people"));
+  EXPECT_EQ(meta.tuple_count, 3u);
+
+  // Read back and check a quoted field survived.
+  ReferenceExecutor reference(&storage);
+  ASSERT_OK_AND_ASSIGN(auto plan, ParseQuery("restrict(people, id = 3)"));
+  ASSERT_OK_AND_ASSIGN(QueryResult result, reference.Execute(*plan));
+  ASSERT_EQ(result.num_tuples(), 1u);
+  ASSERT_OK_AND_ASSIGN(auto row_values, result.ToRows());
+  EXPECT_EQ(row_values[0][1].as_char(), "c, quoted");
+}
+
+TEST(CsvTest, ImportIsAtomicOnError) {
+  StorageEngine storage(256);
+  std::istringstream in(
+      "id,name,score\n"
+      "1,alice,3.5\n"
+      "oops,bob,1\n");
+  auto result = ImportCsv(&storage, "people", PeopleSchema(), in);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+  // Nothing left behind.
+  EXPECT_FALSE(storage.catalog().Exists("people"));
+}
+
+TEST(CsvTest, ImportRejectsBadShapes) {
+  StorageEngine storage(256);
+  {
+    std::istringstream in("id,name,score\n1,alice\n");
+    EXPECT_FALSE(ImportCsv(&storage, "p1", PeopleSchema(), in).ok());
+  }
+  {
+    std::istringstream in("id,name,score\n1,\"broken,2.0\n");
+    EXPECT_FALSE(ImportCsv(&storage, "p2", PeopleSchema(), in).ok());
+  }
+  {
+    std::istringstream in(
+        "id,name,score\n1,this_name_is_way_too_long_for_char16,1\n");
+    EXPECT_FALSE(ImportCsv(&storage, "p3", PeopleSchema(), in).ok());
+  }
+}
+
+TEST(CsvTest, InferredSchemaTypes) {
+  StorageEngine storage(256);
+  std::istringstream in(
+      "a,b,c\n"
+      "10,2.5,hello\n"
+      "-3,0.1,world\n");
+  ASSERT_OK_AND_ASSIGN(uint64_t rows, ImportCsvInferred(&storage, "t", in));
+  EXPECT_EQ(rows, 2u);
+  ASSERT_OK_AND_ASSIGN(RelationMeta meta, storage.catalog().GetRelation("t"));
+  EXPECT_EQ(meta.schema.column(0).type, ColumnType::kInt64);
+  EXPECT_EQ(meta.schema.column(1).type, ColumnType::kDouble);
+  EXPECT_EQ(meta.schema.column(2).type, ColumnType::kChar);
+}
+
+TEST(CsvTest, InferredRequiresHeaderAndData) {
+  StorageEngine storage(256);
+  std::istringstream empty("");
+  EXPECT_FALSE(ImportCsvInferred(&storage, "x", empty).ok());
+  std::istringstream only_header("a,b\n");
+  EXPECT_FALSE(ImportCsvInferred(&storage, "y", only_header).ok());
+}
+
+TEST(CsvTest, ExportRoundTrip) {
+  StorageEngine storage(256);
+  std::istringstream in(
+      "id,name,score\n"
+      "1,alice,3.5\n"
+      "2,\"has \"\"quotes\"\"\",2\n");
+  ASSERT_OK_AND_ASSIGN(uint64_t rows,
+                       ImportCsv(&storage, "people", PeopleSchema(), in));
+  EXPECT_EQ(rows, 2u);
+  std::ostringstream out;
+  ASSERT_OK_AND_ASSIGN(uint64_t exported,
+                       ExportCsv(&storage, "people", out));
+  EXPECT_EQ(exported, 2u);
+
+  // Import the export into a second engine; contents must match.
+  StorageEngine storage2(256);
+  std::istringstream back(out.str());
+  ASSERT_OK_AND_ASSIGN(uint64_t rows2,
+                       ImportCsv(&storage2, "people", PeopleSchema(), back));
+  EXPECT_EQ(rows2, 2u);
+  ReferenceExecutor r1(&storage), r2(&storage2);
+  ASSERT_OK_AND_ASSIGN(auto plan, ParseQuery("people"));
+  ASSERT_OK_AND_ASSIGN(QueryResult a, r1.Execute(*plan));
+  ASSERT_OK_AND_ASSIGN(QueryResult b, r2.Execute(*plan));
+  testing::ExpectSameResult(a, b);
+}
+
+TEST(CsvTest, ExportQueryResult) {
+  StorageEngine storage(1000);
+  ASSERT_OK_AND_ASSIGN(auto rel, GenerateRelation(&storage, "r", 50, 1));
+  (void)rel;
+  ReferenceExecutor reference(&storage);
+  ASSERT_OK_AND_ASSIGN(auto plan,
+                       ParseQuery("agg(r, [k10], [count() as n])"));
+  ASSERT_OK_AND_ASSIGN(QueryResult result, reference.Execute(*plan));
+  std::ostringstream out;
+  ASSERT_OK_AND_ASSIGN(uint64_t rows, ExportResultCsv(result, out));
+  EXPECT_EQ(rows, result.num_tuples());
+  // Header uses the aggregate output names.
+  EXPECT_EQ(out.str().substr(0, 6), "k10,n\n");
+}
+
+}  // namespace
+}  // namespace dfdb

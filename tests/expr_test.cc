@@ -1,0 +1,151 @@
+/// \file expr_test.cc
+/// \brief Tests for scalar expression trees.
+
+#include "ra/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/tuple.h"
+#include "tests/test_util.h"
+
+namespace dfdb {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = Schema::CreateOrDie({Column::Int32("a"), Column::Double("d"),
+                                   Column::Char("s", 4)});
+    auto encoded = EncodeTuple(
+        schema_, {Value::Int32(10), Value::Double(2.5), Value::Char("hi")});
+    ASSERT_TRUE(encoded.ok());
+    tuple_bytes_ = *encoded;
+    auto encoded2 = EncodeTuple(
+        schema_, {Value::Int32(3), Value::Double(-1.0), Value::Char("zz")});
+    ASSERT_TRUE(encoded2.ok());
+    tuple2_bytes_ = *encoded2;
+  }
+
+  TupleView Left() { return TupleView(&schema_, Slice(tuple_bytes_)); }
+  TupleView Right() { return TupleView(&schema_, Slice(tuple2_bytes_)); }
+
+  /// Binds against (schema_, schema_) and evaluates as a predicate.
+  bool EvalPred(const ExprPtr& e) {
+    EXPECT_OK(e->Bind(schema_, &schema_));
+    TupleView l = Left(), r = Right();
+    auto v = e->EvalBool(l, &r);
+    EXPECT_TRUE(v.ok()) << v.status();
+    return v.ok() && *v;
+  }
+
+  Schema schema_;
+  std::string tuple_bytes_;
+  std::string tuple2_bytes_;
+};
+
+TEST_F(ExprTest, LiteralsEvaluateToThemselves) {
+  ExprPtr e = Lit(7);
+  ASSERT_OK(e->Bind(schema_, nullptr));
+  TupleView l = Left();
+  ASSERT_OK_AND_ASSIGN(Value v, e->Eval(l, nullptr));
+  EXPECT_EQ(v.as_int32(), 7);
+  EXPECT_FALSE(e->ReferencesRight());
+}
+
+TEST_F(ExprTest, ColumnRefReadsCorrectSide) {
+  EXPECT_TRUE(EvalPred(Eq(Col("a"), Lit(10))));
+  EXPECT_TRUE(EvalPred(Eq(RightCol("a"), Lit(3))));
+  EXPECT_FALSE(EvalPred(Eq(Col("a"), RightCol("a"))));
+  EXPECT_TRUE(Eq(Col("a"), RightCol("a"))->ReferencesRight());
+}
+
+TEST_F(ExprTest, UnboundColumnFails) {
+  ExprPtr e = Col("a");
+  TupleView l = Left();
+  EXPECT_TRUE(e->Eval(l, nullptr).status().IsFailedPrecondition());
+}
+
+TEST_F(ExprTest, BindErrors) {
+  EXPECT_TRUE(Col("nope")->Bind(schema_, nullptr).IsNotFound());
+  // Right-side column with no right schema.
+  EXPECT_TRUE(RightCol("a")->Bind(schema_, nullptr).IsInvalidArgument());
+}
+
+TEST_F(ExprTest, AllComparisonOps) {
+  EXPECT_TRUE(EvalPred(Eq(Lit(1), Lit(1))));
+  EXPECT_TRUE(EvalPred(Ne(Lit(1), Lit(2))));
+  EXPECT_TRUE(EvalPred(Lt(Lit(1), Lit(2))));
+  EXPECT_TRUE(EvalPred(Le(Lit(2), Lit(2))));
+  EXPECT_TRUE(EvalPred(Gt(Lit(3), Lit(2))));
+  EXPECT_TRUE(EvalPred(Ge(Lit(2), Lit(2))));
+  EXPECT_FALSE(EvalPred(Lt(Lit(2), Lit(2))));
+}
+
+TEST_F(ExprTest, StringComparison) {
+  EXPECT_TRUE(EvalPred(Eq(Col("s"), Lit("hi"))));
+  EXPECT_TRUE(EvalPred(Lt(Col("s"), RightCol("s"))));  // "hi" < "zz".
+}
+
+TEST_F(ExprTest, LogicalOpsWithShortCircuit) {
+  EXPECT_TRUE(EvalPred(And(Lit(1), Lit(1))));
+  EXPECT_FALSE(EvalPred(And(Lit(0), Lit(1))));
+  EXPECT_TRUE(EvalPred(Or(Lit(0), Lit(1))));
+  EXPECT_FALSE(EvalPred(Or(Lit(0), Lit(0))));
+  EXPECT_TRUE(EvalPred(Not(Lit(0))));
+  // Short-circuit: the right side would divide by zero if evaluated.
+  EXPECT_FALSE(EvalPred(And(Lit(0), Eq(Div(Lit(1), Lit(0)), Lit(1)))));
+  EXPECT_TRUE(EvalPred(Or(Lit(1), Eq(Div(Lit(1), Lit(0)), Lit(1)))));
+}
+
+TEST_F(ExprTest, ArithmeticTyping) {
+  ExprPtr int_add = Add(Col("a"), Lit(5));
+  ASSERT_OK(int_add->Bind(schema_, nullptr));
+  TupleView l = Left();
+  ASSERT_OK_AND_ASSIGN(Value v, int_add->Eval(l, nullptr));
+  EXPECT_EQ(v.type(), ColumnType::kInt64);
+  EXPECT_EQ(v.as_int64(), 15);
+
+  ExprPtr mixed = Mul(Col("a"), Col("d"));
+  ASSERT_OK(mixed->Bind(schema_, nullptr));
+  ASSERT_OK_AND_ASSIGN(Value m, mixed->Eval(l, nullptr));
+  EXPECT_EQ(m.type(), ColumnType::kDouble);
+  EXPECT_DOUBLE_EQ(m.as_double(), 25.0);
+
+  // Division is always double and checks for zero.
+  ExprPtr division = Div(Lit(7), Lit(2));
+  ASSERT_OK(division->Bind(schema_, nullptr));
+  ASSERT_OK_AND_ASSIGN(Value d, division->Eval(l, nullptr));
+  EXPECT_DOUBLE_EQ(d.as_double(), 3.5);
+  ExprPtr by_zero = Div(Lit(1), Lit(0));
+  ASSERT_OK(by_zero->Bind(schema_, nullptr));
+  EXPECT_TRUE(by_zero->Eval(l, nullptr).status().IsInvalidArgument());
+}
+
+TEST_F(ExprTest, SubtractionAndPredicateOnArith) {
+  EXPECT_TRUE(EvalPred(Eq(Sub(Col("a"), Lit(7)), Lit(3))));
+  EXPECT_TRUE(EvalPred(Gt(Add(Col("a"), RightCol("a")), Lit(12))));
+}
+
+TEST_F(ExprTest, CharAsPredicateIsError) {
+  ExprPtr e = Col("s");
+  ASSERT_OK(e->Bind(schema_, nullptr));
+  TupleView l = Left();
+  EXPECT_TRUE(e->EvalBool(l, nullptr).status().IsInvalidArgument());
+}
+
+TEST_F(ExprTest, MismatchedTypesInComparison) {
+  ExprPtr e = Eq(Col("s"), Lit(5));
+  ASSERT_OK(e->Bind(schema_, nullptr));
+  TupleView l = Left();
+  EXPECT_FALSE(e->Eval(l, nullptr).ok());
+}
+
+TEST_F(ExprTest, ToStringReadable) {
+  ExprPtr e = And(Lt(Col("a"), Lit(5)), Eq(RightCol("s"), Lit("hi")));
+  EXPECT_EQ(e->ToString(), "((a < 5) AND (right.s = hi))");
+  EXPECT_EQ(Not(Lit(1))->ToString(), "NOT 1");
+  EXPECT_EQ(Add(Lit(1), Lit(2))->ToString(), "(1 + 2)");
+}
+
+}  // namespace
+}  // namespace dfdb

@@ -1,0 +1,159 @@
+/// \file failure_test.cc
+/// \brief Failure injection: runtime errors inside operators must fail the
+/// query cleanly — correct Status out, no hangs, no crashes — on every
+/// executor.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/reference.h"
+#include "machine/simulator.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+namespace dfdb {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_unique<StorageEngine>(500);
+    ASSERT_OK_AND_ASSIGN(auto r, GenerateRelation(storage_.get(), "r", 200, 1));
+    ASSERT_OK_AND_ASSIGN(auto s, GenerateRelation(storage_.get(), "s", 80, 2));
+    (void)r;
+    (void)s;
+  }
+
+  ExecOptions Opts(int procs = 4) {
+    ExecOptions o;
+    o.num_processors = procs;
+    o.page_bytes = 500;
+    return o;
+  }
+
+  std::unique_ptr<StorageEngine> storage_;
+};
+
+/// A predicate that divides by zero for some tuples: analyzes fine, blows
+/// up at execution time.
+PlanNodePtr DivByZeroPlan() {
+  // k2 is 0 for roughly half the tuples: 1 / k2 faults at runtime.
+  return MakeRestrict(MakeScan("r"),
+                      Gt(Div(Lit(1), Col("k2")), Lit(0)));
+}
+
+TEST_F(FailureTest, RuntimePredicateErrorFailsEngineCleanly) {
+  Executor engine(storage_.get(), Opts());
+  auto result = engine.Execute(*DivByZeroPlan());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status();
+  EXPECT_NE(result.status().message().find("division by zero"),
+            std::string::npos);
+  // The engine is reusable after a failed query.
+  auto ok = engine.Execute(*MakeScan("r"));
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST_F(FailureTest, RuntimePredicateErrorFailsReference) {
+  ReferenceExecutor reference(storage_.get());
+  auto result = reference.Execute(*DivByZeroPlan());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(FailureTest, RuntimePredicateErrorFailsSimulator) {
+  MachineOptions opts;
+  opts.config.num_instruction_processors = 4;
+  opts.config.page_bytes = 500;
+  MachineSimulator sim(storage_.get(), opts);
+  auto result = sim.Run({DivByZeroPlan().get()});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(FailureTest, RuntimeErrorInsideJoinTerminatesBatch) {
+  // The faulting predicate sits on the join, deep in the pipeline; the
+  // other (healthy) query of the batch must not be reported as a result.
+  auto bad = MakeJoin(MakeScan("r"), MakeScan("s"),
+                      Gt(Div(Lit(1), Col("k2")), Lit(0)));
+  auto good = MakeRestrict(MakeScan("s"), Lt(Col("k1000"), Lit(500)));
+  Executor engine(storage_.get(), Opts());
+  auto results = engine.ExecuteBatch({bad.get(), good.get()});
+  ASSERT_FALSE(results.ok());
+  EXPECT_TRUE(results.status().IsInvalidArgument());
+}
+
+TEST_F(FailureTest, CharPredicateErrorSurfacesFromAllGranularities) {
+  // A CHAR column used as a boolean fails EvalBool at runtime.
+  auto plan = MakeRestrict(MakeScan("r"), Col("pad"));
+  for (Granularity g :
+       {Granularity::kPage, Granularity::kRelation, Granularity::kTuple}) {
+    ExecOptions o = Opts();
+    o.granularity = g;
+    Executor engine(storage_.get(), o);
+    auto result = engine.Execute(*plan);
+    ASSERT_FALSE(result.ok()) << GranularityToString(g);
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+  }
+}
+
+TEST_F(FailureTest, AppendTargetDroppedBeforeExecution) {
+  ASSERT_OK_AND_ASSIGN(auto victim,
+                       storage_->CreateRelation("victim", BenchmarkSchema()));
+  (void)victim;
+  auto plan = MakeAppend(MakeScan("r"), "victim");
+  ASSERT_OK(storage_->DropRelation("victim"));
+  Executor engine(storage_.get(), Opts());
+  auto result = engine.Execute(*plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(FailureTest, EmptyRelationFlowsThroughEverything) {
+  ASSERT_OK_AND_ASSIGN(auto empty,
+                       storage_->CreateRelation("empty", BenchmarkSchema()));
+  (void)empty;
+  auto plan = MakeJoin(
+      MakeScan("empty"),
+      MakeRestrict(MakeScan("r"), Lt(Col("k1000"), Lit(100))),
+      Eq(Col("k100"), RightCol("k100")));
+  Executor engine(storage_.get(), Opts());
+  ASSERT_OK_AND_ASSIGN(QueryResult er, engine.Execute(*plan));
+  EXPECT_EQ(er.num_tuples(), 0u);
+  MachineOptions mopts;
+  mopts.config.page_bytes = 500;
+  MachineSimulator sim(storage_.get(), mopts);
+  ASSERT_OK_AND_ASSIGN(MachineReport report, sim.Run({plan.get()}));
+  EXPECT_EQ(report.results[0].num_tuples(), 0u);
+}
+
+TEST_F(FailureTest, SingleTupleRelation) {
+  ASSERT_OK_AND_ASSIGN(auto one, GenerateRelation(storage_.get(), "one", 1, 9));
+  (void)one;
+  auto plan = MakeJoin(MakeScan("one"), MakeScan("one"),
+                       Eq(Col("id"), RightCol("id")));
+  Executor engine(storage_.get(), Opts(1));
+  ASSERT_OK_AND_ASSIGN(QueryResult result, engine.Execute(*plan));
+  EXPECT_EQ(result.num_tuples(), 1u);
+}
+
+TEST_F(FailureTest, SimulatorZeroIpConfigCaught) {
+  // Degenerate hardware configs must not hang: 1 IP, 1 IC, 1-page memories.
+  MachineOptions opts;
+  opts.config.num_instruction_processors = 1;
+  opts.config.num_instruction_controllers = 1;
+  opts.config.ic_local_memory_pages = 1;
+  opts.config.disk_cache_pages = 1;
+  opts.config.num_disk_drives = 1;
+  opts.config.page_bytes = 500;
+  MachineSimulator sim(storage_.get(), opts);
+  auto plan = MakeJoin(MakeScan("r"), MakeScan("s"),
+                       Eq(Col("k100"), RightCol("k100")));
+  ASSERT_OK_AND_ASSIGN(MachineReport report, sim.Run({plan.get()}));
+  ReferenceExecutor reference(storage_.get());
+  ASSERT_OK_AND_ASSIGN(QueryResult expected, reference.Execute(*plan));
+  testing::ExpectSameResult(expected, report.results[0]);
+}
+
+}  // namespace
+}  // namespace dfdb

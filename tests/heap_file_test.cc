@@ -1,0 +1,149 @@
+/// \file heap_file_test.cc
+/// \brief Tests for heap files and the storage-engine facade.
+
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/storage_engine.h"
+#include "tests/test_util.h"
+
+namespace dfdb {
+namespace {
+
+Schema SmallSchema() {
+  return Schema::CreateOrDie({Column::Int32("k"), Column::Int32("v")});
+}
+
+TEST(HeapFileTest, AppendSealsFullPages) {
+  PageStore store;
+  HeapFile file(1, SmallSchema(), /*page_bytes=*/32, &store);  // 4 tuples/page.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(file.Append({Value::Int32(i), Value::Int32(i * i)}));
+  }
+  EXPECT_EQ(file.tuple_count(), 10u);
+  EXPECT_EQ(file.PageIds().size(), 2u);  // 8 tuples sealed, 2 buffered.
+  EXPECT_EQ(file.page_count(), 3u);      // Counting the open page.
+  ASSERT_OK(file.Flush());
+  EXPECT_EQ(file.PageIds().size(), 3u);
+  // Flush of empty current page is a no-op.
+  ASSERT_OK(file.Flush());
+  EXPECT_EQ(file.PageIds().size(), 3u);
+}
+
+TEST(HeapFileTest, RowsSurviveRoundTrip) {
+  PageStore store;
+  Schema schema = SmallSchema();
+  HeapFile file(1, schema, 64, &store);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(file.Append({Value::Int32(i), Value::Int32(100 - i)}));
+  }
+  ASSERT_OK(file.Flush());
+  int idx = 0;
+  for (PageId id : file.PageIds()) {
+    ASSERT_OK_AND_ASSIGN(PagePtr page, store.Get(id));
+    for (int t = 0; t < page->num_tuples(); ++t, ++idx) {
+      TupleView view(&schema, page->tuple(t));
+      ASSERT_OK_AND_ASSIGN(Value k, view.GetValue(0));
+      EXPECT_EQ(k.as_int32(), idx);
+    }
+  }
+  EXPECT_EQ(idx, 20);
+}
+
+TEST(HeapFileTest, DeleteWhereRewritesCompactly) {
+  PageStore store;
+  Schema schema = SmallSchema();
+  HeapFile file(1, schema, 64, &store);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(file.Append({Value::Int32(i), Value::Int32(0)}));
+  }
+  const size_t pages_before = store.size();
+  ASSERT_OK_AND_ASSIGN(uint64_t removed,
+                       file.DeleteWhere([&schema](const TupleView& t) {
+                         auto v = t.GetValue(0);
+                         return v.ok() && v->as_int32() % 2 == 0;
+                       }));
+  EXPECT_EQ(removed, 25u);
+  EXPECT_EQ(file.tuple_count(), 25u);
+  // Old pages were freed from the store.
+  EXPECT_LE(store.size(), pages_before);
+  // Every remaining key is odd.
+  for (PageId id : file.PageIds()) {
+    ASSERT_OK_AND_ASSIGN(PagePtr page, store.Get(id));
+    for (int t = 0; t < page->num_tuples(); ++t) {
+      TupleView view(&schema, page->tuple(t));
+      ASSERT_OK_AND_ASSIGN(Value k, view.GetValue(0));
+      EXPECT_EQ(k.as_int32() % 2, 1);
+    }
+  }
+}
+
+TEST(HeapFileTest, DeleteEverythingAndNothing) {
+  PageStore store;
+  HeapFile file(1, SmallSchema(), 64, &store);
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_OK(file.Append({Value::Int32(i), Value::Int32(0)}));
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t none,
+                       file.DeleteWhere([](const TupleView&) { return false; }));
+  EXPECT_EQ(none, 0u);
+  EXPECT_EQ(file.tuple_count(), 9u);
+  ASSERT_OK_AND_ASSIGN(uint64_t all,
+                       file.DeleteWhere([](const TupleView&) { return true; }));
+  EXPECT_EQ(all, 9u);
+  EXPECT_EQ(file.tuple_count(), 0u);
+  EXPECT_EQ(file.PageIds().size(), 0u);
+}
+
+TEST(HeapFileTest, AppendPageChecksWidth) {
+  PageStore store;
+  HeapFile file(1, SmallSchema(), 64, &store);
+  ASSERT_OK_AND_ASSIGN(Page good, Page::Create(2, 8, 64));
+  ASSERT_OK(good.Append(Slice("12345678")));
+  ASSERT_OK(file.AppendPage(good));
+  EXPECT_EQ(file.tuple_count(), 1u);
+  ASSERT_OK_AND_ASSIGN(Page bad, Page::Create(2, 5, 64));
+  EXPECT_TRUE(file.AppendPage(bad).IsInvalidArgument());
+}
+
+TEST(StorageEngineTest, CreateDropLifecycle) {
+  StorageEngine storage(128);
+  ASSERT_OK_AND_ASSIGN(RelationId id,
+                       storage.CreateRelation("t", SmallSchema()));
+  ASSERT_OK_AND_ASSIGN(HeapFile * file, storage.GetHeapFile(id));
+  ASSERT_OK(file->Append({Value::Int32(1), Value::Int32(2)}));
+  ASSERT_OK(storage.SyncStats(id));
+  ASSERT_OK_AND_ASSIGN(RelationMeta meta, storage.catalog().GetRelation("t"));
+  EXPECT_EQ(meta.tuple_count, 1u);
+  EXPECT_GT(storage.page_store().size(), 0u);
+  ASSERT_OK(storage.DropRelation("t"));
+  EXPECT_EQ(storage.page_store().size(), 0u);
+  EXPECT_TRUE(storage.GetHeapFile(id).status().IsNotFound());
+  EXPECT_TRUE(storage.DropRelation("t").IsNotFound());
+}
+
+TEST(StorageEngineTest, PageSizeMustHoldTuple) {
+  StorageEngine storage(4);
+  EXPECT_TRUE(storage.CreateRelation("t", SmallSchema())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(storage.CreateRelation("t", SmallSchema(), 8).ok());
+}
+
+TEST(StorageEngineTest, SyncAllStats) {
+  StorageEngine storage(64);
+  ASSERT_OK_AND_ASSIGN(RelationId a, storage.CreateRelation("a", SmallSchema()));
+  ASSERT_OK_AND_ASSIGN(RelationId b, storage.CreateRelation("b", SmallSchema()));
+  ASSERT_OK_AND_ASSIGN(HeapFile * fa, storage.GetHeapFile(a));
+  ASSERT_OK_AND_ASSIGN(HeapFile * fb, storage.GetHeapFile(b));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(fa->Append({Value::Int32(i), Value::Int32(0)}));
+  }
+  ASSERT_OK(fb->Append({Value::Int32(9), Value::Int32(9)}));
+  ASSERT_OK(storage.SyncAllStats());
+  EXPECT_EQ(storage.catalog().TotalBytes(), (5 + 1) * 8);
+}
+
+}  // namespace
+}  // namespace dfdb

@@ -1,0 +1,153 @@
+/// \file integration_test.cc
+/// \brief Full-stack integration: the paper benchmark end-to-end on all
+/// three executors, plus cross-engine statistics invariants.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/reference.h"
+#include "machine/simulator.h"
+#include "tests/test_util.h"
+#include "workload/paper_benchmark.h"
+
+namespace dfdb {
+namespace {
+
+using ::dfdb::testing::ExpectSameResult;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_unique<StorageEngine>(4096);
+    ASSERT_OK_AND_ASSIGN(int64_t bytes,
+                         BuildPaperDatabase(storage_.get(), 0.05, 42));
+    EXPECT_GT(bytes, 0);
+  }
+
+  std::unique_ptr<StorageEngine> storage_;
+};
+
+TEST_F(IntegrationTest, AllTenQueriesAgreeAcrossExecutors) {
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<const PlanNode*> plans;
+  for (const Query& q : queries) plans.push_back(q.root.get());
+
+  // Reference results.
+  ReferenceExecutor reference(storage_.get());
+  std::vector<QueryResult> expected;
+  for (const Query& q : queries) {
+    ASSERT_OK_AND_ASSIGN(QueryResult r, reference.Execute(*q.root));
+    expected.push_back(std::move(r));
+  }
+
+  // Threads engine, batch, page granularity.
+  ExecOptions eopts;
+  eopts.granularity = Granularity::kPage;
+  eopts.num_processors = 4;
+  eopts.page_bytes = 4096;
+  Executor engine(storage_.get(), eopts);
+  ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> engine_results,
+                       engine.ExecuteBatch(plans));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE(queries[i].name);
+    ExpectSameResult(expected[i], engine_results[i]);
+  }
+
+  // Machine simulator, batch, page granularity.
+  MachineOptions mopts;
+  mopts.granularity = Granularity::kPage;
+  mopts.config.num_instruction_processors = 8;
+  mopts.config.page_bytes = 4096;
+  MachineSimulator sim(storage_.get(), mopts);
+  ASSERT_OK_AND_ASSIGN(MachineReport report, sim.Run(plans));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE(queries[i].name);
+    ExpectSameResult(expected[i], report.results[i]);
+  }
+}
+
+TEST_F(IntegrationTest, SortMergeReferenceAgreesOnEquiJoins) {
+  // The Blasgen-Eswaran baseline must compute the same joins.
+  ReferenceExecutor reference(storage_.get());
+  for (const Query& q : MakePaperBenchmarkQueries()) {
+    ASSERT_OK_AND_ASSIGN(QueryResult nested,
+                         reference.Execute(*q.root, false));
+    ASSERT_OK_AND_ASSIGN(QueryResult merged, reference.Execute(*q.root, true));
+    SCOPED_TRACE(q.name);
+    ExpectSameResult(nested, merged);
+  }
+}
+
+TEST_F(IntegrationTest, EngineStatsInvariants) {
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<const PlanNode*> plans;
+  for (const Query& q : queries) plans.push_back(q.root.get());
+  ExecOptions opts;
+  opts.granularity = Granularity::kPage;
+  opts.num_processors = 2;
+  opts.page_bytes = 4096;
+  Executor engine(storage_.get(), opts);
+  ASSERT_OK_AND_ASSIGN(auto results, engine.ExecuteBatch(plans));
+  (void)results;
+  const ExecStats& stats = engine.last_stats();
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.tasks_executed, 0u);
+  EXPECT_GT(stats.packets, 0u);
+  // Every packet was counted with its overhead.
+  EXPECT_EQ(stats.overhead_bytes,
+            stats.packets * static_cast<uint64_t>(opts.packet_overhead_bytes));
+  // Joins re-read operands, so arbitration traffic strictly exceeds result
+  // traffic on this benchmark.
+  EXPECT_GT(stats.arbitration_bytes, stats.distribution_bytes);
+  EXPECT_GT(stats.pages_produced, 0u);
+  EXPECT_GT(stats.tuples_produced, 0u);
+  // Base data was read through the hierarchy.
+  EXPECT_GT(stats.buffer.disk_read_bytes, 0u);
+  EXPECT_EQ(stats.network_bytes(), stats.arbitration_bytes +
+                                       stats.distribution_bytes +
+                                       stats.overhead_bytes);
+}
+
+TEST_F(IntegrationTest, MachineGranularityOrderingOnBenchmark) {
+  // At equal resources: page <= relation makespan (the paper's claim), and
+  // every granularity completes with identical per-query tuple counts.
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<const PlanNode*> plans;
+  for (const Query& q : queries) plans.push_back(q.root.get());
+  SimTime times[2];
+  std::vector<uint64_t> counts[2];
+  for (int g = 0; g < 2; ++g) {
+    MachineOptions opts;
+    opts.granularity = g == 0 ? Granularity::kPage : Granularity::kRelation;
+    opts.config.num_instruction_processors = 16;
+    opts.config.page_bytes = 4096;
+    MachineSimulator sim(storage_.get(), opts);
+    ASSERT_OK_AND_ASSIGN(MachineReport report, sim.Run(plans));
+    times[g] = report.makespan;
+    for (const QueryResult& r : report.results) {
+      counts[g].push_back(r.num_tuples());
+    }
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_LE(times[0].nanos(), times[1].nanos());
+}
+
+TEST_F(IntegrationTest, RepeatedBatchesAreStable) {
+  // Running the same batch twice against the same (read-only) database
+  // produces identical results — guards against cross-run state leaks.
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<const PlanNode*> plans;
+  for (const Query& q : queries) plans.push_back(q.root.get());
+  ExecOptions opts;
+  opts.num_processors = 4;
+  opts.page_bytes = 4096;
+  Executor engine(storage_.get(), opts);
+  ASSERT_OK_AND_ASSIGN(auto first, engine.ExecuteBatch(plans));
+  ASSERT_OK_AND_ASSIGN(auto second, engine.ExecuteBatch(plans));
+  for (size_t i = 0; i < first.size(); ++i) {
+    ExpectSameResult(first[i], second[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dfdb

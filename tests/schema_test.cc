@@ -1,0 +1,148 @@
+/// \file schema_test.cc
+/// \brief Tests for typed values, schemas, and the catalog.
+
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "tests/test_util.h"
+
+namespace dfdb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Int32(5).type(), ColumnType::kInt32);
+  EXPECT_EQ(Value::Int64(5).type(), ColumnType::kInt64);
+  EXPECT_EQ(Value::Double(1.5).type(), ColumnType::kDouble);
+  EXPECT_EQ(Value::Char("x").type(), ColumnType::kChar);
+  EXPECT_EQ(Value::Int32(-3).as_int32(), -3);
+  EXPECT_EQ(Value::Char("abc").as_char(), "abc");
+}
+
+TEST(ValueTest, CompareAcrossNumericWidths) {
+  auto c = Value::Int32(5).Compare(Value::Int64(5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 0);
+  c = Value::Int32(5).Compare(Value::Double(5.5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+  c = Value::Double(7.0).Compare(Value::Int32(6));
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(*c, 0);
+}
+
+TEST(ValueTest, CompareCharWithNumericFails) {
+  EXPECT_FALSE(Value::Char("5").Compare(Value::Int32(5)).ok());
+  EXPECT_FALSE(Value::Int32(5).AsNumeric().status().ok() == false);
+  EXPECT_FALSE(Value::Char("x").AsNumeric().ok());
+}
+
+TEST(ValueTest, EqualNumbersHashEqually) {
+  EXPECT_EQ(Value::Int32(41).Hash(), Value::Int64(41).Hash());
+  EXPECT_EQ(Value::Int64(41).Hash(), Value::Double(41.0).Hash());
+  EXPECT_NE(Value::Int32(41).Hash(), Value::Int32(42).Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int32(7).ToString(), "7");
+  EXPECT_EQ(Value::Char("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Double(0.5).ToString(), "0.5");
+}
+
+TEST(SchemaTest, LayoutOffsets) {
+  Schema s = Schema::CreateOrDie(
+      {Column::Int32("a"), Column::Char("b", 10), Column::Double("c")});
+  EXPECT_EQ(s.num_columns(), 3);
+  EXPECT_EQ(s.offset(0), 0);
+  EXPECT_EQ(s.offset(1), 4);
+  EXPECT_EQ(s.offset(2), 14);
+  EXPECT_EQ(s.tuple_width(), 22);
+}
+
+TEST(SchemaTest, ValidationErrors) {
+  EXPECT_FALSE(Schema::Create({}).ok());
+  EXPECT_FALSE(Schema::Create({Column::Int32("")}).ok());
+  EXPECT_FALSE(
+      Schema::Create({Column::Int32("a"), Column::Int32("a")}).ok());
+  EXPECT_FALSE(Schema::Create({Column::Char("c", 0)}).ok());
+  Column bad = Column::Int32("x");
+  bad.width = 7;
+  EXPECT_FALSE(Schema::Create({bad}).ok());
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema s = Schema::CreateOrDie({Column::Int32("a"), Column::Int32("b")});
+  ASSERT_OK_AND_ASSIGN(int idx, s.ColumnIndex("b"));
+  EXPECT_EQ(idx, 1);
+  EXPECT_TRUE(s.ColumnIndex("zz").status().IsNotFound());
+}
+
+TEST(SchemaTest, ProjectSubset) {
+  Schema s = Schema::CreateOrDie(
+      {Column::Int32("a"), Column::Char("b", 8), Column::Double("c")});
+  ASSERT_OK_AND_ASSIGN(Schema p, s.Project({2, 0}));
+  EXPECT_EQ(p.num_columns(), 2);
+  EXPECT_EQ(p.column(0).name, "c");
+  EXPECT_EQ(p.column(1).name, "a");
+  EXPECT_EQ(p.tuple_width(), 12);
+  // Duplicates get disambiguated.
+  ASSERT_OK_AND_ASSIGN(Schema dup, s.Project({0, 0}));
+  EXPECT_NE(dup.column(0).name, dup.column(1).name);
+  // Out of range rejected.
+  EXPECT_FALSE(s.Project({5}).ok());
+}
+
+TEST(SchemaTest, ConcatRenamesCollisions) {
+  Schema a = Schema::CreateOrDie({Column::Int32("x"), Column::Int32("y")});
+  Schema b = Schema::CreateOrDie({Column::Int32("x"), Column::Int32("z")});
+  Schema j = a.Concat(b);
+  EXPECT_EQ(j.num_columns(), 4);
+  EXPECT_EQ(j.column(2).name, "x_r");
+  EXPECT_EQ(j.column(3).name, "z");
+  EXPECT_EQ(j.tuple_width(), 16);
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog catalog;
+  Schema s = Schema::CreateOrDie({Column::Int32("a")});
+  ASSERT_OK_AND_ASSIGN(RelationId id, catalog.CreateRelation("t", s));
+  EXPECT_NE(id, kInvalidRelationId);
+  EXPECT_TRUE(catalog.Exists("t"));
+  ASSERT_OK_AND_ASSIGN(RelationMeta meta, catalog.GetRelation("t"));
+  EXPECT_EQ(meta.id, id);
+  EXPECT_EQ(meta.schema, s);
+  ASSERT_OK_AND_ASSIGN(RelationMeta by_id, catalog.GetRelation(id));
+  EXPECT_EQ(by_id.name, "t");
+  ASSERT_OK(catalog.DropRelation("t"));
+  EXPECT_FALSE(catalog.Exists("t"));
+  EXPECT_TRUE(catalog.GetRelation("t").status().IsNotFound());
+  EXPECT_TRUE(catalog.GetRelation(id).status().IsNotFound());
+}
+
+TEST(CatalogTest, DuplicateNamesRejected) {
+  Catalog catalog;
+  Schema s = Schema::CreateOrDie({Column::Int32("a")});
+  ASSERT_OK_AND_ASSIGN(RelationId id, catalog.CreateRelation("t", s));
+  (void)id;
+  EXPECT_TRUE(catalog.CreateRelation("t", s).status().IsAlreadyExists());
+  EXPECT_TRUE(catalog.CreateRelation("", s).status().IsInvalidArgument());
+}
+
+TEST(CatalogTest, StatsAndTotals) {
+  Catalog catalog;
+  Schema s = Schema::CreateOrDie({Column::Char("pad", 100)});
+  ASSERT_OK_AND_ASSIGN(RelationId a, catalog.CreateRelation("a", s));
+  ASSERT_OK_AND_ASSIGN(RelationId b, catalog.CreateRelation("b", s));
+  ASSERT_OK(catalog.UpdateStats(a, 1000, 10));
+  ASSERT_OK(catalog.UpdateStats(b, 500, 5));
+  EXPECT_EQ(catalog.TotalBytes(), 150000);
+  ASSERT_OK_AND_ASSIGN(RelationMeta meta, catalog.GetRelation("a"));
+  EXPECT_EQ(meta.tuple_count, 1000u);
+  EXPECT_EQ(meta.page_count, 10u);
+  EXPECT_TRUE(catalog.UpdateStats(999, 1, 1).IsNotFound());
+  EXPECT_EQ(catalog.ListRelations(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace dfdb

@@ -1,0 +1,134 @@
+/// \file status_test.cc
+/// \brief Tests for Status, StatusOr and the error-propagation macros.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/statusor.h"
+
+namespace dfdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::Corruption("d"), StatusCode::kCorruption},
+      {Status::IOError("e"), StatusCode::kIOError},
+      {Status::NotSupported("f"), StatusCode::kNotSupported},
+      {Status::FailedPrecondition("g"), StatusCode::kFailedPrecondition},
+      {Status::OutOfRange("h"), StatusCode::kOutOfRange},
+      {Status::ResourceExhausted("i"), StatusCode::kResourceExhausted},
+      {Status::Aborted("j"), StatusCode::kAborted},
+      {Status::Internal("k"), StatusCode::kInternal},
+      {Status::Cancelled("l"), StatusCode::kCancelled},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsCorruption());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status s = Status::IOError("disk gone");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsIOError());
+  EXPECT_EQ(moved.message(), "disk gone");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("page 7");
+  Status wrapped = s.WithContext("fetching operand");
+  EXPECT_TRUE(wrapped.IsNotFound());
+  EXPECT_EQ(wrapped.message(), "fetching operand: page 7");
+  // OK statuses pass through untouched.
+  EXPECT_TRUE(Status::OK().WithContext("x").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Corruption("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, OkStatusIsRejected) {
+  StatusOr<int> v = Status::OK();
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInternal());
+}
+
+TEST(StatusOrTest, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(9);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = *std::move(v);
+  EXPECT_EQ(*out, 9);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+StatusOr<int> DoubleIfPositive(int x) {
+  DFDB_RETURN_IF_ERROR(FailIfNegative(x));
+  return x * 2;
+}
+
+StatusOr<int> ChainWithAssign(int x) {
+  DFDB_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(MacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(DoubleIfPositive(3).ok());
+  EXPECT_EQ(*DoubleIfPositive(3), 6);
+  EXPECT_TRUE(DoubleIfPositive(-1).status().IsInvalidArgument());
+}
+
+TEST(MacrosTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*ChainWithAssign(5), 11);
+  EXPECT_TRUE(ChainWithAssign(-2).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dfdb

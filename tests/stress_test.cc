@@ -1,0 +1,131 @@
+/// \file stress_test.cc
+/// \brief Concurrency stress: many simultaneous queries, write conflicts,
+/// and repeated runs shaking out races in the dataflow engine.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/reference.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+namespace dfdb {
+namespace {
+
+using ::dfdb::testing::ExpectSameResult;
+
+class StressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_unique<StorageEngine>(600);
+    ASSERT_OK_AND_ASSIGN(auto a, GenerateRelation(storage_.get(), "a", 400, 1));
+    ASSERT_OK_AND_ASSIGN(auto b, GenerateRelation(storage_.get(), "b", 150, 2));
+    (void)a;
+    (void)b;
+  }
+
+  std::unique_ptr<StorageEngine> storage_;
+};
+
+TEST_F(StressTest, TwentyConcurrentReadQueries) {
+  // A wide batch of read-only queries sharing relations: all run
+  // concurrently (no conflicts) and every result matches the reference.
+  std::vector<PlanNodePtr> plans;
+  std::vector<const PlanNode*> raw;
+  for (int i = 0; i < 20; ++i) {
+    const int32_t cut = 50 + i * 45;
+    if (i % 3 == 0) {
+      plans.push_back(
+          MakeJoin(MakeRestrict(MakeScan("a"), Lt(Col("k1000"), Lit(cut))),
+                   MakeScan("b"), Eq(Col("k100"), RightCol("k100"))));
+    } else {
+      plans.push_back(MakeRestrict(MakeScan(i % 2 ? "a" : "b"),
+                                   Ge(Col("k1000"), Lit(cut))));
+    }
+    raw.push_back(plans.back().get());
+  }
+  ExecOptions opts;
+  opts.num_processors = 8;
+  opts.page_bytes = 600;
+  Executor engine(storage_.get(), opts);
+  ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> results,
+                       engine.ExecuteBatch(raw));
+  ReferenceExecutor reference(storage_.get());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_OK_AND_ASSIGN(QueryResult expected, reference.Execute(*plans[i]));
+    ExpectSameResult(expected, results[i]);
+  }
+}
+
+TEST_F(StressTest, ConflictingWritersSerializeInSubmissionOrder) {
+  // Three writers into the same relation submitted in one batch: the MC
+  // admits conflicting queries FIFO, so the final state is deterministic:
+  //   1. append all a-rows with k1000 < 100        (+N1)
+  //   2. append all a-rows with k1000 >= 900       (+N2)
+  //   3. delete rows with k2 = 0                    (-matching)
+  ASSERT_OK_AND_ASSIGN(auto acc,
+                       storage_->CreateRelation("acc", BenchmarkSchema()));
+  (void)acc;
+  auto w1 = MakeAppend(
+      MakeRestrict(MakeScan("a"), Lt(Col("k1000"), Lit(100))), "acc");
+  auto w2 = MakeAppend(
+      MakeRestrict(MakeScan("a"), Ge(Col("k1000"), Lit(900))), "acc");
+  auto w3 = MakeDelete("acc", Eq(Col("k2"), Lit(0)));
+  ExecOptions opts;
+  opts.num_processors = 4;
+  opts.page_bytes = 600;
+  Executor engine(storage_.get(), opts);
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       engine.ExecuteBatch({w1.get(), w2.get(), w3.get()}));
+  (void)results;
+
+  // Expected final contents, computed serially.
+  ReferenceExecutor reference(storage_.get());
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult expected,
+      reference.Execute(*MakeRestrict(
+          MakeScan("a"),
+          And(Or(Lt(Col("k1000"), Lit(100)), Ge(Col("k1000"), Lit(900))),
+              Ne(Col("k2"), Lit(0))))));
+  ASSERT_OK_AND_ASSIGN(QueryResult actual,
+                       reference.Execute(*MakeScan("acc")));
+  ExpectSameResult(expected, actual);
+}
+
+TEST_F(StressTest, RepeatedBatchesShakeOutRaces) {
+  // Run the same mixed batch several times under different processor
+  // counts; every run must match the first.
+  auto q1 = MakeJoin(MakeScan("b"), MakeScan("b"),
+                     Eq(Col("k100"), RightCol("k100")));
+  auto q2 = MakeProject(MakeScan("a"), {"k10", "k100"}, /*dedup=*/true);
+  std::vector<AggregateSpec> specs;
+  specs.push_back({AggregateSpec::Func::kCount, "", "n"});
+  auto q3 = MakeAggregate(MakeScan("a"), {"k25"}, specs);
+  std::vector<const PlanNode*> raw{q1.get(), q2.get(), q3.get()};
+
+  std::vector<std::vector<std::string>> baseline;
+  for (int procs : {1, 2, 4, 8, 8, 8}) {
+    ExecOptions opts;
+    opts.num_processors = procs;
+    opts.page_bytes = 600;
+    opts.local_memory_pages = 4;  // Tiny memories stress the hierarchy.
+    opts.disk_cache_pages = 8;
+    Executor engine(storage_.get(), opts);
+    ASSERT_OK_AND_ASSIGN(auto results, engine.ExecuteBatch(raw));
+    std::vector<std::vector<std::string>> rows;
+    for (const QueryResult& r : results) {
+      rows.push_back(testing::ResultMultiset(r));
+    }
+    if (baseline.empty()) {
+      for (auto& r : rows) baseline.push_back(r);
+    } else {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i], baseline[i]) << "query " << i << " procs " << procs;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfdb

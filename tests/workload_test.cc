@@ -1,0 +1,150 @@
+/// \file workload_test.cc
+/// \brief The generated database and benchmark must match the paper's
+/// published parameters (Section 3.2).
+
+#include "workload/paper_benchmark.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/reference.h"
+#include "ra/analyzer.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+namespace dfdb {
+namespace {
+
+TEST(GeneratorTest, SchemaIs100Bytes) {
+  // Section 3.3 assumes 100-byte tuples.
+  EXPECT_EQ(BenchmarkSchema().tuple_width(), 100);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  StorageEngine s1(1000), s2(1000), s3(1000);
+  ASSERT_OK_AND_ASSIGN(auto a, GenerateRelation(&s1, "r", 100, 42));
+  ASSERT_OK_AND_ASSIGN(auto b, GenerateRelation(&s2, "r", 100, 42));
+  ASSERT_OK_AND_ASSIGN(auto c, GenerateRelation(&s3, "r", 100, 43));
+  (void)a;
+  (void)b;
+  (void)c;
+  auto dump = [](StorageEngine& s) {
+    auto file = s.GetHeapFile("r");
+    EXPECT_TRUE(file.ok());
+    EXPECT_OK((*file)->Flush());
+    std::string out;
+    for (PageId id : (*file)->PageIds()) {
+      auto p = s.page_store().Get(id);
+      EXPECT_TRUE(p.ok());
+      out += (*p)->Serialize();
+    }
+    return out;
+  };
+  EXPECT_EQ(dump(s1), dump(s2));
+  EXPECT_NE(dump(s1), dump(s3));
+}
+
+TEST(GeneratorTest, IdsAreDenseUnique) {
+  StorageEngine storage(1000);
+  ASSERT_OK_AND_ASSIGN(auto r, GenerateRelation(&storage, "r", 500, 1));
+  (void)r;
+  ASSERT_OK_AND_ASSIGN(HeapFile * file, storage.GetHeapFile("r"));
+  ASSERT_OK(file->Flush());
+  Schema schema = BenchmarkSchema();
+  std::vector<bool> seen(500, false);
+  for (PageId id : file->PageIds()) {
+    ASSERT_OK_AND_ASSIGN(PagePtr page, storage.page_store().Get(id));
+    for (int i = 0; i < page->num_tuples(); ++i) {
+      TupleView view(&schema, page->tuple(i));
+      ASSERT_OK_AND_ASSIGN(Value v, view.GetValue(0));
+      ASSERT_GE(v.as_int32(), 0);
+      ASSERT_LT(v.as_int32(), 500);
+      EXPECT_FALSE(seen[static_cast<size_t>(v.as_int32())]);
+      seen[static_cast<size_t>(v.as_int32())] = true;
+    }
+  }
+}
+
+TEST(GeneratorTest, GroupColumnsInRange) {
+  StorageEngine storage(1000);
+  ASSERT_OK_AND_ASSIGN(auto r, GenerateRelation(&storage, "r", 1000, 5));
+  (void)r;
+  ASSERT_OK_AND_ASSIGN(HeapFile * file, storage.GetHeapFile("r"));
+  ASSERT_OK(file->Flush());
+  Schema schema = BenchmarkSchema();
+  const int bounds[] = {2, 5, 10, 25, 100, 1000};
+  for (PageId id : file->PageIds()) {
+    ASSERT_OK_AND_ASSIGN(PagePtr page, storage.page_store().Get(id));
+    for (int i = 0; i < page->num_tuples(); ++i) {
+      TupleView view(&schema, page->tuple(i));
+      for (int c = 0; c < 6; ++c) {
+        ASSERT_OK_AND_ASSIGN(Value v, view.GetValue(2 + c));
+        ASSERT_GE(v.as_int32(), 0);
+        ASSERT_LT(v.as_int32(), bounds[c]);
+      }
+    }
+  }
+}
+
+TEST(PaperBenchmarkTest, DatabaseMatchesPaperParameters) {
+  // "a relational database containing 15 relations with a combined size of
+  // 5.5 megabytes"
+  const auto layout = PaperDatabaseLayout(1.0);
+  EXPECT_EQ(layout.size(), 15u);
+  uint64_t total_tuples = 0;
+  for (const auto& spec : layout) total_tuples += spec.tuples;
+  const double mb = static_cast<double>(total_tuples) * 100.0 / 1e6;
+  EXPECT_GT(mb, 5.2);
+  EXPECT_LT(mb, 5.8);
+}
+
+TEST(PaperBenchmarkTest, BuildsAtSmallScale) {
+  StorageEngine storage(1000);
+  ASSERT_OK_AND_ASSIGN(int64_t bytes, BuildPaperDatabase(&storage, 0.02, 42));
+  EXPECT_GT(bytes, 0);
+  EXPECT_EQ(storage.catalog().ListRelations().size(), 15u);
+  EXPECT_EQ(storage.catalog().TotalBytes(), bytes);
+}
+
+TEST(PaperBenchmarkTest, QueryMixMatchesPaper) {
+  // "2 queries with 1 restrict operator only, 3 queries with 1 join and 2
+  // restricts each, 2 queries with 2 joins and 3 restricts each, 1 query
+  // with 3 joins and 4 restricts, 1 query with 4 joins and 4 restricts,
+  // and 1 query with 5 joins and 6 restricts"
+  StorageEngine storage(1000);
+  ASSERT_OK_AND_ASSIGN(int64_t bytes, BuildPaperDatabase(&storage, 0.02, 42));
+  (void)bytes;
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<QueryShape> expected = PaperBenchmarkShapes();
+  ASSERT_EQ(queries.size(), 10u);
+  ASSERT_EQ(expected.size(), 10u);
+  Analyzer analyzer(&storage.catalog());
+  int total_joins = 0, total_restricts = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto clone = queries[i].root->Clone();
+    ASSERT_OK_AND_ASSIGN(QueryAnalysis a, analyzer.Resolve(clone.get()));
+    EXPECT_EQ(a.num_joins, expected[i].joins) << queries[i].name;
+    EXPECT_EQ(a.num_restricts, expected[i].restricts) << queries[i].name;
+    total_joins += a.num_joins;
+    total_restricts += a.num_restricts;
+  }
+  EXPECT_EQ(total_joins, 19);
+  EXPECT_EQ(total_restricts, 28);
+}
+
+TEST(PaperBenchmarkTest, QueriesProduceNonTrivialResults) {
+  // Guards against cardinality collapse/explosion when tuning the mix: at
+  // scale 0.3 every query returns something, none exceeds ~20k tuples.
+  StorageEngine storage(16384);
+  ASSERT_OK_AND_ASSIGN(int64_t bytes, BuildPaperDatabase(&storage, 0.3, 42));
+  (void)bytes;
+  // Reference executor keeps this test independent of the engines.
+  ReferenceExecutor reference(&storage);
+  for (const Query& q : MakePaperBenchmarkQueries()) {
+    ASSERT_OK_AND_ASSIGN(QueryResult result, reference.Execute(*q.root));
+    EXPECT_GT(result.num_tuples(), 0u) << q.name;
+    EXPECT_LT(result.num_tuples(), 20000u) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace dfdb

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_directroute.dir/bench_ablation_directroute.cc.o"
+  "CMakeFiles/bench_ablation_directroute.dir/bench_ablation_directroute.cc.o.d"
+  "bench_ablation_directroute"
+  "bench_ablation_directroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_directroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_project.dir/bench_ablation_project.cc.o"
+  "CMakeFiles/bench_ablation_project.dir/bench_ablation_project.cc.o.d"
+  "bench_ablation_project"
+  "bench_ablation_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tuple.dir/bench_ablation_tuple.cc.o"
+  "CMakeFiles/bench_ablation_tuple.dir/bench_ablation_tuple.cc.o.d"
+  "bench_ablation_tuple"
+  "bench_ablation_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

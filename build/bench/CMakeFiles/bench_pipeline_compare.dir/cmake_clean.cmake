@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_compare.dir/bench_pipeline_compare.cc.o"
+  "CMakeFiles/bench_pipeline_compare.dir/bench_pipeline_compare.cc.o.d"
+  "bench_pipeline_compare"
+  "bench_pipeline_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_tour.dir/granularity_tour.cpp.o"
+  "CMakeFiles/granularity_tour.dir/granularity_tour.cpp.o.d"
+  "granularity_tour"
+  "granularity_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_sim.dir/machine_sim.cpp.o"
+  "CMakeFiles/machine_sim.dir/machine_sim.cpp.o.d"
+  "machine_sim"
+  "machine_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raql_repl.dir/raql_repl.cpp.o"
+  "CMakeFiles/raql_repl.dir/raql_repl.cpp.o.d"
+  "raql_repl"
+  "raql_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raql_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

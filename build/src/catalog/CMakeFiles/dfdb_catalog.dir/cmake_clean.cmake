@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfdb_catalog.dir/catalog.cc.o"
+  "CMakeFiles/dfdb_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/dfdb_catalog.dir/schema.cc.o"
+  "CMakeFiles/dfdb_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/dfdb_catalog.dir/types.cc.o"
+  "CMakeFiles/dfdb_catalog.dir/types.cc.o.d"
+  "libdfdb_catalog.a"
+  "libdfdb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfdb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfdb_common.dir/sim_time.cc.o"
+  "CMakeFiles/dfdb_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/dfdb_common.dir/status.cc.o"
+  "CMakeFiles/dfdb_common.dir/status.cc.o.d"
+  "CMakeFiles/dfdb_common.dir/string_util.cc.o"
+  "CMakeFiles/dfdb_common.dir/string_util.cc.o.d"
+  "libdfdb_common.a"
+  "libdfdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

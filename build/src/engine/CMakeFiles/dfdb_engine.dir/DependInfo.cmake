@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/concurrency.cc" "src/engine/CMakeFiles/dfdb_engine.dir/concurrency.cc.o" "gcc" "src/engine/CMakeFiles/dfdb_engine.dir/concurrency.cc.o.d"
+  "/root/repo/src/engine/edge.cc" "src/engine/CMakeFiles/dfdb_engine.dir/edge.cc.o" "gcc" "src/engine/CMakeFiles/dfdb_engine.dir/edge.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/dfdb_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/dfdb_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/reference.cc" "src/engine/CMakeFiles/dfdb_engine.dir/reference.cc.o" "gcc" "src/engine/CMakeFiles/dfdb_engine.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/operators/CMakeFiles/dfdb_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/dfdb_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dfdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dfdb_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfdb_engine.dir/concurrency.cc.o"
+  "CMakeFiles/dfdb_engine.dir/concurrency.cc.o.d"
+  "CMakeFiles/dfdb_engine.dir/edge.cc.o"
+  "CMakeFiles/dfdb_engine.dir/edge.cc.o.d"
+  "CMakeFiles/dfdb_engine.dir/executor.cc.o"
+  "CMakeFiles/dfdb_engine.dir/executor.cc.o.d"
+  "CMakeFiles/dfdb_engine.dir/reference.cc.o"
+  "CMakeFiles/dfdb_engine.dir/reference.cc.o.d"
+  "libdfdb_engine.a"
+  "libdfdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/instruction.cc" "src/machine/CMakeFiles/dfdb_machine.dir/instruction.cc.o" "gcc" "src/machine/CMakeFiles/dfdb_machine.dir/instruction.cc.o.d"
+  "/root/repo/src/machine/packet.cc" "src/machine/CMakeFiles/dfdb_machine.dir/packet.cc.o" "gcc" "src/machine/CMakeFiles/dfdb_machine.dir/packet.cc.o.d"
+  "/root/repo/src/machine/simulator.cc" "src/machine/CMakeFiles/dfdb_machine.dir/simulator.cc.o" "gcc" "src/machine/CMakeFiles/dfdb_machine.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/dfdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/operators/CMakeFiles/dfdb_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/dfdb_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dfdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dfdb_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfdb_machine.dir/instruction.cc.o"
+  "CMakeFiles/dfdb_machine.dir/instruction.cc.o.d"
+  "CMakeFiles/dfdb_machine.dir/packet.cc.o"
+  "CMakeFiles/dfdb_machine.dir/packet.cc.o.d"
+  "CMakeFiles/dfdb_machine.dir/simulator.cc.o"
+  "CMakeFiles/dfdb_machine.dir/simulator.cc.o.d"
+  "libdfdb_machine.a"
+  "libdfdb_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfdb_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

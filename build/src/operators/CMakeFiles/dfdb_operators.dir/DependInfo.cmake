@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/operators/aggregator.cc" "src/operators/CMakeFiles/dfdb_operators.dir/aggregator.cc.o" "gcc" "src/operators/CMakeFiles/dfdb_operators.dir/aggregator.cc.o.d"
+  "/root/repo/src/operators/kernels.cc" "src/operators/CMakeFiles/dfdb_operators.dir/kernels.cc.o" "gcc" "src/operators/CMakeFiles/dfdb_operators.dir/kernels.cc.o.d"
+  "/root/repo/src/operators/sort_merge_join.cc" "src/operators/CMakeFiles/dfdb_operators.dir/sort_merge_join.cc.o" "gcc" "src/operators/CMakeFiles/dfdb_operators.dir/sort_merge_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ra/CMakeFiles/dfdb_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dfdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dfdb_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfdb_operators.dir/aggregator.cc.o"
+  "CMakeFiles/dfdb_operators.dir/aggregator.cc.o.d"
+  "CMakeFiles/dfdb_operators.dir/kernels.cc.o"
+  "CMakeFiles/dfdb_operators.dir/kernels.cc.o.d"
+  "CMakeFiles/dfdb_operators.dir/sort_merge_join.cc.o"
+  "CMakeFiles/dfdb_operators.dir/sort_merge_join.cc.o.d"
+  "libdfdb_operators.a"
+  "libdfdb_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfdb_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfdb_operators.a"
+)

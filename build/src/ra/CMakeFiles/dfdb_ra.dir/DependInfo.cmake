@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ra/analyzer.cc" "src/ra/CMakeFiles/dfdb_ra.dir/analyzer.cc.o" "gcc" "src/ra/CMakeFiles/dfdb_ra.dir/analyzer.cc.o.d"
+  "/root/repo/src/ra/expr.cc" "src/ra/CMakeFiles/dfdb_ra.dir/expr.cc.o" "gcc" "src/ra/CMakeFiles/dfdb_ra.dir/expr.cc.o.d"
+  "/root/repo/src/ra/optimizer.cc" "src/ra/CMakeFiles/dfdb_ra.dir/optimizer.cc.o" "gcc" "src/ra/CMakeFiles/dfdb_ra.dir/optimizer.cc.o.d"
+  "/root/repo/src/ra/parser.cc" "src/ra/CMakeFiles/dfdb_ra.dir/parser.cc.o" "gcc" "src/ra/CMakeFiles/dfdb_ra.dir/parser.cc.o.d"
+  "/root/repo/src/ra/plan.cc" "src/ra/CMakeFiles/dfdb_ra.dir/plan.cc.o" "gcc" "src/ra/CMakeFiles/dfdb_ra.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/dfdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dfdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfdb_ra.dir/analyzer.cc.o"
+  "CMakeFiles/dfdb_ra.dir/analyzer.cc.o.d"
+  "CMakeFiles/dfdb_ra.dir/expr.cc.o"
+  "CMakeFiles/dfdb_ra.dir/expr.cc.o.d"
+  "CMakeFiles/dfdb_ra.dir/optimizer.cc.o"
+  "CMakeFiles/dfdb_ra.dir/optimizer.cc.o.d"
+  "CMakeFiles/dfdb_ra.dir/parser.cc.o"
+  "CMakeFiles/dfdb_ra.dir/parser.cc.o.d"
+  "CMakeFiles/dfdb_ra.dir/plan.cc.o"
+  "CMakeFiles/dfdb_ra.dir/plan.cc.o.d"
+  "libdfdb_ra.a"
+  "libdfdb_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfdb_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_manager.cc" "src/storage/CMakeFiles/dfdb_storage.dir/buffer_manager.cc.o" "gcc" "src/storage/CMakeFiles/dfdb_storage.dir/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/storage/CMakeFiles/dfdb_storage.dir/heap_file.cc.o" "gcc" "src/storage/CMakeFiles/dfdb_storage.dir/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/dfdb_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/dfdb_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/storage/CMakeFiles/dfdb_storage.dir/page_store.cc.o" "gcc" "src/storage/CMakeFiles/dfdb_storage.dir/page_store.cc.o.d"
+  "/root/repo/src/storage/page_table.cc" "src/storage/CMakeFiles/dfdb_storage.dir/page_table.cc.o" "gcc" "src/storage/CMakeFiles/dfdb_storage.dir/page_table.cc.o.d"
+  "/root/repo/src/storage/storage_engine.cc" "src/storage/CMakeFiles/dfdb_storage.dir/storage_engine.cc.o" "gcc" "src/storage/CMakeFiles/dfdb_storage.dir/storage_engine.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/storage/CMakeFiles/dfdb_storage.dir/tuple.cc.o" "gcc" "src/storage/CMakeFiles/dfdb_storage.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/dfdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

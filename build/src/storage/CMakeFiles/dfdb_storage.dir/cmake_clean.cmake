@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfdb_storage.dir/buffer_manager.cc.o"
+  "CMakeFiles/dfdb_storage.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/dfdb_storage.dir/heap_file.cc.o"
+  "CMakeFiles/dfdb_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/dfdb_storage.dir/page.cc.o"
+  "CMakeFiles/dfdb_storage.dir/page.cc.o.d"
+  "CMakeFiles/dfdb_storage.dir/page_store.cc.o"
+  "CMakeFiles/dfdb_storage.dir/page_store.cc.o.d"
+  "CMakeFiles/dfdb_storage.dir/page_table.cc.o"
+  "CMakeFiles/dfdb_storage.dir/page_table.cc.o.d"
+  "CMakeFiles/dfdb_storage.dir/storage_engine.cc.o"
+  "CMakeFiles/dfdb_storage.dir/storage_engine.cc.o.d"
+  "CMakeFiles/dfdb_storage.dir/tuple.cc.o"
+  "CMakeFiles/dfdb_storage.dir/tuple.cc.o.d"
+  "libdfdb_storage.a"
+  "libdfdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/csv.cc" "src/workload/CMakeFiles/dfdb_workload.dir/csv.cc.o" "gcc" "src/workload/CMakeFiles/dfdb_workload.dir/csv.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/dfdb_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/dfdb_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/paper_benchmark.cc" "src/workload/CMakeFiles/dfdb_workload.dir/paper_benchmark.cc.o" "gcc" "src/workload/CMakeFiles/dfdb_workload.dir/paper_benchmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/dfdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/dfdb_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dfdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/operators/CMakeFiles/dfdb_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dfdb_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfdb_workload.dir/csv.cc.o"
+  "CMakeFiles/dfdb_workload.dir/csv.cc.o.d"
+  "CMakeFiles/dfdb_workload.dir/generator.cc.o"
+  "CMakeFiles/dfdb_workload.dir/generator.cc.o.d"
+  "CMakeFiles/dfdb_workload.dir/paper_benchmark.cc.o"
+  "CMakeFiles/dfdb_workload.dir/paper_benchmark.cc.o.d"
+  "libdfdb_workload.a"
+  "libdfdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

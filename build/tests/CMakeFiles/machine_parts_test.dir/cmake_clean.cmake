@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_parts_test.dir/machine_parts_test.cc.o"
+  "CMakeFiles/machine_parts_test.dir/machine_parts_test.cc.o.d"
+  "machine_parts_test"
+  "machine_parts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_parts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

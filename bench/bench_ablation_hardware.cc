@@ -9,6 +9,11 @@
 ///     instruction control and concentrate local-memory pressure;
 ///   - drives bound cold-read and spill bandwidth — the level Figure 4.2
 ///     shows saturating first.
+///
+/// A second sweep measures graceful degradation (Section 4's motivation for
+/// distributed control): time-to-completion of the full benchmark while k
+/// IPs are killed mid-run, with the recovery counters that explain the
+/// slowdown.
 
 #include <cstdio>
 
@@ -51,6 +56,51 @@ int Main(int argc, char** argv) {
     }
   }
   table.Print("ablhw");
+
+  // Graceful degradation: kill k of the IPs, staggered over the first half
+  // of the fault-free run, and measure the completion-time cost of
+  // detection, retransmission, and re-dispatch.
+  std::printf("\n== ABL-HW-FAULT: time-to-completion under k IP kills ==\n");
+  MachineOptions base;
+  base.granularity = Granularity::kPage;
+  base.config.num_instruction_processors = ips;
+  base.config.num_instruction_controllers = 4;
+  base.config.num_disk_drives = 2;
+  base.config.page_bytes = 16384;
+  MachineSimulator healthy(&storage, base);
+  auto healthy_report = healthy.Run(plans);
+  DFDB_CHECK(healthy_report.ok()) << healthy_report.status();
+  const SimTime horizon = healthy_report->makespan;
+
+  bench::Table fault_table({"kills", "exec_time_s", "slowdown", "timeouts",
+                            "retries", "redispatches", "retry_lost_ms"});
+  for (int kills : {0, 1, 2, 4}) {
+    FaultPlan plan;
+    for (int k = 0; k < kills; ++k) {
+      // Stagger kills across the first half of the fault-free makespan so
+      // recovery overlaps remaining work instead of landing on the tail.
+      const SimTime at = SimTime::Nanos(
+          horizon.nanos() * (k + 1) / (2 * (kills + 1)));
+      plan.events.push_back(
+          {FaultType::kKillIp, at, /*target=*/-1, 1, SimTime::Zero()});
+    }
+    MachineOptions opts = base;
+    opts.fault_plan = plan;
+    MachineSimulator sim(&storage, opts);
+    auto report = sim.Run(plans);
+    DFDB_CHECK(report.ok()) << report.status();
+    fault_table.AddRow(
+        {StrFormat("%d", kills),
+         StrFormat("%.3f", report->makespan.ToSecondsF()),
+         StrFormat("%.3fx", report->makespan.ToSecondsF() /
+                                healthy_report->makespan.ToSecondsF()),
+         StrFormat("%llu", (unsigned long long)report->faults.timeouts),
+         StrFormat("%llu", (unsigned long long)report->faults.retries),
+         StrFormat("%llu", (unsigned long long)report->faults.redispatches),
+         StrFormat("%.3f",
+                   report->faults.retry_ticks_lost.ToSecondsF() * 1e3)});
+  }
+  fault_table.Print("ablhw_fault");
   return 0;
 }
 

@@ -31,6 +31,7 @@ enum class StatusCode : int {
   kAborted = 10,
   kInternal = 11,
   kCancelled = 12,
+  kUnavailable = 13,
 };
 
 /// \brief Returns a stable, human-readable name for a status code.
@@ -98,6 +99,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return state_ == nullptr; }
@@ -123,6 +127,7 @@ class Status {
   bool IsAborted() const { return code() == StatusCode::kAborted; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

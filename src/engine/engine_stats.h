@@ -31,6 +31,14 @@ struct EngineCounters {
   std::atomic<uint64_t> overhead_bytes{0};
   std::atomic<uint64_t> pages_produced{0};
   std::atomic<uint64_t> tuples_produced{0};
+  // Fault injection (EngineFaultPlan).
+  std::atomic<uint64_t> faults_injected{0};
+  std::atomic<uint64_t> workers_abandoned{0};
+  /// Tasks pushed back to the queue by an abandoning worker and later
+  /// completed by a survivor.
+  std::atomic<uint64_t> redispatched_tasks{0};
+  /// Poisoned packets detected and dropped by workers.
+  std::atomic<uint64_t> poison_dropped{0};
 };
 
 /// \brief Immutable snapshot of one query (or batch) execution.
@@ -43,6 +51,10 @@ struct ExecStats {
   uint64_t overhead_bytes = 0;
   uint64_t pages_produced = 0;
   uint64_t tuples_produced = 0;
+  uint64_t faults_injected = 0;
+  uint64_t workers_abandoned = 0;
+  uint64_t redispatched_tasks = 0;
+  uint64_t poison_dropped = 0;
   BufferStats buffer;
 
   uint64_t network_bytes() const {

@@ -24,6 +24,23 @@ enum class Granularity {
 
 std::string_view GranularityToString(Granularity g);
 
+/// \brief Deterministic fault schedule for the threaded engine — the
+/// analogue of the machine simulator's FaultPlan. Workers abandon work at
+/// operator-packet boundaries, so a restarted task re-runs from scratch and
+/// results are unchanged; poisoned packets model corrupted instruction
+/// packets that the dispatcher detects (checksum) and drops.
+struct EngineFaultPlan {
+  /// Workers that abandon mid-query and exit (clamped so at least one
+  /// worker survives).
+  int abandon_workers = 0;
+  /// A doomed worker abandons after claiming this many tasks.
+  uint64_t abandon_after_tasks = 4;
+  /// Corrupted no-op packets injected into the task queue.
+  int poison_packets = 0;
+
+  bool active() const { return abandon_workers > 0 || poison_packets > 0; }
+};
+
 /// \brief Knobs of one engine instantiation.
 struct ExecOptions {
   Granularity granularity = Granularity::kPage;
@@ -52,6 +69,9 @@ struct ExecOptions {
 
   /// Partition count for the parallel duplicate-elimination project.
   int dedup_partitions = 16;
+
+  /// Deterministic fault schedule (empty = healthy workers).
+  EngineFaultPlan fault_plan;
 
   std::string ToString() const;
 };

@@ -40,7 +40,7 @@ std::string ExecOptions::ToString() const {
 }
 
 std::string ExecStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "wall=%.3fs tasks=%llu packets=%llu arb=%s dist=%s ovh=%s pages=%llu "
       "tuples=%llu | %s",
       wall_seconds, static_cast<unsigned long long>(tasks_executed),
@@ -51,6 +51,15 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(pages_produced),
       static_cast<unsigned long long>(tuples_produced),
       buffer.ToString().c_str());
+  if (faults_injected > 0) {
+    out += StrFormat(
+        " | faults=%llu abandoned=%llu redispatched=%llu poison=%llu",
+        static_cast<unsigned long long>(faults_injected),
+        static_cast<unsigned long long>(workers_abandoned),
+        static_cast<unsigned long long>(redispatched_tasks),
+        static_cast<unsigned long long>(poison_dropped));
+  }
+  return out;
 }
 
 namespace internal {
@@ -232,7 +241,7 @@ class ExecutorImpl {
   NodeState* BuildNode(const PlanNode* n, NodeState* parent, int slot,
                        QueryRuntime* q);
   void LaunchQuery(QueryRuntime* q);
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   StorageEngine* storage_;
   ExecOptions opts_;
@@ -959,10 +968,27 @@ void ExecutorImpl::OnQueryDone(QueryRuntime* q) {
   if (all_done) queue_.Close();
 }
 
-void ExecutorImpl::WorkerLoop() {
+void ExecutorImpl::WorkerLoop(int worker_index) {
+  const EngineFaultPlan& fp = opts_.fault_plan;
+  // Clamp so at least one worker survives to drain the queue.
+  const int doomed_count =
+      std::min(fp.abandon_workers, opts_.num_processors - 1);
+  const bool doomed = worker_index < doomed_count;
+  uint64_t claimed = 0;
   for (;;) {
     auto task = queue_.Pop();
     if (!task.has_value()) return;
+    if (doomed && ++claimed > fp.abandon_after_tasks) {
+      // Fail-stop at a packet boundary: the claimed task has not run, so
+      // handing it back re-executes it from scratch on a survivor and the
+      // results are exactly those of a healthy run.
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      counters_.workers_abandoned.fetch_add(1, std::memory_order_relaxed);
+      if (queue_.TryPush(std::move(*task))) {
+        counters_.redispatched_tasks.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
     (*task)();
   }
 }
@@ -997,10 +1023,19 @@ Status ExecutorImpl::Run(const std::vector<const PlanNode*>& plans,
     }
   }
 
+  // Poisoned packets (corrupted on the wire): workers detect the bad
+  // checksum and drop them; no operator ever sees the payload.
+  for (int i = 0; i < std::max(0, opts_.fault_plan.poison_packets); ++i) {
+    counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    queue_.Push([this] {
+      counters_.poison_dropped.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(opts_.num_processors));
   for (int i = 0; i < opts_.num_processors; ++i) {
-    workers.emplace_back([this] { WorkerLoop(); });
+    workers.emplace_back([this, i] { WorkerLoop(i); });
   }
 
   for (QueryRuntime* q : to_launch) LaunchQuery(q);
@@ -1016,6 +1051,10 @@ Status ExecutorImpl::Run(const std::vector<const PlanNode*>& plans,
   stats->overhead_bytes = counters_.overhead_bytes.load();
   stats->pages_produced = counters_.pages_produced.load();
   stats->tuples_produced = counters_.tuples_produced.load();
+  stats->faults_injected = counters_.faults_injected.load();
+  stats->workers_abandoned = counters_.workers_abandoned.load();
+  stats->redispatched_tasks = counters_.redispatched_tasks.load();
+  stats->poison_dropped = counters_.poison_dropped.load();
   stats->buffer = buffer_.stats();
 
   results->resize(plans.size());

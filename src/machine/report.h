@@ -11,6 +11,7 @@
 #include "common/sim_time.h"
 #include "engine/exec_options.h"
 #include "engine/query_result.h"
+#include "machine/fault_injector.h"
 #include "storage/device_model.h"
 
 namespace dfdb {
@@ -47,6 +48,11 @@ struct MachineOptions {
   int project_partitions = 8;
   /// Safety valve against runaway simulations.
   uint64_t max_events = 500000000;
+  /// Deterministic fault schedule (empty = perfect hardware). With a
+  /// non-empty plan the ICs keep assignments pending until acknowledged,
+  /// time out lost ones, retransmit with backoff, and re-dispatch units
+  /// stranded on dead processors to survivors.
+  FaultPlan fault_plan;
 };
 
 /// \brief Bytes crossing each level of the machine (Figure 4.2's y-axis is
@@ -74,6 +80,8 @@ struct MachineReport {
   uint64_t events = 0;
   SimTime ip_busy_total;
   int num_ips = 0;
+  /// Injected faults and the recovery work they caused.
+  FaultStats faults;
   /// Root outputs with real tuples (the simulator is execution-driven).
   std::vector<QueryResult> results;
 

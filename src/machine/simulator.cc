@@ -13,6 +13,7 @@
 #include "common/string_util.h"
 #include "engine/concurrency.h"
 #include "machine/event_queue.h"
+#include "machine/fault_injector.h"
 #include "machine/packet.h"
 #include "machine/resources.h"
 #include "operators/aggregator.h"
@@ -24,7 +25,7 @@
 namespace dfdb {
 
 std::string MachineReport::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "makespan=%s outer=%s inner=%s cache=%s disk=%s ipUtil=%.1f%% "
       "(ipkt=%llu rpkt=%llu cpkt=%llu bcast=%llu events=%llu)",
       makespan.ToString().c_str(), HumanBitsPerSecond(OuterRingBps()).c_str(),
@@ -36,6 +37,11 @@ std::string MachineReport::ToString() const {
       static_cast<unsigned long long>(control_packets),
       static_cast<unsigned long long>(broadcasts),
       static_cast<unsigned long long>(events));
+  if (faults.any()) {
+    out += " | ";
+    out += faults.ToString();
+  }
+  return out;
 }
 
 namespace {
@@ -92,6 +98,26 @@ struct IpRt {
   bool flush_sent = false;
   std::unique_ptr<Page> result_buf;
 
+  // Fault state. A dead IP stops accepting packets at its kill tick
+  // (fail-stop at packet boundaries); `removed` flips once the MC has
+  // detected the death and salvaged the IP's work.
+  bool dead = false;
+  bool removed = false;
+  /// An assignment the controlling IC has inserted on the ring but the IP
+  /// has not yet acknowledged. Cleared at acceptance; watchdog and retry
+  /// events validate (id, attempts) against it, so stale timers no-op.
+  struct PendingAssign {
+    enum Kind { kUnary, kJoin, kFlush };
+    uint64_t id = 0;
+    Kind kind = kUnary;
+    int attempts = 1;  ///< Transmissions so far (first send included).
+    int slot = 0;                     ///< kUnary: operand slot.
+    size_t unit_idx = 0;              ///< kUnary: unit; kJoin: outer page.
+    std::optional<size_t> first_inner;  ///< kJoin: inner shipped along.
+    int64_t wire = 0;                 ///< Ring bytes per transmission.
+  };
+  std::optional<PendingAssign> assign;
+
   // Join protocol state (Section 4.2).
   bool has_outer = false;
   StagedPage outer;
@@ -118,6 +144,13 @@ struct InstrRt {
   /// Outer pages taken back from reclaimed IPs, with their join progress
   /// (IRC vector) preserved; re-dispatched before fresh outer pages.
   std::vector<std::pair<size_t, BitVector>> requeued_outers;
+  /// Streaming units lost to a dead IP before it accepted them (slot,
+  /// unit index); re-dispatched to survivors ahead of the stream cursor.
+  /// Exactly-once by construction: a lost unit never started.
+  std::deque<std::pair<int, size_t>> lost_units;
+  /// Aggregate barrier: Finish() ran somewhere (guards re-flush after the
+  /// barrier IP dies mid-flush, and the empty-ips flush path).
+  bool agg_finished = false;
 
   // Barrier-operator state.
   std::unique_ptr<Aggregator> agg;
@@ -145,8 +178,12 @@ class Sim {
         cfg_(options.config),
         prog_(std::move(program)),
         disk_cache_(static_cast<size_t>(cfg_.disk_cache_pages)),
-        report_() {
+        report_(),
+        injector_(options.fault_plan) {
     report_.num_ips = cfg_.num_instruction_processors;
+    live_ips_ = cfg_.num_instruction_processors;
+    live_ics_ = cfg_.num_instruction_controllers;
+    ic_alive_.assign(static_cast<size_t>(cfg_.num_instruction_controllers), 1);
     report_.query_completion.assign(num_queries, SimTime::Zero());
     report_.results.resize(num_queries);
     drives_.resize(static_cast<size_t>(std::max(1, cfg_.num_disk_drives)));
@@ -257,17 +294,17 @@ class Sim {
   /// plus the cache transfer.
   SimTime EnsureLocal(IcRt* ic, uint64_t uid, int64_t bytes) {
     if (ic->local.Touch(uid)) return SimTime::Zero();
-    SimTime delay;
+    SimTime delay = CacheStallPenalty();
     if (disk_cache_.Touch(uid)) {
       report_.bytes.cache_to_ic += static_cast<uint64_t>(bytes);
-      delay = cfg_.cache.AccessTime(bytes);
+      delay += cfg_.cache.AccessTime(bytes);
     } else {
       const SimTime done =
           DriveFor(uid).Acquire(eq_.now(), cfg_.disk.AccessTime(bytes));
       report_.bytes.disk_read += static_cast<uint64_t>(bytes);
       SpillToCache(uid);
       report_.bytes.cache_to_ic += static_cast<uint64_t>(bytes);
-      delay = (done - eq_.now()) + cfg_.cache.AccessTime(bytes);
+      delay += (done - eq_.now()) + cfg_.cache.AccessTime(bytes);
     }
     InsertLocal(ic, uid, bytes);
     return delay;
@@ -357,6 +394,7 @@ class Sim {
 
   /// True if NextStreamPage would return a unit (no cursor movement).
   bool HasStreamWork(const InstrRt& ir) const {
+    if (!ir.lost_units.empty()) return true;
     for (size_t slot = 0; slot < ir.operands.size(); ++slot) {
       const OperandRt& op = ir.operands[slot];
       if (op.next_unassigned < StreamUnits(ir, op)) return true;
@@ -400,6 +438,30 @@ class Sim {
   void IpFlushArrive(int instr_id, int ip_id);
   void FinishInstr(int instr_id);
 
+  // ---- fault injection and recovery --------------------------------------
+  // Section 4's case for distributed instruction control is graceful
+  // degradation; these paths make that argument executable. Fault-free
+  // runs (empty plan) take the exact same event sequence: the assignment
+  // bookkeeping is free and acknowledgements/watchdogs are only armed
+  // when a plan is present.
+  void ArmFaults();
+  void TransmitAssignment(int instr_id, int ip_id, uint64_t assign_id);
+  void AssignmentArrive(int instr_id, int ip_id, uint64_t assign_id);
+  void AssignmentTimeout(int instr_id, int ip_id, uint64_t assign_id,
+                         int attempt);
+  void RetryAssignment(int instr_id, int ip_id, uint64_t assign_id,
+                       int attempt);
+  void KillIp(int ip_id);
+  void DeclareIpDead(int ip_id);
+  void FailIc(int ic_id);
+  void RehomeIc(int ic_id);
+  void InjectCacheStall(SimTime duration);
+  /// Extra latency on disk-cache accesses while a stall window is open.
+  SimTime CacheStallPenalty() const {
+    return cache_stall_until_ > eq_.now() ? cache_stall_until_ - eq_.now()
+                                          : SimTime::Zero();
+  }
+
   // Kernel execution: runs the operator on \p in (and \p inner for joins),
   // appending output tuples to the IP's result buffer; returns the full
   // result pages produced and the output byte count.
@@ -439,6 +501,14 @@ class Sim {
   MachineReport report_;
   Status error_;
   uint64_t next_uid_ = 1ull << 40;
+
+  // Fault machinery.
+  FaultInjector injector_;
+  int live_ips_ = 0;
+  int live_ics_ = 0;
+  std::vector<char> ic_alive_;
+  SimTime cache_stall_until_;
+  uint64_t next_assign_id_ = 1;
 };
 
 // ---------------------------------------------------------------------------
@@ -526,7 +596,7 @@ void Sim::StageNextRawPage(int instr_id, int slot,
   if (disk_cache_.Touch(raw_id)) {
     // Disk-cache hit: only the cache -> IC transfer.
     report_.bytes.cache_to_ic += static_cast<uint64_t>(bytes);
-    arrival = eq_.now() + cfg_.cache.AccessTime(bytes);
+    arrival = eq_.now() + cfg_.cache.AccessTime(bytes) + CacheStallPenalty();
   } else {
     // Read from a drive into the cache, then to the IC. Positioning is
     // charged on the first page of a run and every 10th page thereafter
@@ -543,7 +613,7 @@ void Sim::StageNextRawPage(int instr_id, int slot,
     report_.bytes.disk_read += static_cast<uint64_t>(bytes);
     SpillToCache(raw_id);
     report_.bytes.cache_to_ic += static_cast<uint64_t>(bytes);
-    arrival = disk_done + cfg_.cache.AccessTime(bytes);
+    arrival = disk_done + cfg_.cache.AccessTime(bytes) + CacheStallPenalty();
   }
   PagePtr page = *std::move(raw);
   eq_.ScheduleAt(arrival, [this, instr_id, slot, ids, idx, page] {
@@ -681,6 +751,7 @@ void Sim::HandleIpRequestAtMc(int instr_id) {
     for (const OperandRt& op : ir.operands) {
       desired += static_cast<int>(StreamUnits(ir, op) - op.next_unassigned);
     }
+    desired += static_cast<int>(ir.lost_units.size());
   }
   desired = std::max(desired, 1);
   if (IsBarrier(ir)) desired = 1;
@@ -830,6 +901,13 @@ void Sim::ReclaimIdleIps() {
 // ---------------------------------------------------------------------------
 
 std::optional<std::pair<int, size_t>> Sim::NextStreamPage(InstrRt* ir) {
+  // Units stranded on a dead processor go out first: they are behind the
+  // stream cursor, so nothing else would ever hand them out again.
+  if (!ir->lost_units.empty()) {
+    auto unit = ir->lost_units.front();
+    ir->lost_units.pop_front();
+    return unit;
+  }
   // Barrier difference consumes the subtrahend (slot 1) before the left
   // input; every other operator streams its slots in order.
   std::vector<int> order;
@@ -934,13 +1012,16 @@ void Sim::SendUnaryPacket(int instr_id, int ip_id, int slot, size_t unit_idx) {
   if (!staged.at_ip && partition == parts - 1) ic.local.Remove(staged.uid);
 
   const int64_t wire = page_rides ? UnaryPacketWire(payload) : kInstrHeaderBytes;
+  IpRt::PendingAssign a;
+  a.id = next_assign_id_++;
+  a.kind = IpRt::PendingAssign::kUnary;
+  a.slot = slot;
+  a.unit_idx = unit_idx;
+  a.wire = wire;
+  ip.assign = a;
   // Charge the fetch delay before the ring insertion.
-  eq_.ScheduleAfter(fetch_delay, [this, instr_id, ip_id, slot, unit_idx,
-                                  wire] {
-    const SimTime arrival = SendOuter(wire);
-    eq_.ScheduleAt(arrival, [this, instr_id, ip_id, slot, unit_idx] {
-      IpUnaryArrive(instr_id, ip_id, slot, unit_idx);
-    });
+  eq_.ScheduleAfter(fetch_delay, [this, instr_id, ip_id, id = a.id] {
+    TransmitAssignment(instr_id, ip_id, id);
   });
 }
 
@@ -1051,12 +1132,15 @@ void Sim::SendJoinAssign(int instr_id, int ip_id, size_t outer_idx,
   const int64_t wire =
       JoinPacketWire(direct_outer ? 0 : outer_payload, inner_payload,
                      first_inner.has_value());
-  eq_.ScheduleAfter(fetch_delay, [this, instr_id, ip_id, outer_idx, wire,
-                                  first_inner] {
-    const SimTime arrival = SendOuter(wire);
-    eq_.ScheduleAt(arrival, [this, instr_id, ip_id, outer_idx, first_inner] {
-      IpJoinAssignArrive(instr_id, ip_id, outer_idx, first_inner);
-    });
+  IpRt::PendingAssign a;
+  a.id = next_assign_id_++;
+  a.kind = IpRt::PendingAssign::kJoin;
+  a.unit_idx = outer_idx;
+  a.first_inner = first_inner;
+  a.wire = wire;
+  ip.assign = a;
+  eq_.ScheduleAfter(fetch_delay, [this, instr_id, ip_id, id = a.id] {
+    TransmitAssignment(instr_id, ip_id, id);
   });
 }
 
@@ -1082,6 +1166,7 @@ void Sim::IpJoinAssignArrive(int instr_id, int ip_id, size_t outer_idx,
 void Sim::IpStartJoinStep(int instr_id, int ip_id, size_t inner_idx) {
   InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
   IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  if (ip.dead) return;  // Fail-stop: a dead station starts nothing new.
   if (ip.irc.size() <= inner_idx) {
     ip.irc.Resize(ir.operands[1].pages.size());
   }
@@ -1124,6 +1209,7 @@ void Sim::IpJoinStepDone(int instr_id, int ip_id, size_t inner_idx,
 void Sim::IpJoinAdvance(int instr_id, int ip_id) {
   InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
   IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  if (ip.dead) return;  // Its held outer is salvaged at detection time.
   if (!ip.has_outer || ip.busy) return;
   // Opportunistic: process any broadcast page already queued locally.
   while (!ip.pending_inner.empty()) {
@@ -1242,6 +1328,7 @@ void Sim::BroadcastInner(int instr_id, size_t inner_idx) {
       if (ir3.phase != InstrPhase::kRunning) return;
       for (int ip_id : ir3.ips) {
         IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+        if (ip.dead) continue;  // Broadcast falls on deaf ears.
         ip.awaiting_request = false;
         if (!ip.has_outer) continue;
         ip.irc.Resize(ir3.operands[1].pages.size());
@@ -1373,6 +1460,7 @@ void Sim::MaybeFlush(int instr_id) {
     if (outer.next_unassigned < outer.pages.size()) return;
     if (ir.outer_done < outer.pages.size()) return;
   } else {
+    if (!ir.lost_units.empty()) return;
     for (const OperandRt& op : ir.operands) {
       if (op.next_unassigned < StreamUnits(ir, op)) return;
     }
@@ -1390,6 +1478,14 @@ void Sim::MaybeFlush(int instr_id) {
   }
   ir.phase = InstrPhase::kFlushing;
   if (ir.ips.empty()) {
+    // An aggregate's groups materialize at flush time; with no processor
+    // bound (all reclaimed or dead) the finish step still needs one.
+    if (ir.def->op == PlanOp::kAggregate && ir.agg != nullptr &&
+        !ir.agg_finished && live_ips_ > 0) {
+      ir.phase = InstrPhase::kRunning;
+      RequestIps(instr_id);
+      return;
+    }
     FinishInstr(instr_id);
     return;
   }
@@ -1404,9 +1500,12 @@ void Sim::SendFlush(int instr_id, int ip_id) {
   ip.flush_sent = true;
   report_.instruction_packets++;
   // Header-only instruction packet with flush-when-done set.
-  const SimTime arrival = SendOuter(kInstrHeaderBytes);
-  eq_.ScheduleAt(arrival,
-                 [this, instr_id, ip_id] { IpFlushArrive(instr_id, ip_id); });
+  IpRt::PendingAssign a;
+  a.id = next_assign_id_++;
+  a.kind = IpRt::PendingAssign::kFlush;
+  a.wire = kInstrHeaderBytes;
+  ip.assign = a;
+  TransmitAssignment(instr_id, ip_id, a.id);
 }
 
 void Sim::IpFlushArrive(int instr_id, int ip_id) {
@@ -1415,7 +1514,8 @@ void Sim::IpFlushArrive(int instr_id, int ip_id) {
   // Aggregates materialize their groups at flush time on the single
   // barrier IP.
   std::vector<PagePtr> pages;
-  if (ir.def->op == PlanOp::kAggregate && ir.agg != nullptr) {
+  if (ir.def->op == PlanOp::kAggregate && ir.agg != nullptr &&
+      !ir.agg_finished) {
     struct FlushSink final : public PageSink {
       Sim* sim;
       InstrRt* ir;
@@ -1432,6 +1532,7 @@ void Sim::IpFlushArrive(int instr_id, int ip_id) {
     sink.full = &pages;
     Status s = ir.agg->Finish(&sink);
     if (!s.ok()) Fail(s);
+    ir.agg_finished = true;
   }
   std::vector<PagePtr> partial = DrainFullResultPages(&ir, &ip, true);
   for (PagePtr& p : pages) SendResultPage(instr_id, std::move(p));
@@ -1516,6 +1617,295 @@ void Sim::FinishInstr(int instr_id) {
       TryAdmitWaiting();
     });
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection and recovery
+// ---------------------------------------------------------------------------
+
+void Sim::ArmFaults() {
+  if (!injector_.active()) return;
+  const int num_ips = cfg_.num_instruction_processors;
+  const int num_ics = cfg_.num_instruction_controllers;
+  int rr_ip = 0;
+  int rr_ic = 0;
+  for (const FaultEvent& ev : injector_.plan().events) {
+    switch (ev.type) {
+      case FaultType::kKillIp: {
+        const int target =
+            ev.target >= 0 ? ev.target % num_ips : (rr_ip++ % num_ips);
+        eq_.ScheduleAt(ev.at, [this, target] { KillIp(target); });
+        break;
+      }
+      case FaultType::kFailIc: {
+        const int target =
+            ev.target >= 0 ? ev.target % num_ics : (rr_ic++ % num_ics);
+        eq_.ScheduleAt(ev.at, [this, target] { FailIc(target); });
+        break;
+      }
+      case FaultType::kStallCache:
+        eq_.ScheduleAt(ev.at,
+                       [this, d = ev.duration] { InjectCacheStall(d); });
+        break;
+      case FaultType::kDropPacket:
+      case FaultType::kCorruptPacket:
+        break;  // Armed inside the injector, consumed per packet.
+    }
+  }
+}
+
+void Sim::TransmitAssignment(int instr_id, int ip_id, uint64_t assign_id) {
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  if (!ip.assign.has_value() || ip.assign->id != assign_id) return;
+  const IpRt::PendingAssign& a = *ip.assign;
+  const int attempt = a.attempts;
+  const auto fate =
+      injector_.active()
+          ? injector_.OnAssignmentPacket(eq_.now(), &report_.faults)
+          : FaultInjector::PacketFate::kDeliver;
+  // The ring insertion is charged even when the packet is lost in transit.
+  const SimTime arrival = SendOuter(a.wire);
+  switch (fate) {
+    case FaultInjector::PacketFate::kDeliver:
+      eq_.ScheduleAt(arrival, [this, instr_id, ip_id, assign_id] {
+        AssignmentArrive(instr_id, ip_id, assign_id);
+      });
+      break;
+    case FaultInjector::PacketFate::kDrop:
+      break;  // Vanishes; the IC's watchdog notices.
+    case FaultInjector::PacketFate::kCorrupt:
+      // Checksum failure at the IP, which NACKs; the IC retransmits
+      // (charged against the same retry budget as a timeout would be).
+      eq_.ScheduleAt(arrival, [this, instr_id, ip_id, assign_id, attempt] {
+        if (ips_[static_cast<size_t>(ip_id)].dead) return;
+        report_.control_packets++;
+        const SimTime back = SendOuter(kControlBytes);
+        eq_.ScheduleAt(back, [this, instr_id, ip_id, assign_id, attempt] {
+          RetryAssignment(instr_id, ip_id, assign_id, attempt);
+        });
+      });
+      break;
+  }
+  if (injector_.active()) {
+    // Watchdog armed past the would-be arrival, so a healthy delivery
+    // always acknowledges first: zero false positives under congestion.
+    eq_.ScheduleAt(arrival + injector_.plan().detection_timeout,
+                   [this, instr_id, ip_id, assign_id, attempt] {
+                     AssignmentTimeout(instr_id, ip_id, assign_id, attempt);
+                   });
+  }
+}
+
+void Sim::AssignmentArrive(int instr_id, int ip_id, uint64_t assign_id) {
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  if (!ip.assign.has_value() || ip.assign->id != assign_id) return;
+  if (ip.dead) return;  // Fail-stop: never accepted, salvaged at detection.
+  const IpRt::PendingAssign a = *ip.assign;
+  ip.assign.reset();  // Acceptance — this is what the watchdog checks.
+  if (injector_.active()) {
+    report_.control_packets++;
+    (void)SendOuter(kControlBytes);  // Acknowledgement back to the IC.
+  }
+  switch (a.kind) {
+    case IpRt::PendingAssign::kUnary:
+      IpUnaryArrive(instr_id, ip_id, a.slot, a.unit_idx);
+      break;
+    case IpRt::PendingAssign::kJoin:
+      IpJoinAssignArrive(instr_id, ip_id, a.unit_idx, a.first_inner);
+      break;
+    case IpRt::PendingAssign::kFlush:
+      IpFlushArrive(instr_id, ip_id);
+      break;
+  }
+}
+
+void Sim::AssignmentTimeout(int instr_id, int ip_id, uint64_t assign_id,
+                            int attempt) {
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  if (!ip.assign.has_value() || ip.assign->id != assign_id ||
+      ip.assign->attempts != attempt) {
+    return;  // Acknowledged, already retried, or salvaged.
+  }
+  report_.faults.timeouts++;
+  if (ip.dead) {
+    DeclareIpDead(ip_id);
+    return;
+  }
+  RetryAssignment(instr_id, ip_id, assign_id, attempt);
+}
+
+void Sim::RetryAssignment(int instr_id, int ip_id, uint64_t assign_id,
+                          int attempt) {
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  if (!ip.assign.has_value() || ip.assign->id != assign_id ||
+      ip.assign->attempts != attempt) {
+    return;
+  }
+  if (ip.dead) {
+    DeclareIpDead(ip_id);
+    return;
+  }
+  IpRt::PendingAssign& a = *ip.assign;
+  if (a.attempts > injector_.plan().max_retries) {
+    Fail(Status::Unavailable(StrFormat(
+        "assignment to IP %d lost after %d transmissions (instr %d)", ip_id,
+        a.attempts, instr_id)));
+    return;
+  }
+  const SimTime backoff =
+      injector_.plan().retry_backoff *
+      static_cast<int64_t>(1ll << std::min(a.attempts - 1, 16));
+  a.attempts++;
+  report_.faults.retries++;
+  report_.faults.retry_ticks_lost += backoff;
+  report_.instruction_packets++;
+  eq_.ScheduleAfter(backoff, [this, instr_id, ip_id, assign_id] {
+    TransmitAssignment(instr_id, ip_id, assign_id);
+  });
+}
+
+void Sim::KillIp(int ip_id) {
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  if (ip.dead) return;
+  ip.dead = true;
+  report_.faults.injected++;
+  report_.faults.ip_kills++;
+  // MC status poll: guarantees detection even when no assignment is in
+  // flight (e.g. an IP holding a join outer while waiting on broadcasts).
+  // An assignment watchdog may detect the death sooner; DeclareIpDead is
+  // idempotent.
+  eq_.ScheduleAfter(injector_.plan().detection_timeout,
+                    [this, ip_id] { DeclareIpDead(ip_id); });
+}
+
+void Sim::DeclareIpDead(int ip_id) {
+  IpRt& ip = ips_[static_cast<size_t>(ip_id)];
+  if (ip.removed) return;
+  ip.removed = true;
+  live_ips_--;
+  auto fit = std::find(free_ips_.begin(), free_ips_.end(), ip_id);
+  if (fit != free_ips_.end()) free_ips_.erase(fit);
+  const int instr_id = ip.instr;
+  if (instr_id >= 0) {
+    InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+    // Ship output still buffered at the dead station: its kernels ran at
+    // packet acceptance, so everything here came from units that committed
+    // (the units salvaged below never started).
+    for (PagePtr& page :
+         DrainFullResultPages(&ir, &ip, /*flush_partial=*/true)) {
+      SendResultPage(instr_id, std::move(page));
+    }
+    // Salvage the undelivered assignment, if one is pending.
+    if (ip.assign.has_value()) {
+      const IpRt::PendingAssign a = *ip.assign;
+      ip.assign.reset();
+      switch (a.kind) {
+        case IpRt::PendingAssign::kUnary:
+          ir.lost_units.emplace_back(a.slot, a.unit_idx);
+          ir.outstanding_packets--;
+          report_.faults.redispatches++;
+          break;
+        case IpRt::PendingAssign::kJoin:
+          NormalizeRequeuedOuter(&ir, a.unit_idx);
+          ir.requeued_outers.emplace_back(a.unit_idx, ip.irc);
+          ip.has_outer = false;
+          report_.faults.redispatches++;
+          break;
+        case IpRt::PendingAssign::kFlush:
+          ir.unflushed--;
+          break;
+      }
+    }
+    // An outer page held mid-join resumes on a survivor with its IRC
+    // progress intact (same machinery as processor reclamation).
+    if (ip.has_outer) {
+      NormalizeRequeuedOuter(&ir, ip.outer_idx);
+      ir.requeued_outers.emplace_back(ip.outer_idx, ip.irc);
+      report_.faults.redispatches++;
+    }
+    auto it = std::find(ir.ips.begin(), ir.ips.end(), ip_id);
+    if (it != ir.ips.end()) ir.ips.erase(it);
+    ip.instr = -1;
+    ip.busy = false;
+    ip.flush_sent = false;
+    ip.result_buf.reset();
+    ip.has_outer = false;
+    ip.irc.Resize(0);
+    ip.pending_inner.clear();
+    ip.awaiting_request = false;
+    if (live_ips_ == 0) {
+      Fail(Status::Unavailable("all instruction processors failed"));
+    } else if (ir.phase == InstrPhase::kRunning) {
+      DispatchWork(instr_id);
+      MaybeFlush(instr_id);
+    } else if (ir.phase == InstrPhase::kFlushing) {
+      const bool agg_pending = ir.def->op == PlanOp::kAggregate &&
+                               ir.agg != nullptr && !ir.agg_finished;
+      if (agg_pending) {
+        // The barrier processor died before materializing the groups;
+        // the aggregate state lives at the instruction, so re-run the
+        // finish flush on a fresh grant.
+        ir.phase = InstrPhase::kRunning;
+        report_.faults.redispatches++;
+        RequestIps(instr_id);
+      } else if (ir.unflushed == 0) {
+        FinishInstr(instr_id);
+      }
+    }
+  } else if (live_ips_ == 0) {
+    Fail(Status::Unavailable("all instruction processors failed"));
+  }
+  PumpPendingRequests();
+}
+
+void Sim::FailIc(int ic_id) {
+  if (ic_id < 0 || ic_id >= static_cast<int>(ic_alive_.size()) ||
+      !ic_alive_[static_cast<size_t>(ic_id)]) {
+    return;
+  }
+  ic_alive_[static_cast<size_t>(ic_id)] = 0;
+  live_ics_--;
+  report_.faults.injected++;
+  report_.faults.ic_failures++;
+  if (live_ics_ == 0) {
+    eq_.ScheduleAfter(injector_.plan().detection_timeout, [this] {
+      Fail(Status::Unavailable("all instruction controllers failed"));
+    });
+    return;
+  }
+  // The MC notices the dead station after its status-poll period and
+  // re-homes the IC's instructions to a survivor.
+  eq_.ScheduleAfter(injector_.plan().detection_timeout,
+                    [this, ic_id] { RehomeIc(ic_id); });
+}
+
+void Sim::RehomeIc(int ic_id) {
+  int replacement = -1;
+  for (size_t i = 0; i < ic_alive_.size(); ++i) {
+    if (ic_alive_[i]) {
+      replacement = static_cast<int>(i);
+      break;
+    }
+  }
+  if (replacement < 0) return;  // All dead; clean failure already queued.
+  for (size_t i = 0; i < instrs_.size(); ++i) {
+    InstrRt& ir = instrs_[i];
+    if (ir.ic != ic_id || ir.phase == InstrPhase::kFinished) continue;
+    // Control message over the inner ring per moved instruction. The
+    // replacement's local memory starts cold for these pages: EnsureLocal
+    // re-fetches them through the storage hierarchy as they are needed.
+    ir.ic = replacement;
+    report_.faults.instructions_rehomed++;
+    report_.control_packets++;
+    (void)SendInner(kControlBytes);
+  }
+}
+
+void Sim::InjectCacheStall(SimTime duration) {
+  report_.faults.injected++;
+  report_.faults.cache_stalls++;
+  report_.faults.cache_stall_time += duration;
+  cache_stall_until_ = std::max(cache_stall_until_, eq_.now() + duration);
 }
 
 // ---------------------------------------------------------------------------
@@ -1676,6 +2066,7 @@ StatusOr<std::pair<std::vector<PagePtr>, int64_t>> Sim::RunKernel(
 // ---------------------------------------------------------------------------
 
 Status Sim::Run() {
+  ArmFaults();
   SubmitAll();
   report_.events = eq_.RunToCompletion(opt_.max_events);
   if (!error_.ok()) return error_;
@@ -1687,6 +2078,13 @@ Status Sim::Run() {
                             DebugStates());
   }
   report_.makespan = eq_.now();
+  if (injector_.active()) {
+    // Trailing fault events and watchdogs advance the clock past the last
+    // completion; the makespan is when the work actually finished.
+    SimTime last;
+    for (SimTime t : report_.query_completion) last = std::max(last, t);
+    report_.makespan = last;
+  }
   for (size_t qi = 0; qi < report_.results.size(); ++qi) {
     report_.results[qi].set_schema(prog_.plans[qi]->output_schema);
   }

@@ -1,11 +1,13 @@
 /// \file stress_test.cc
 /// \brief Concurrency stress: many simultaneous queries, write conflicts,
-/// and repeated runs shaking out races in the dataflow engine.
+/// repeated runs shaking out races in the dataflow engine, and seeded
+/// fault storms on the ring machine.
 
 #include <gtest/gtest.h>
 
 #include "engine/executor.h"
 #include "engine/reference.h"
+#include "machine/simulator.h"
 #include "tests/test_util.h"
 #include "workload/generator.h"
 
@@ -125,6 +127,103 @@ TEST_F(StressTest, RepeatedBatchesShakeOutRaces) {
       }
     }
   }
+}
+
+TEST_F(StressTest, MachineFaultStormNeitherHangsNorCorrupts) {
+  // A multi-query batch on the ring machine under seeded random fault
+  // storms: every storm the machine survives must leave every result
+  // identical to the reference, and no storm may hang the simulation (the
+  // event-count safety valve turns a livelock into a test failure).
+  auto q1 = MakeJoin(MakeRestrict(MakeScan("a"), Lt(Col("k1000"), Lit(400))),
+                     MakeScan("b"), Eq(Col("k100"), RightCol("k100")));
+  auto q2 = MakeRestrict(MakeScan("a"), Ge(Col("k1000"), Lit(700)));
+  std::vector<AggregateSpec> specs;
+  specs.push_back({AggregateSpec::Func::kCount, "", "n"});
+  auto q3 = MakeAggregate(MakeScan("b"), {"k10"}, specs);
+  std::vector<const PlanNode*> raw{q1.get(), q2.get(), q3.get()};
+
+  ReferenceExecutor reference(storage_.get());
+  std::vector<QueryResult> expected;
+  for (const PlanNode* p : raw) {
+    ASSERT_OK_AND_ASSIGN(QueryResult e, reference.Execute(*p));
+    expected.push_back(std::move(e));
+  }
+
+  MachineOptions base;
+  base.granularity = Granularity::kPage;
+  base.config.num_instruction_processors = 8;
+  base.config.num_instruction_controllers = 3;
+  base.config.page_bytes = 600;
+  base.config.ic_local_memory_pages = 8;
+  base.config.disk_cache_pages = 32;
+  MachineSimulator healthy(storage_.get(), base);
+  ASSERT_OK_AND_ASSIGN(MachineReport baseline, healthy.Run(raw));
+
+  int survived = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(seed);
+    FaultPlan storm = FaultPlan::RandomStorm(seed, /*ip_kills=*/3,
+                                             /*packet_faults=*/4,
+                                             baseline.makespan);
+    storm.detection_timeout = SimTime::Micros(500);
+    storm.retry_backoff = SimTime::Micros(100);
+    MachineOptions opts = base;
+    opts.fault_plan = storm;
+    MachineSimulator sim(storage_.get(), opts);
+    auto report = sim.Run(raw);
+    if (!report.ok()) {
+      // Redundancy exhausted is the only acceptable failure, and it must
+      // be the clean status — never a hang or a crash.
+      EXPECT_TRUE(report.status().IsUnavailable())
+          << report.status().ToString();
+      continue;
+    }
+    ++survived;
+    ASSERT_EQ(report->results.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      SCOPED_TRACE(i);
+      ExpectSameResult(expected[i], report->results[i]);
+    }
+  }
+  // Three kills against eight IPs: most storms must be survivable.
+  EXPECT_GE(survived, 4);
+}
+
+TEST_F(StressTest, EngineAbandonmentStormMatchesReference) {
+  // The twenty-query batch again, but with workers abandoning mid-batch
+  // and poison packets in the task queue: results must be unchanged.
+  std::vector<PlanNodePtr> plans;
+  std::vector<const PlanNode*> raw;
+  for (int i = 0; i < 20; ++i) {
+    const int32_t cut = 50 + i * 45;
+    if (i % 3 == 0) {
+      plans.push_back(
+          MakeJoin(MakeRestrict(MakeScan("a"), Lt(Col("k1000"), Lit(cut))),
+                   MakeScan("b"), Eq(Col("k100"), RightCol("k100"))));
+    } else {
+      plans.push_back(MakeRestrict(MakeScan(i % 2 ? "a" : "b"),
+                                   Ge(Col("k1000"), Lit(cut))));
+    }
+    raw.push_back(plans.back().get());
+  }
+  ExecOptions opts;
+  opts.num_processors = 8;
+  opts.page_bytes = 600;
+  opts.fault_plan.abandon_workers = 3;
+  opts.fault_plan.abandon_after_tasks = 2;
+  opts.fault_plan.poison_packets = 11;
+  Executor engine(storage_.get(), opts);
+  ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> results,
+                       engine.ExecuteBatch(raw));
+  ReferenceExecutor reference(storage_.get());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_OK_AND_ASSIGN(QueryResult ex, reference.Execute(*plans[i]));
+    ExpectSameResult(ex, results[i]);
+  }
+  const ExecStats& stats = engine.last_stats();
+  EXPECT_EQ(stats.workers_abandoned, 3u);
+  EXPECT_EQ(stats.poison_dropped, 11u);
 }
 
 }  // namespace

@@ -54,6 +54,7 @@ int Main(int argc, char** argv) {
     }
   }
   table.Print("ablbc");
+  bench::WriteJson("bench_ablation_broadcast", argc, argv);
   return 0;
 }
 

@@ -41,13 +41,17 @@ int Main(int argc, char** argv) {
     double best = 1e30;
     ExecStats stats;
     for (int run = 0; run < 3; ++run) {
-      auto results = engine.ExecuteBatch(plans);
+      ExecStats run_stats;
+      auto results = engine.ExecuteBatch(plans, &run_stats);
       DFDB_CHECK(results.ok()) << results.status();
-      if (engine.last_stats().wall_seconds < best) {
-        best = engine.last_stats().wall_seconds;
-        stats = engine.last_stats();
+      if (run_stats.wall_seconds < best) {
+        best = run_stats.wall_seconds;
+        stats = run_stats;
       }
     }
+    obs::RunReport run_report = stats.ToReport();
+    run_report.label = StrFormat("cells=%d", cells);
+    bench::JsonReport::Global().AddRunReport(run_report);
     const double hits =
         static_cast<double>(stats.buffer.local_hits) /
         std::max<double>(1.0, static_cast<double>(stats.buffer.local_hits +
@@ -62,6 +66,7 @@ int Main(int argc, char** argv) {
                   StrFormat("%.1f", hits * 100.0)});
   }
   table.Print("ablmc");
+  bench::WriteJson("bench_ablation_cells", argc, argv);
   return 0;
 }
 

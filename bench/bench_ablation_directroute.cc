@@ -57,6 +57,7 @@ int Main(int argc, char** argv) {
     }
   }
   table.Print("abldr");
+  bench::WriteJson("bench_ablation_directroute", argc, argv);
   return 0;
 }
 

@@ -101,6 +101,7 @@ int Main(int argc, char** argv) {
                    report->faults.retry_ticks_lost.ToSecondsF() * 1e3)});
   }
   fault_table.Print("ablhw_fault");
+  bench::WriteJson("bench_ablation_hardware", argc, argv);
   return 0;
 }
 

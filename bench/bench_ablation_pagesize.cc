@@ -56,6 +56,7 @@ int Main(int argc, char** argv) {
     }
     table.Print(procs == 8 ? "ablps_p8" : "ablps_p32");
   }
+  bench::WriteJson("bench_ablation_pagesize", argc, argv);
   return 0;
 }
 

@@ -62,6 +62,7 @@ int Main(int argc, char** argv) {
     }
   }
   table.Print("ablproj");
+  bench::WriteJson("bench_ablation_project", argc, argv);
   return 0;
 }
 

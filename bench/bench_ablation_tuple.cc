@@ -53,6 +53,7 @@ int Main(int argc, char** argv) {
     }
   }
   table.Print("abltup");
+  bench::WriteJson("bench_ablation_tuple", argc, argv);
   return 0;
 }
 

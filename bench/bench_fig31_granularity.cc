@@ -32,6 +32,9 @@ int Main(int argc, char** argv) {
 
   bench::Table table({"processors", "relation_time_s", "page_time_s",
                       "speedup_page_over_relation"});
+  // Both backends report through the shared RunReport path (the same
+  // RunTable type bench_fig42_bandwidth uses).
+  bench::RunTable runs({"granularity", "processors"});
   const int procs[] = {1, 2, 4, 8, 12, 16, 24, 32, 40, 50};
   for (int p : procs) {
     double times[2] = {0, 0};
@@ -45,6 +48,9 @@ int Main(int argc, char** argv) {
       auto report = sim.Run(plans);
       DFDB_CHECK(report.ok()) << report.status();
       times[g] = report->makespan.ToSecondsF();
+      obs::RunReport run = report->ToReport();
+      run.label = StrFormat("%s p=%d", g == 0 ? "relation" : "page", p);
+      runs.Add({g == 0 ? "relation" : "page", StrFormat("%d", p)}, run);
     }
     table.AddRow({StrFormat("%d", p), StrFormat("%.3f", times[0]),
                   StrFormat("%.3f", times[1]),
@@ -66,15 +72,21 @@ int Main(int argc, char** argv) {
       opts.local_memory_pages = 64;
       opts.disk_cache_pages = 512;
       Executor engine(&storage, opts);
-      auto results = engine.ExecuteBatch(plans);
+      ExecStats stats;
+      auto results = engine.ExecuteBatch(plans, &stats);
       DFDB_CHECK(results.ok()) << results.status();
-      times[g] = engine.last_stats().wall_seconds;
+      times[g] = stats.wall_seconds;
+      obs::RunReport run = stats.ToReport();
+      run.label = StrFormat("%s p=%d", g == 0 ? "relation" : "page", p);
+      runs.Add({g == 0 ? "relation" : "page", StrFormat("%d", p)}, run);
     }
     wall.AddRow({StrFormat("%d", p), StrFormat("%.3f", times[0]),
                  StrFormat("%.3f", times[1]),
                  StrFormat("%.2fx", times[0] / times[1])});
   }
   wall.Print("fig31_threads");
+  runs.Print("fig31_runs");
+  bench::WriteJson("bench_fig31_granularity", argc, argv);
   return 0;
 }
 

@@ -32,6 +32,8 @@ int Main(int argc, char** argv) {
   bench::Table table({"ips", "exec_time_s", "outer_ring_mbps",
                       "inner_ring_kbps", "cache_mbps", "disk_mbps",
                       "ip_util_pct", "under_40mbps"});
+  // Shared RunReport path (same RunTable type bench_fig31 uses).
+  bench::RunTable runs({"ips"});
   const int ips[] = {1, 2, 5, 10, 20, 30, 40, 50, 75, 100};
   for (int p : ips) {
     MachineOptions opts;
@@ -51,11 +53,16 @@ int Main(int argc, char** argv) {
                   StrFormat("%.3f", report->DiskBps() / 1e6),
                   StrFormat("%.1f", report->IpUtilization() * 100.0),
                   outer_mbps < 40.0 ? "yes" : "NO"});
+    obs::RunReport run = report->ToReport();
+    run.label = StrFormat("ips=%d", p);
+    runs.Add({StrFormat("%d", p)}, run);
   }
   table.Print("fig42");
+  runs.Print("fig42_runs");
   std::printf(
       "# Paper claim: a 40 Mbps shift-register-insertion ring is sufficient\n"
       "# for configurations of up to ~50 instruction processors.\n");
+  bench::WriteJson("bench_fig42_bandwidth", argc, argv);
   return 0;
 }
 

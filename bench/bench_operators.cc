@@ -3,6 +3,10 @@
 /// that the instruction processors execute.
 
 #include <benchmark/benchmark.h>
+#include <sys/stat.h>
+
+#include <cstring>
+#include <vector>
 
 #include "common/logging.h"
 #include "operators/aggregator.h"
@@ -193,4 +197,26 @@ BENCHMARK(BM_PageAppend);
 }  // namespace
 }  // namespace dfdb
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// results/bench_operators.json so this binary matches the other benches'
+// JSON contract (explicit --benchmark_out flags still win).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  static char out_flag[] = "--benchmark_out=results/bench_operators.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    ::mkdir("results", 0755);  // Best effort.
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -95,6 +95,7 @@ int Main(int argc, char** argv) {
     joins.AddRow({q.name, StrFormat("%.1f", ms[0]), StrFormat("%.1f", ms[1])});
   }
   joins.Print("pipe_joins");
+  bench::WriteJson("bench_pipeline_compare", argc, argv);
   return 0;
 }
 

@@ -74,6 +74,10 @@ int Main(int argc, char** argv) {
     auto report = sim.Run({plan.get()});
     DFDB_CHECK(report.ok()) << report.status();
     const char* label = mode == 0 ? "tuple" : "page";
+    obs::RunReport run = report->ToReport();
+    run.label = StrFormat("%s pb=%d", label,
+                          mode == 0 ? 100 : opts.config.page_bytes);
+    bench::JsonReport::Global().AddRunReport(run);
     if (mode == 0) tuple_bytes_measured = report->bytes.outer_ring;
     if (mode == 1) page_bytes_measured = report->bytes.outer_ring;
     measured.AddRow({label, StrFormat("%d", mode == 0 ? 100 : opts.config.page_bytes),
@@ -90,6 +94,7 @@ int Main(int argc, char** argv) {
                 static_cast<double>(tuple_bytes_measured) /
                     static_cast<double>(page_bytes_measured));
   }
+  bench::WriteJson("bench_sec33_bandwidth", argc, argv);
   return 0;
 }
 

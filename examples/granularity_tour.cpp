@@ -65,9 +65,9 @@ int main() {
                 report->makespan.ToSecondsF(),
                 static_cast<unsigned long long>(report->bytes.outer_ring),
                 static_cast<unsigned long long>(report->instruction_packets),
-                engine.last_stats().wall_seconds,
+                result->stats().wall_seconds,
                 static_cast<unsigned long long>(
-                    engine.last_stats().arbitration_bytes));
+                    result->stats().arbitration_bytes));
   }
 
   std::printf(

@@ -60,8 +60,10 @@ int main() {
   options.page_bytes = 4096;
   Executor engine(&storage, options);
 
+  ExecStats batch_stats;
   auto results = engine.ExecuteBatch(
-      {query_a.get(), query_b.get(), query_c.get(), query_d.get()});
+      {query_a.get(), query_b.get(), query_c.get(), query_d.get()},
+      &batch_stats);
   if (!results.ok()) {
     std::fprintf(stderr, "batch: %s\n", results.status().ToString().c_str());
     return 1;
@@ -79,6 +81,11 @@ int main() {
     std::printf("archive now holds %llu tuples (k1000>=900 minus k2=0)\n",
                 static_cast<unsigned long long>(meta->tuple_count));
   }
-  std::printf("\nBatch statistics: %s\n", engine.last_stats().ToString().c_str());
+  std::printf("\nBatch statistics: %s\n", batch_stats.ToString().c_str());
+  // Each QueryResult also carries its own per-query snapshot.
+  std::printf("Join query alone: %.3fs, %llu pages\n",
+              (*results)[0].stats().wall_seconds,
+              static_cast<unsigned long long>(
+                  (*results)[0].stats().pages_produced));
   return 0;
 }

@@ -72,7 +72,7 @@ int main() {
   });
   if (result->num_tuples() > 5) std::printf("  ... and more\n");
 
-  std::printf("\nEngine statistics: %s\n",
-              engine.last_stats().ToString().c_str());
+  // Per-query statistics ride on the QueryResult itself.
+  std::printf("\nEngine statistics: %s\n", result->stats().ToString().c_str());
   return 0;
 }

@@ -9,6 +9,9 @@
 ///   \explain <query>   show the optimized plan without running it
 ///   \gen <name> <n>    generate a benchmark relation with n tuples
 ///   \paper             load the paper's 15-relation database (scale 0.5)
+///   \stats             full counter registry of the last query
+///   \trace on|off      record per-query event traces (off by default)
+///   \trace             dump the last query's trace (first 40 events)
 ///   \q                 quit
 /// Anything else is parsed as a query.
 
@@ -17,6 +20,8 @@
 #include <string>
 
 #include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ra/optimizer.h"
 #include "ra/parser.h"
 #include "storage/storage_engine.h"
@@ -54,11 +59,12 @@ int main() {
   options.granularity = Granularity::kPage;
   options.num_processors = 4;
   options.page_bytes = 4096;
-  Executor engine(&storage, options);
   Optimizer optimizer(&storage.catalog());
+  ExecStats last_stats;  // Snapshot of the most recent query.
+  bool have_stats = false;
 
   std::printf("dfdb RAQL shell — \\d relations, \\gen, \\paper, \\explain, "
-              "\\q to quit\n");
+              "\\stats, \\trace, \\q to quit\n");
   std::string line;
   while (true) {
     std::printf("dfdb> ");
@@ -84,6 +90,45 @@ int main() {
       } else {
         std::printf("loaded 15 relations, %.2f MB\n",
                     static_cast<double>(*bytes) / 1e6);
+      }
+      continue;
+    }
+    if (line == "\\stats") {
+      if (!have_stats) {
+        std::printf("no query has run yet\n");
+      } else {
+        obs::MetricsRegistry registry;
+        RegisterMetrics(last_stats, &registry);
+        std::printf("%s%s", last_stats.ToString().c_str(),
+                    registry.ToString().c_str());
+      }
+      continue;
+    }
+    if (line == "\\trace on" || line == "\\trace off") {
+      options.enable_trace = line == "\\trace on";
+      std::printf("tracing %s\n", options.enable_trace ? "on" : "off");
+      continue;
+    }
+    if (line == "\\trace") {
+      if (last_stats.trace == nullptr) {
+        std::printf("no trace recorded (\\trace on, then run a query)\n");
+      } else {
+        const auto& events = last_stats.trace->events();
+        const size_t show = events.size() < 40 ? events.size() : 40;
+        for (size_t i = 0; i < show; ++i) {
+          const obs::TraceEvent& e = events[i];
+          std::printf("  %6llu %9.3fms %-16s node=%d station=%d bytes=%llu%s%s\n",
+                      static_cast<unsigned long long>(e.seq),
+                      static_cast<double>(e.ts_ns) / 1e6,
+                      std::string(obs::TraceEventKindToString(e.kind)).c_str(),
+                      e.a, e.b, static_cast<unsigned long long>(e.bytes),
+                      e.detail != nullptr ? " " : "",
+                      e.detail != nullptr ? e.detail : "");
+        }
+        if (events.size() > show) {
+          std::printf("  ... %llu more events\n",
+                      static_cast<unsigned long long>(events.size() - show));
+        }
       }
       continue;
     }
@@ -117,13 +162,17 @@ int main() {
                   report.ToString().c_str());
       continue;
     }
+    // A fresh Executor per query picks up the current \trace setting.
+    Executor engine(&storage, options);
     auto result = engine.Execute(**optimized);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
     PrintResult(*result);
-    std::printf("%s\n", engine.last_stats().ToString().c_str());
+    last_stats = result->stats();
+    have_stats = true;
+    std::printf("%s\n", last_stats.ToString().c_str());
   }
   return 0;
 }

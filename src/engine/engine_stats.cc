@@ -1,0 +1,60 @@
+#include "engine/engine_stats.h"
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace dfdb {
+
+std::string ExecStats::ToString() const {
+  std::string out = StrFormat(
+      "wall=%.3fs tasks=%llu packets=%llu arb=%s dist=%s ovh=%s pages=%llu "
+      "tuples=%llu | %s",
+      wall_seconds, static_cast<unsigned long long>(tasks_executed),
+      static_cast<unsigned long long>(packets),
+      HumanBytes(static_cast<int64_t>(arbitration_bytes)).c_str(),
+      HumanBytes(static_cast<int64_t>(distribution_bytes)).c_str(),
+      HumanBytes(static_cast<int64_t>(overhead_bytes)).c_str(),
+      static_cast<unsigned long long>(pages_produced),
+      static_cast<unsigned long long>(tuples_produced),
+      buffer.ToString().c_str());
+  if (faults_injected > 0) {
+    out += StrFormat(
+        " | faults=%llu abandoned=%llu redispatched=%llu poison=%llu",
+        static_cast<unsigned long long>(faults_injected),
+        static_cast<unsigned long long>(workers_abandoned),
+        static_cast<unsigned long long>(redispatched_tasks),
+        static_cast<unsigned long long>(poison_dropped));
+  }
+  return out;
+}
+
+void RegisterMetrics(const ExecStats& stats, obs::MetricsRegistry* registry) {
+  registry->Set("engine.tasks_executed", stats.tasks_executed);
+  registry->Set("engine.packets", stats.packets);
+  registry->Set("engine.arbitration_bytes", stats.arbitration_bytes);
+  registry->Set("engine.distribution_bytes", stats.distribution_bytes);
+  registry->Set("engine.overhead_bytes", stats.overhead_bytes);
+  registry->Set("engine.network_bytes", stats.network_bytes());
+  registry->Set("engine.pages_produced", stats.pages_produced);
+  registry->Set("engine.tuples_produced", stats.tuples_produced);
+  registry->Set("engine.faults.injected", stats.faults_injected);
+  registry->Set("engine.faults.workers_abandoned", stats.workers_abandoned);
+  registry->Set("engine.faults.redispatched_tasks", stats.redispatched_tasks);
+  registry->Set("engine.faults.poison_dropped", stats.poison_dropped);
+  RegisterMetrics(stats.buffer, registry);
+}
+
+obs::RunReport ExecStats::ToReport() const {
+  obs::RunReport report;
+  report.backend = "engine";
+  report.seconds = wall_seconds;
+  report.simulated_time = false;
+  report.data_bytes = network_bytes();
+  report.packets = packets;
+  report.faults = faults_injected;
+  RegisterMetrics(*this, &report.counters);
+  report.trace = trace;
+  return report;
+}
+
+}  // namespace dfdb

@@ -6,8 +6,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "obs/run_report.h"
 #include "storage/buffer_manager.h"
 
 namespace dfdb {
@@ -42,6 +44,12 @@ struct EngineCounters {
 };
 
 /// \brief Immutable snapshot of one query (or batch) execution.
+///
+/// Per-query snapshots ride on QueryResult::stats(); the batch aggregate is
+/// returned through the `batch_stats` out-parameter of
+/// Executor::Execute/ExecuteBatch. Fault counters and buffer traffic are
+/// pool-wide, so they appear only in the batch aggregate (zero in per-query
+/// snapshots).
 struct ExecStats {
   double wall_seconds = 0;
   uint64_t tasks_executed = 0;
@@ -56,6 +64,10 @@ struct ExecStats {
   uint64_t redispatched_tasks = 0;
   uint64_t poison_dropped = 0;
   BufferStats buffer;
+  /// Event trace of the run this snapshot belongs to, when
+  /// ExecOptions::enable_trace was set (shared across the batch; events
+  /// carry their query index). Null otherwise.
+  std::shared_ptr<const obs::Trace> trace;
 
   uint64_t network_bytes() const {
     return arbitration_bytes + distribution_bytes + overhead_bytes;
@@ -68,8 +80,16 @@ struct ExecStats {
                : 0.0;
   }
 
+  /// Backend-agnostic view (counters under `engine.*` / `storage.*`).
+  obs::RunReport ToReport() const;
+
   std::string ToString() const;
 };
+
+/// Registers every ExecStats counter into \p registry under the
+/// observability naming scheme (`engine.tasks_executed`,
+/// `engine.arbitration_bytes`, `engine.faults.injected`, `storage.*`, ...).
+void RegisterMetrics(const ExecStats& stats, obs::MetricsRegistry* registry);
 
 }  // namespace dfdb
 

@@ -73,6 +73,11 @@ struct ExecOptions {
   /// Deterministic fault schedule (empty = healthy workers).
   EngineFaultPlan fault_plan;
 
+  /// Record a per-run obs::Trace of task/packet/page/fault events. Off by
+  /// default: with tracing disabled the engine only keeps its counters and
+  /// the observability layer costs one branch per event site.
+  bool enable_trace = false;
+
   std::string ToString() const;
 };
 

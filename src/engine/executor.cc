@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "engine/edge.h"
+#include "obs/trace.h"
 #include "operators/aggregator.h"
 #include "operators/dedup.h"
 #include "operators/kernels.h"
@@ -37,29 +38,6 @@ std::string ExecOptions::ToString() const {
       std::string(GranularityToString(granularity)).c_str(), num_processors,
       memory_cells_per_processor, page_bytes, local_memory_pages,
       disk_cache_pages);
-}
-
-std::string ExecStats::ToString() const {
-  std::string out = StrFormat(
-      "wall=%.3fs tasks=%llu packets=%llu arb=%s dist=%s ovh=%s pages=%llu "
-      "tuples=%llu | %s",
-      wall_seconds, static_cast<unsigned long long>(tasks_executed),
-      static_cast<unsigned long long>(packets),
-      HumanBytes(static_cast<int64_t>(arbitration_bytes)).c_str(),
-      HumanBytes(static_cast<int64_t>(distribution_bytes)).c_str(),
-      HumanBytes(static_cast<int64_t>(overhead_bytes)).c_str(),
-      static_cast<unsigned long long>(pages_produced),
-      static_cast<unsigned long long>(tuples_produced),
-      buffer.ToString().c_str());
-  if (faults_injected > 0) {
-    out += StrFormat(
-        " | faults=%llu abandoned=%llu redispatched=%llu poison=%llu",
-        static_cast<unsigned long long>(faults_injected),
-        static_cast<unsigned long long>(workers_abandoned),
-        static_cast<unsigned long long>(redispatched_tasks),
-        static_cast<unsigned long long>(poison_dropped));
-  }
-  return out;
 }
 
 namespace internal {
@@ -164,6 +142,14 @@ struct QueryRuntime {
   std::vector<std::unique_ptr<NodeState>> nodes;
   NodeState* root = nullptr;
 
+  /// Per-query work counters: attributing packets/bytes to the query that
+  /// caused them is what lets stats ride on the QueryResult. Pool-wide
+  /// effects (faults, buffer traffic) stay on the ExecutorImpl.
+  EngineCounters counters;
+  /// Set by OnQueryDone; read by Run() after the workers joined.
+  std::chrono::steady_clock::time_point completed_at{};
+  bool completed = false;
+
   std::mutex result_mu;
   QueryResult result;
 
@@ -195,7 +181,8 @@ class ExecutorImpl {
       : storage_(storage),
         opts_(opts),
         buffer_(&storage->page_store(), opts.local_memory_pages,
-                opts.disk_cache_pages) {}
+                opts.disk_cache_pages),
+        trace_(opts.enable_trace) {}
 
   Status Run(const std::vector<const PlanNode*>& plans,
              std::vector<QueryResult>* results, ExecStats* stats);
@@ -225,7 +212,28 @@ class ExecutorImpl {
   BufferManager* buffer() { return &buffer_; }
   StorageEngine* storage() { return storage_; }
   const ExecOptions& opts() const { return opts_; }
+  /// Pool-wide counters (fault injection outcomes). Per-query work counters
+  /// live on QueryRuntime.
   EngineCounters& counters() { return counters_; }
+
+  /// Steady-clock nanoseconds since Run() started (trace timestamps).
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - run_start_)
+        .count();
+  }
+
+  bool trace_enabled() const { return trace_.enabled(); }
+
+  /// Records one trace event; no-op (one branch) when tracing is off.
+  /// Events are keyed by batch index, not global qid, so two
+  /// identically-seeded runs produce identical traces.
+  void RecordTrace(obs::TraceEventKind kind, const QueryRuntime* q, int32_t a,
+                   int32_t b, uint64_t bytes, const char* detail) {
+    if (!trace_.enabled()) return;
+    trace_.Record(kind, q != nullptr ? q->batch_index : 0, a, b, bytes,
+                  detail, NowNs());
+  }
 
   /// Called by the root edge's close wiring.
   void OnQueryDone(QueryRuntime* q);
@@ -247,6 +255,8 @@ class ExecutorImpl {
   ExecOptions opts_;
   BufferManager buffer_;
   EngineCounters counters_;
+  obs::TraceRecorder trace_;
+  std::chrono::steady_clock::time_point run_start_{};
   BlockingQueue<std::function<void()>> queue_;
   std::atomic<size_t> enabled_packets_{0};
 
@@ -293,6 +303,9 @@ void NodeState::OnPage(int slot, PendingPage p) {
 }
 
 void NodeState::DispatchStream(int slot, PendingPage p) {
+  impl->RecordTrace(obs::TraceEventKind::kPacketEnqueued, query, node->id,
+                    slot,
+                    static_cast<uint64_t>(p.page->payload_bytes()), nullptr);
   if (node->op == PlanOp::kJoin && slot == 1) {
     // Inner page: make it visible, then wake every parked outer task.
     std::vector<OuterWork> wake;
@@ -449,8 +462,10 @@ void NodeState::ReleaseDifferenceLeftIfReady() {
 // ---------------------------------------------------------------------------
 
 void NodeState::RunUnaryTask(int slot, PendingPage p) {
-  EngineCounters& ctr = impl->counters();
+  EngineCounters& ctr = query->counters;
   ctr.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  impl->RecordTrace(obs::TraceEventKind::kTaskClaimed, query, node->id, slot,
+                    0, nullptr);
   if (!query->failed.load(std::memory_order_relaxed)) {
     // Fetch through the hierarchy: this is the operand delivery that the
     // arbitration path carries in the paper's model.
@@ -465,6 +480,9 @@ void NodeState::RunUnaryTask(int slot, PendingPage p) {
       ctr.overhead_bytes.fetch_add(
           static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
           std::memory_order_relaxed);
+      impl->RecordTrace(obs::TraceEventKind::kPacketDelivered, query,
+                        node->id, slot,
+                        static_cast<uint64_t>(page.payload_bytes()), nullptr);
 
       EdgeSink sink(out.get());
       Status s = Status::OK();
@@ -535,6 +553,8 @@ void NodeState::RunUnaryTask(int slot, PendingPage p) {
       if (!s.ok()) query->Fail(s.WithContext("operator task"));
     }
   }
+  impl->RecordTrace(obs::TraceEventKind::kTaskExecuted, query, node->id, slot,
+                    0, nullptr);
   bool was_right_diff = node->op == PlanOp::kDifference && slot == 1;
   {
     std::lock_guard<std::mutex> lock(mu);
@@ -546,8 +566,10 @@ void NodeState::RunUnaryTask(int slot, PendingPage p) {
 }
 
 void NodeState::RunJoinOuter(OuterWork w) {
-  EngineCounters& ctr = impl->counters();
+  EngineCounters& ctr = query->counters;
   ctr.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  impl->RecordTrace(obs::TraceEventKind::kTaskClaimed, query, node->id, 0, 0,
+                    w.first ? "join-outer" : "join-resume");
   const bool failed = query->failed.load(std::memory_order_relaxed);
 
   PagePtr outer_page;
@@ -615,6 +637,10 @@ void NodeState::RunJoinOuter(OuterWork w) {
         ctr.overhead_bytes.fetch_add(
             static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
             std::memory_order_relaxed);
+        impl->RecordTrace(
+            obs::TraceEventKind::kPacketDelivered, query, node->id, 1,
+            static_cast<uint64_t>((*inner_fetched)->payload_bytes()),
+            "broadcast");
         Status s = JoinPages(outer_schema, inner_schema, *node->predicate,
                              *outer_page, **inner_fetched, &sink);
         if (!s.ok()) {
@@ -625,6 +651,8 @@ void NodeState::RunJoinOuter(OuterWork w) {
     }
     w.cursor += batch.size();
   }
+  impl->RecordTrace(obs::TraceEventKind::kTaskExecuted, query, node->id, 0, 0,
+                    "join-outer");
   TryFinalize();
 }
 
@@ -685,7 +713,7 @@ void NodeState::RunFinalizeAndClose() {
 void ExecutorImpl::ScanStep(NodeState* node,
                             std::shared_ptr<std::vector<PageId>> ids,
                             size_t idx) {
-  counters_.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  node->query->counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
   if (node->query->failed.load(std::memory_order_relaxed)) {
     idx = ids->size();  // Stop producing.
   }
@@ -710,6 +738,9 @@ void ExecutorImpl::ScanStep(NodeState* node,
   if (!page.ok()) {
     node->query->Fail(page.status().WithContext("scan fetch"));
   } else {
+    RecordTrace(obs::TraceEventKind::kTaskExecuted, node->query,
+                node->node->id, 0,
+                static_cast<uint64_t>((*page)->payload_bytes()), "scan-step");
     Status s = node->out->EmitPage(*page);
     if (!s.ok()) node->query->Fail(s.WithContext("scan emit"));
   }
@@ -717,8 +748,8 @@ void ExecutorImpl::ScanStep(NodeState* node,
 }
 
 void ExecutorImpl::DeleteDriver(NodeState* node) {
-  counters_.tasks_executed.fetch_add(1, std::memory_order_relaxed);
   QueryRuntime* q = node->query;
+  q->counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
   if (!q->failed.load(std::memory_order_relaxed)) {
     const Schema& schema = node->node->output_schema;
     const Expr* pred = node->node->predicate.get();
@@ -735,12 +766,14 @@ void ExecutorImpl::DeleteDriver(NodeState* node) {
         node->target_file->tuple_count() *
         static_cast<uint64_t>(schema.tuple_width());
     auto removed = node->target_file->DeleteWhere(matcher);
-    counters_.packets.fetch_add(1, std::memory_order_relaxed);
-    counters_.arbitration_bytes.fetch_add(before_bytes,
-                                          std::memory_order_relaxed);
-    counters_.overhead_bytes.fetch_add(
+    q->counters.packets.fetch_add(1, std::memory_order_relaxed);
+    q->counters.arbitration_bytes.fetch_add(before_bytes,
+                                            std::memory_order_relaxed);
+    q->counters.overhead_bytes.fetch_add(
         static_cast<uint64_t>(opts_.packet_overhead_bytes),
         std::memory_order_relaxed);
+    RecordTrace(obs::TraceEventKind::kTaskExecuted, q, node->node->id, 0,
+                before_bytes, "delete");
     if (!removed.ok()) {
       q->Fail(removed.status().WithContext("delete"));
     } else if (!pred_error.ok()) {
@@ -853,20 +886,23 @@ NodeState* ExecutorImpl::BuildNode(const PlanNode* n, NodeState* parent,
                        : std::max(opts_.page_bytes, tuple_width);
   const RelationId pseudo = 0xD0000000u + static_cast<RelationId>(n->id);
   const bool count_distribution = n->op != PlanOp::kScan;
+  const int node_id = n->id;
   if (parent == nullptr) {
     // Root: deliver into the query result.
     ns->out = std::make_unique<Edge>(
         pseudo, tuple_width, unit,
-        [this, q, count_distribution](PagePtr page) {
+        [this, q, node_id, count_distribution](PagePtr page) {
           if (count_distribution) {
-            counters_.distribution_bytes.fetch_add(
+            q->counters.distribution_bytes.fetch_add(
                 static_cast<uint64_t>(page->payload_bytes()),
                 std::memory_order_relaxed);
           }
-          counters_.pages_produced.fetch_add(1, std::memory_order_relaxed);
-          counters_.tuples_produced.fetch_add(
+          q->counters.pages_produced.fetch_add(1, std::memory_order_relaxed);
+          q->counters.tuples_produced.fetch_add(
               static_cast<uint64_t>(page->num_tuples()),
               std::memory_order_relaxed);
+          RecordTrace(obs::TraceEventKind::kPageProduced, q, node_id, -1,
+                      static_cast<uint64_t>(page->payload_bytes()), "root");
           std::lock_guard<std::mutex> lock(q->result_mu);
           q->result.AddPage(std::move(page));
         },
@@ -874,16 +910,18 @@ NodeState* ExecutorImpl::BuildNode(const PlanNode* n, NodeState* parent,
   } else {
     ns->out = std::make_unique<Edge>(
         pseudo, tuple_width, unit,
-        [this, q, parent, slot, count_distribution](PagePtr page) {
+        [this, q, node_id, parent, slot, count_distribution](PagePtr page) {
           if (count_distribution) {
-            counters_.distribution_bytes.fetch_add(
+            q->counters.distribution_bytes.fetch_add(
                 static_cast<uint64_t>(page->payload_bytes()),
                 std::memory_order_relaxed);
           }
-          counters_.pages_produced.fetch_add(1, std::memory_order_relaxed);
-          counters_.tuples_produced.fetch_add(
+          q->counters.pages_produced.fetch_add(1, std::memory_order_relaxed);
+          q->counters.tuples_produced.fetch_add(
               static_cast<uint64_t>(page->num_tuples()),
               std::memory_order_relaxed);
+          RecordTrace(obs::TraceEventKind::kPageProduced, q, node_id, -1,
+                      static_cast<uint64_t>(page->payload_bytes()), nullptr);
           const PageId id = buffer_.PutNew(page);
           q->RecordIntermediate(id);
           parent->OnPage(slot, PendingPage{std::move(page), id});
@@ -937,6 +975,9 @@ void ExecutorImpl::LaunchQuery(QueryRuntime* q) {
 }
 
 void ExecutorImpl::OnQueryDone(QueryRuntime* q) {
+  // Per-query completion timestamp (read by Run() after the join).
+  q->completed_at = std::chrono::steady_clock::now();
+  q->completed = true;
   // Free intermediate pages (they have been consumed).
   {
     std::lock_guard<std::mutex> lock(q->interm_mu);
@@ -984,8 +1025,12 @@ void ExecutorImpl::WorkerLoop(int worker_index) {
       // results are exactly those of a healthy run.
       counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
       counters_.workers_abandoned.fetch_add(1, std::memory_order_relaxed);
+      RecordTrace(obs::TraceEventKind::kFaultInjected, nullptr, -1,
+                  worker_index, 0, "worker-abandon");
       if (queue_.TryPush(std::move(*task))) {
         counters_.redispatched_tasks.fetch_add(1, std::memory_order_relaxed);
+        RecordTrace(obs::TraceEventKind::kFaultRecovered, nullptr, -1,
+                    worker_index, 0, "task-redispatched");
       }
       return;
     }
@@ -1007,6 +1052,7 @@ Status ExecutorImpl::Run(const std::vector<const PlanNode*>& plans,
 
   buffer_.ResetStats();
   const auto start = std::chrono::steady_clock::now();
+  run_start_ = start;
 
   // MC admission: admit every non-conflicting query now, queue the rest.
   std::vector<QueryRuntime*> to_launch;
@@ -1027,35 +1073,53 @@ Status ExecutorImpl::Run(const std::vector<const PlanNode*>& plans,
   // checksum and drop them; no operator ever sees the payload.
   for (int i = 0; i < std::max(0, opts_.fault_plan.poison_packets); ++i) {
     counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    RecordTrace(obs::TraceEventKind::kFaultInjected, nullptr, -1, -1, 0,
+                "poison-packet");
     queue_.Push([this] {
       counters_.poison_dropped.fetch_add(1, std::memory_order_relaxed);
+      RecordTrace(obs::TraceEventKind::kFaultRecovered, nullptr, -1, -1, 0,
+                  "poison-dropped");
     });
   }
+
+  // Enqueue every admitted query's initial tasks BEFORE starting workers:
+  // otherwise these pushes race with worker re-dispatches (scan throttle
+  // yields, parked join outers) and even a single-worker schedule becomes
+  // timing-dependent, breaking the deterministic-export contract.
+  for (QueryRuntime* q : to_launch) LaunchQuery(q);
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(opts_.num_processors));
   for (int i = 0; i < opts_.num_processors; ++i) {
     workers.emplace_back([this, i] { WorkerLoop(i); });
   }
-
-  for (QueryRuntime* q : to_launch) LaunchQuery(q);
   for (auto& w : workers) w.join();
 
   const auto end = std::chrono::steady_clock::now();
 
+  // Workers have quiesced: merge the trace shards once, share across the
+  // batch aggregate and every per-query snapshot.
+  std::shared_ptr<const obs::Trace> trace = trace_.Finish();
+
+  // Batch aggregate = per-query work counters + pool-wide fault counters +
+  // buffer-hierarchy traffic.
+  *stats = ExecStats{};
   stats->wall_seconds = std::chrono::duration<double>(end - start).count();
-  stats->tasks_executed = counters_.tasks_executed.load();
-  stats->packets = counters_.packets.load();
-  stats->arbitration_bytes = counters_.arbitration_bytes.load();
-  stats->distribution_bytes = counters_.distribution_bytes.load();
-  stats->overhead_bytes = counters_.overhead_bytes.load();
-  stats->pages_produced = counters_.pages_produced.load();
-  stats->tuples_produced = counters_.tuples_produced.load();
+  for (auto& q : runtimes) {
+    stats->tasks_executed += q->counters.tasks_executed.load();
+    stats->packets += q->counters.packets.load();
+    stats->arbitration_bytes += q->counters.arbitration_bytes.load();
+    stats->distribution_bytes += q->counters.distribution_bytes.load();
+    stats->overhead_bytes += q->counters.overhead_bytes.load();
+    stats->pages_produced += q->counters.pages_produced.load();
+    stats->tuples_produced += q->counters.tuples_produced.load();
+  }
   stats->faults_injected = counters_.faults_injected.load();
   stats->workers_abandoned = counters_.workers_abandoned.load();
   stats->redispatched_tasks = counters_.redispatched_tasks.load();
   stats->poison_dropped = counters_.poison_dropped.load();
   stats->buffer = buffer_.stats();
+  stats->trace = trace;
 
   results->resize(plans.size());
   for (auto& q : runtimes) {
@@ -1065,6 +1129,22 @@ Status ExecutorImpl::Run(const std::vector<const PlanNode*>& plans,
                                             static_cast<unsigned long long>(
                                                 q->qid)));
     }
+    // Per-query snapshot: this query's own work, timed from batch start to
+    // its completion. Pool-wide fault/buffer counters stay zero here.
+    ExecStats qs;
+    qs.wall_seconds =
+        q->completed
+            ? std::chrono::duration<double>(q->completed_at - start).count()
+            : stats->wall_seconds;
+    qs.tasks_executed = q->counters.tasks_executed.load();
+    qs.packets = q->counters.packets.load();
+    qs.arbitration_bytes = q->counters.arbitration_bytes.load();
+    qs.distribution_bytes = q->counters.distribution_bytes.load();
+    qs.overhead_bytes = q->counters.overhead_bytes.load();
+    qs.pages_produced = q->counters.pages_produced.load();
+    qs.tuples_produced = q->counters.tuples_produced.load();
+    qs.trace = trace;
+    q->result.set_stats(std::move(qs));
     (*results)[q->batch_index] = std::move(q->result);
   }
   return Status::OK();
@@ -1085,19 +1165,21 @@ Executor::Executor(StorageEngine* storage, ExecOptions options)
 
 Executor::~Executor() = default;
 
-StatusOr<QueryResult> Executor::Execute(const PlanNode& plan) {
+StatusOr<QueryResult> Executor::Execute(const PlanNode& plan,
+                                        ExecStats* batch_stats) {
   std::vector<const PlanNode*> plans{&plan};
-  DFDB_ASSIGN_OR_RETURN(std::vector<QueryResult> results, ExecuteBatch(plans));
+  DFDB_ASSIGN_OR_RETURN(std::vector<QueryResult> results,
+                        ExecuteBatch(plans, batch_stats));
   return std::move(results[0]);
 }
 
 StatusOr<std::vector<QueryResult>> Executor::ExecuteBatch(
-    const std::vector<const PlanNode*>& plans) {
+    const std::vector<const PlanNode*>& plans, ExecStats* batch_stats) {
   internal::ExecutorImpl impl(storage_, options_);
   std::vector<QueryResult> results;
   ExecStats stats;
   Status s = impl.Run(plans, &results, &stats);
-  last_stats_ = stats;
+  if (batch_stats != nullptr) *batch_stats = std::move(stats);
   if (!s.ok()) return s;
   return results;
 }

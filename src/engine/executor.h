@@ -62,22 +62,26 @@ class Executor {
 
   /// Runs one query. The plan is cloned and analyzed internally, so \p plan
   /// may be reused across runs and engines.
-  StatusOr<QueryResult> Execute(const PlanNode& plan);
+  ///
+  /// Statistics ride on the result: `result.stats()` holds the per-query
+  /// snapshot (and the trace when ExecOptions::enable_trace is set). When
+  /// \p batch_stats is non-null it receives the whole-run aggregate,
+  /// including pool-wide fault counters and buffer-hierarchy traffic.
+  StatusOr<QueryResult> Execute(const PlanNode& plan,
+                                ExecStats* batch_stats = nullptr);
 
   /// Runs a batch of queries concurrently under MC-style admission control:
   /// conflicting queries (write/write or read/write on a base relation) are
   /// serialized, everything else shares the processor pool. Results are
-  /// returned in input order.
+  /// returned in input order, each carrying its own per-query ExecStats;
+  /// \p batch_stats (optional) receives the batch aggregate.
   StatusOr<std::vector<QueryResult>> ExecuteBatch(
-      const std::vector<const PlanNode*>& plans);
-
-  /// Statistics of the most recent Execute/ExecuteBatch call.
-  const ExecStats& last_stats() const { return last_stats_; }
+      const std::vector<const PlanNode*>& plans,
+      ExecStats* batch_stats = nullptr);
 
  private:
   StorageEngine* storage_;
   ExecOptions options_;
-  ExecStats last_stats_;
 };
 
 }  // namespace dfdb

@@ -9,6 +9,7 @@
 
 #include "catalog/schema.h"
 #include "common/macros.h"
+#include "engine/engine_stats.h"
 #include "storage/page.h"
 #include "storage/tuple.h"
 
@@ -32,6 +33,20 @@ class QueryResult {
   const std::vector<PagePtr>& pages() const { return pages_; }
   uint64_t num_tuples() const { return num_tuples_; }
   bool empty() const { return num_tuples_ == 0; }
+
+  /// Per-query execution statistics, attached by the engine when the query
+  /// completes (replaces the old Executor::last_stats() side-channel, which
+  /// raced under concurrent callers and could not attribute work to a query
+  /// within a batch). Default-constructed for results the simulator builds.
+  const ExecStats& stats() const { return stats_; }
+  void set_stats(ExecStats stats) { stats_ = std::move(stats); }
+
+  /// Event trace of the run that produced this result (shared across the
+  /// batch; filter by TraceEvent::query). Null unless
+  /// ExecOptions::enable_trace was set.
+  const std::shared_ptr<const obs::Trace>& trace() const {
+    return stats_.trace;
+  }
 
   /// Invokes \p fn for every tuple; stops at the first non-OK status.
   Status ForEachTuple(const std::function<Status(const TupleView&)>& fn) const {
@@ -66,6 +81,7 @@ class QueryResult {
   Schema schema_;
   std::vector<PagePtr> pages_;
   uint64_t num_tuples_ = 0;
+  ExecStats stats_;
 };
 
 }  // namespace dfdb

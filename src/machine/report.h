@@ -5,6 +5,7 @@
 #define DFDB_MACHINE_REPORT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "engine/exec_options.h"
 #include "engine/query_result.h"
 #include "machine/fault_injector.h"
+#include "obs/run_report.h"
 #include "storage/device_model.h"
 
 namespace dfdb {
@@ -53,6 +55,10 @@ struct MachineOptions {
   /// time out lost ones, retransmit with backoff, and re-dispatch units
   /// stranded on dead processors to survivors.
   FaultPlan fault_plan;
+  /// Record a per-run obs::Trace in event order (sim-time timestamps, so
+  /// two identically-seeded runs produce byte-identical traces). Off by
+  /// default: tracing costs one branch per event site.
+  bool enable_trace = false;
 };
 
 /// \brief Bytes crossing each level of the machine (Figure 4.2's y-axis is
@@ -84,6 +90,8 @@ struct MachineReport {
   FaultStats faults;
   /// Root outputs with real tuples (the simulator is execution-driven).
   std::vector<QueryResult> results;
+  /// Event trace, or nullptr unless MachineOptions::enable_trace was set.
+  std::shared_ptr<const obs::Trace> trace;
 
   double OuterRingBps() const {
     const double s = makespan.ToSecondsF();
@@ -110,8 +118,20 @@ struct MachineReport {
     return denom > 0 ? ip_busy_total.ToSecondsF() / denom : 0.0;
   }
 
+  /// Backend-agnostic view (counters under `machine.*`); simulated time is
+  /// deterministic, so the report's JSON is byte-identical across
+  /// identically-seeded runs.
+  obs::RunReport ToReport() const;
+
   std::string ToString() const;
 };
+
+/// Registers LevelBytes under the observability naming scheme
+/// (`machine.outer_ring_bytes`, `machine.disk_read_bytes`, ...).
+void RegisterMetrics(const LevelBytes& bytes, obs::MetricsRegistry* registry);
+
+/// Registers FaultStats under `machine.faults.*`.
+void RegisterMetrics(const FaultStats& faults, obs::MetricsRegistry* registry);
 
 }  // namespace dfdb
 

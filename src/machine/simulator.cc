@@ -18,31 +18,12 @@
 #include "machine/resources.h"
 #include "operators/aggregator.h"
 #include "operators/dedup.h"
+#include "obs/trace.h"
 #include "operators/kernels.h"
 #include "operators/set_ops.h"
 #include "storage/tuple.h"
 
 namespace dfdb {
-
-std::string MachineReport::ToString() const {
-  std::string out = StrFormat(
-      "makespan=%s outer=%s inner=%s cache=%s disk=%s ipUtil=%.1f%% "
-      "(ipkt=%llu rpkt=%llu cpkt=%llu bcast=%llu events=%llu)",
-      makespan.ToString().c_str(), HumanBitsPerSecond(OuterRingBps()).c_str(),
-      HumanBitsPerSecond(InnerRingBps()).c_str(),
-      HumanBitsPerSecond(CacheBps()).c_str(),
-      HumanBitsPerSecond(DiskBps()).c_str(), IpUtilization() * 100.0,
-      static_cast<unsigned long long>(instruction_packets),
-      static_cast<unsigned long long>(result_packets),
-      static_cast<unsigned long long>(control_packets),
-      static_cast<unsigned long long>(broadcasts),
-      static_cast<unsigned long long>(events));
-  if (faults.any()) {
-    out += " | ";
-    out += faults.ToString();
-  }
-  return out;
-}
 
 namespace {
 
@@ -179,7 +160,8 @@ class Sim {
         prog_(std::move(program)),
         disk_cache_(static_cast<size_t>(cfg_.disk_cache_pages)),
         report_(),
-        injector_(options.fault_plan) {
+        injector_(options.fault_plan),
+        trace_(options.enable_trace) {
     report_.num_ips = cfg_.num_instruction_processors;
     live_ips_ = cfg_.num_instruction_processors;
     live_ics_ = cfg_.num_instruction_controllers;
@@ -509,6 +491,25 @@ class Sim {
   std::vector<char> ic_alive_;
   SimTime cache_stall_until_;
   uint64_t next_assign_id_ = 1;
+
+  // Observability. Records in event order from the single driver thread at
+  // sim-time timestamps, so the trace is bit-for-bit reproducible.
+  obs::TraceRecorder trace_;
+
+  /// Records one trace event; `instr_id < 0` means "no instruction" (query
+  /// resolves to 0). \p station is the IP or IC involved, -1 if none.
+  void Tr(obs::TraceEventKind kind, int instr_id, int station, int64_t bytes,
+          const char* detail) {
+    if (!trace_.enabled()) return;
+    const uint64_t query =
+        instr_id >= 0
+            ? static_cast<uint64_t>(
+                  instrs_[static_cast<size_t>(instr_id)].def->query_index)
+            : 0;
+    trace_.Record(kind, query, instr_id, station,
+                  bytes > 0 ? static_cast<uint64_t>(bytes) : 0, detail,
+                  eq_.now().nanos());
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -788,6 +789,7 @@ void Sim::HandleIpRequestAtMc(int instr_id) {
     ips_[static_cast<size_t>(ip)].instr = instr_id;
     ips_[static_cast<size_t>(ip)].flush_sent = false;
     ir.ips.push_back(ip);
+    Tr(obs::TraceEventKind::kTaskClaimed, instr_id, ip, 0, "ip-grant");
   }
   report_.control_packets++;
   const SimTime arrival = SendInner(kControlBytes);
@@ -1019,6 +1021,7 @@ void Sim::SendUnaryPacket(int instr_id, int ip_id, int slot, size_t unit_idx) {
   a.unit_idx = unit_idx;
   a.wire = wire;
   ip.assign = a;
+  Tr(obs::TraceEventKind::kPacketEnqueued, instr_id, ip_id, wire, "unary");
   // Charge the fetch delay before the ring insertion.
   eq_.ScheduleAfter(fetch_delay, [this, instr_id, ip_id, id = a.id] {
     TransmitAssignment(instr_id, ip_id, id);
@@ -1049,6 +1052,7 @@ void Sim::IpUnaryArrive(int instr_id, int ip_id, int slot, size_t unit_idx) {
       (staged.at_ip ? opt_.direct_routing_overhead : SimTime::Zero());
   const SimTime done = ip.proc.Acquire(eq_.now(), service);
   report_.ip_busy_total += service;
+  Tr(obs::TraceEventKind::kTaskExecuted, instr_id, ip_id, out_bytes, "unary");
   eq_.ScheduleAt(done, [this, instr_id, ip_id,
                         pages = std::move(full_pages)]() mutable {
     IpUnaryDone(instr_id, ip_id, std::move(pages));
@@ -1139,6 +1143,7 @@ void Sim::SendJoinAssign(int instr_id, int ip_id, size_t outer_idx,
   a.first_inner = first_inner;
   a.wire = wire;
   ip.assign = a;
+  Tr(obs::TraceEventKind::kPacketEnqueued, instr_id, ip_id, wire, "join");
   eq_.ScheduleAfter(fetch_delay, [this, instr_id, ip_id, id = a.id] {
     TransmitAssignment(instr_id, ip_id, id);
   });
@@ -1189,6 +1194,8 @@ void Sim::IpStartJoinStep(int instr_id, int ip_id, size_t inner_idx) {
       outer.payload_bytes(), inner.payload_bytes(), out_bytes);
   const SimTime done = ip.proc.Acquire(eq_.now(), service);
   report_.ip_busy_total += service;
+  Tr(obs::TraceEventKind::kTaskExecuted, instr_id, ip_id, out_bytes,
+     "join-step");
   eq_.ScheduleAt(done, [this, instr_id, ip_id, inner_idx,
                         pages = std::move(full_pages)]() mutable {
     IpJoinStepDone(instr_id, ip_id, inner_idx, std::move(pages));
@@ -1348,12 +1355,15 @@ void Sim::BroadcastInner(int instr_id, size_t inner_idx) {
   if (opt_.broadcast_join) {
     // One ring insertion reaches every participating IP (requirement 4).
     report_.broadcasts++;
+    Tr(obs::TraceEventKind::kPacketEnqueued, instr_id, -1, wire, "broadcast");
     eq_.ScheduleAfter(fetch_delay, [this, wire, deliver] {
       deliver(SendOuter(wire));
     });
   } else {
     // Ablation: unicast the page to each IP separately.
     const size_t n = std::max<size_t>(1, ir.ips.size());
+    Tr(obs::TraceEventKind::kPacketEnqueued, instr_id, -1,
+       wire * static_cast<int64_t>(n), "unicast-inner");
     eq_.ScheduleAfter(fetch_delay, [this, wire, deliver, n] {
       SimTime last;
       for (size_t i = 0; i < n; ++i) {
@@ -1389,6 +1399,8 @@ void Sim::SendResultPage(int instr_id, PagePtr page) {
   InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
   report_.result_packets++;
   const int64_t wire = ResultPacketWire(page->payload_bytes());
+  Tr(obs::TraceEventKind::kPageProduced, instr_id, -1, page->payload_bytes(),
+     nullptr);
   const SimTime arrival = SendOuter(wire);
   eq_.ScheduleAt(arrival, [this, instr_id, page = std::move(page)] {
     DeliverResult(instr_id, page);
@@ -1537,6 +1549,7 @@ void Sim::IpFlushArrive(int instr_id, int ip_id) {
   std::vector<PagePtr> partial = DrainFullResultPages(&ir, &ip, true);
   for (PagePtr& p : pages) SendResultPage(instr_id, std::move(p));
   for (PagePtr& p : partial) SendResultPage(instr_id, std::move(p));
+  Tr(obs::TraceEventKind::kTaskExecuted, instr_id, ip_id, 0, "flush");
   const SimTime service = cfg_.processor.packet_overhead;
   const SimTime done = ip.proc.Acquire(eq_.now(), service);
   report_.ip_busy_total += service;
@@ -1672,8 +1685,12 @@ void Sim::TransmitAssignment(int instr_id, int ip_id, uint64_t assign_id) {
       });
       break;
     case FaultInjector::PacketFate::kDrop:
+      Tr(obs::TraceEventKind::kFaultInjected, instr_id, ip_id, a.wire,
+         "drop-packet");
       break;  // Vanishes; the IC's watchdog notices.
     case FaultInjector::PacketFate::kCorrupt:
+      Tr(obs::TraceEventKind::kFaultInjected, instr_id, ip_id, a.wire,
+         "corrupt-packet");
       // Checksum failure at the IP, which NACKs; the IC retransmits
       // (charged against the same retry budget as a timeout would be).
       eq_.ScheduleAt(arrival, [this, instr_id, ip_id, assign_id, attempt] {
@@ -1702,6 +1719,7 @@ void Sim::AssignmentArrive(int instr_id, int ip_id, uint64_t assign_id) {
   if (ip.dead) return;  // Fail-stop: never accepted, salvaged at detection.
   const IpRt::PendingAssign a = *ip.assign;
   ip.assign.reset();  // Acceptance — this is what the watchdog checks.
+  Tr(obs::TraceEventKind::kPacketDelivered, instr_id, ip_id, a.wire, nullptr);
   if (injector_.active()) {
     report_.control_packets++;
     (void)SendOuter(kControlBytes);  // Acknowledgement back to the IC.
@@ -1757,6 +1775,7 @@ void Sim::RetryAssignment(int instr_id, int ip_id, uint64_t assign_id,
       static_cast<int64_t>(1ll << std::min(a.attempts - 1, 16));
   a.attempts++;
   report_.faults.retries++;
+  Tr(obs::TraceEventKind::kFaultRecovered, instr_id, ip_id, a.wire, "retry");
   report_.faults.retry_ticks_lost += backoff;
   report_.instruction_packets++;
   eq_.ScheduleAfter(backoff, [this, instr_id, ip_id, assign_id] {
@@ -1770,6 +1789,7 @@ void Sim::KillIp(int ip_id) {
   ip.dead = true;
   report_.faults.injected++;
   report_.faults.ip_kills++;
+  Tr(obs::TraceEventKind::kFaultInjected, ip.instr, ip_id, 0, "ip-kill");
   // MC status poll: guarantees detection even when no assignment is in
   // flight (e.g. an IP holding a join outer while waiting on broadcasts).
   // An assignment watchdog may detect the death sooner; DeclareIpDead is
@@ -1804,12 +1824,16 @@ void Sim::DeclareIpDead(int ip_id) {
           ir.lost_units.emplace_back(a.slot, a.unit_idx);
           ir.outstanding_packets--;
           report_.faults.redispatches++;
+          Tr(obs::TraceEventKind::kFaultRecovered, instr_id, ip_id, 0,
+             "redispatch");
           break;
         case IpRt::PendingAssign::kJoin:
           NormalizeRequeuedOuter(&ir, a.unit_idx);
           ir.requeued_outers.emplace_back(a.unit_idx, ip.irc);
           ip.has_outer = false;
           report_.faults.redispatches++;
+          Tr(obs::TraceEventKind::kFaultRecovered, instr_id, ip_id, 0,
+             "redispatch");
           break;
         case IpRt::PendingAssign::kFlush:
           ir.unflushed--;
@@ -1822,6 +1846,8 @@ void Sim::DeclareIpDead(int ip_id) {
       NormalizeRequeuedOuter(&ir, ip.outer_idx);
       ir.requeued_outers.emplace_back(ip.outer_idx, ip.irc);
       report_.faults.redispatches++;
+      Tr(obs::TraceEventKind::kFaultRecovered, instr_id, ip_id, 0,
+         "redispatch");
     }
     auto it = std::find(ir.ips.begin(), ir.ips.end(), ip_id);
     if (it != ir.ips.end()) ir.ips.erase(it);
@@ -1847,6 +1873,8 @@ void Sim::DeclareIpDead(int ip_id) {
         // finish flush on a fresh grant.
         ir.phase = InstrPhase::kRunning;
         report_.faults.redispatches++;
+        Tr(obs::TraceEventKind::kFaultRecovered, instr_id, ip_id, 0,
+           "redispatch");
         RequestIps(instr_id);
       } else if (ir.unflushed == 0) {
         FinishInstr(instr_id);
@@ -1867,6 +1895,7 @@ void Sim::FailIc(int ic_id) {
   live_ics_--;
   report_.faults.injected++;
   report_.faults.ic_failures++;
+  Tr(obs::TraceEventKind::kFaultInjected, -1, ic_id, 0, "ic-failure");
   if (live_ics_ == 0) {
     eq_.ScheduleAfter(injector_.plan().detection_timeout, [this] {
       Fail(Status::Unavailable("all instruction controllers failed"));
@@ -1896,6 +1925,8 @@ void Sim::RehomeIc(int ic_id) {
     // re-fetches them through the storage hierarchy as they are needed.
     ir.ic = replacement;
     report_.faults.instructions_rehomed++;
+    Tr(obs::TraceEventKind::kFaultRecovered, static_cast<int>(i), replacement,
+       0, "rehome");
     report_.control_packets++;
     (void)SendInner(kControlBytes);
   }
@@ -1904,6 +1935,7 @@ void Sim::RehomeIc(int ic_id) {
 void Sim::InjectCacheStall(SimTime duration) {
   report_.faults.injected++;
   report_.faults.cache_stalls++;
+  Tr(obs::TraceEventKind::kFaultInjected, -1, -1, 0, "cache-stall");
   report_.faults.cache_stall_time += duration;
   cache_stall_until_ = std::max(cache_stall_until_, eq_.now() + duration);
 }
@@ -2088,6 +2120,7 @@ Status Sim::Run() {
   for (size_t qi = 0; qi < report_.results.size(); ++qi) {
     report_.results[qi].set_schema(prog_.plans[qi]->output_schema);
   }
+  report_.trace = trace_.Finish();
   return Status::OK();
 }
 

@@ -1,0 +1,73 @@
+/// \file json.h
+/// \brief Minimal deterministic JSON writer for observability exports.
+///
+/// The observability subsystem promises *byte-identical* exports for
+/// identically-seeded runs (see DESIGN.md "Observability"), so this writer
+/// avoids every source of formatting nondeterminism: keys are emitted in the
+/// order the caller provides them (callers use sorted containers), integers
+/// print exactly, and doubles use a fixed "%.17g" round-trip format.
+
+#ifndef DFDB_OBS_JSON_H_
+#define DFDB_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfdb {
+namespace obs {
+
+/// Escapes a string for inclusion in a JSON document (no surrounding
+/// quotes).
+std::string JsonEscape(std::string_view s);
+
+/// \brief Streaming JSON builder.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("n"); w.Uint(3);
+///   w.Key("xs"); w.BeginArray(); w.Uint(1); w.Uint(2); w.EndArray();
+///   w.EndObject();
+///   std::string doc = w.TakeString();
+///
+/// The writer inserts commas automatically; it does not validate nesting
+/// beyond what is needed for comma placement.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits `"key":`; must be followed by exactly one value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Splices a pre-rendered JSON value verbatim (e.g. a nested ToJson()).
+  void Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  /// One entry per open container: true once a value (or key) has been
+  /// written at that level, so the next sibling needs a comma.
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace dfdb
+
+#endif  // DFDB_OBS_JSON_H_

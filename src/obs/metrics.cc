@@ -1,0 +1,58 @@
+#include "obs/metrics.h"
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace dfdb {
+namespace obs {
+
+void MetricsRegistry::Set(std::string name, uint64_t value) {
+  counters_[std::move(name)] = value;
+}
+
+void MetricsRegistry::Add(std::string_view name, uint64_t delta) {
+  auto it = counters_.find(std::string(name));
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::optional<uint64_t> MetricsRegistry::Get(std::string_view name) const {
+  auto it = counters_.find(std::string(name));
+  if (it == counters_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint64_t MetricsRegistry::GetOr(std::string_view name, uint64_t def) const {
+  auto v = Get(name);
+  return v.has_value() ? *v : def;
+}
+
+void MetricsRegistry::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  for (const auto& [name, value] : counters_) {
+    w->Key(name);
+    w->Uint(value);
+  }
+  w->EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += StrFormat("%-36s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dfdb

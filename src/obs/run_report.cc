@@ -1,0 +1,71 @@
+#include "obs/run_report.h"
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace dfdb {
+namespace obs {
+
+void RunReport::ToJson(JsonWriter* w, bool include_timing) const {
+  const bool timing = include_timing || simulated_time;
+  w->BeginObject();
+  w->Key("backend");
+  w->String(backend);
+  w->Key("label");
+  w->String(label);
+  if (timing) {
+    w->Key("seconds");
+    w->Double(seconds);
+  }
+  w->Key("simulated_time");
+  w->Bool(simulated_time);
+  w->Key("data_bytes");
+  w->Uint(data_bytes);
+  w->Key("packets");
+  w->Uint(packets);
+  w->Key("faults");
+  w->Uint(faults);
+  if (timing) {
+    w->Key("bits_per_second");
+    w->Double(bits_per_second());
+  }
+  w->Key("counters");
+  counters.ToJson(w);
+  if (trace != nullptr) {
+    w->Key("trace");
+    trace->ToJson(w, timing);
+  }
+  w->EndObject();
+}
+
+std::string RunReport::ToJson(bool include_timing) const {
+  JsonWriter w;
+  ToJson(&w, include_timing);
+  return w.TakeString();
+}
+
+std::string RunReport::ToChromeTrace() const {
+  if (trace == nullptr) return std::string();
+  return trace->ToChromeTrace();
+}
+
+std::string RunReport::ToString() const {
+  std::string out = StrFormat(
+      "%s%s%s: %.6f s%s, %llu packets, %s on the data path (%s)",
+      backend.c_str(), label.empty() ? "" : " ", label.c_str(), seconds,
+      simulated_time ? " (simulated)" : "",
+      static_cast<unsigned long long>(packets),
+      HumanBytes(static_cast<int64_t>(data_bytes)).c_str(),
+      HumanBitsPerSecond(bits_per_second()).c_str());
+  if (faults > 0) {
+    out += StrFormat(", %llu faults", static_cast<unsigned long long>(faults));
+  }
+  if (trace != nullptr) {
+    out += StrFormat(", %llu trace events",
+                     static_cast<unsigned long long>(trace->size()));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dfdb

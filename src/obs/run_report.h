@@ -1,0 +1,69 @@
+/// \file run_report.h
+/// \brief Backend-agnostic view of one run's measurements.
+///
+/// `ExecStats::ToReport()` (threads engine) and `MachineReport::ToReport()`
+/// (simulator) both produce a RunReport, so benches, the REPL, and the JSON
+/// exporters handle either backend through one type. The counters map uses
+/// the dotted naming scheme documented in metrics.h / DESIGN.md.
+
+#ifndef DFDB_OBS_RUN_REPORT_H_
+#define DFDB_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dfdb {
+namespace obs {
+
+/// \brief Counters + time + faults + (optional) trace for one run.
+struct RunReport {
+  /// "engine" or "machine".
+  std::string backend;
+  /// Caller-assigned label (e.g. "page p=8"); may be empty.
+  std::string label;
+  /// Wall-clock seconds (engine) or simulated seconds (machine).
+  double seconds = 0;
+  /// True when `seconds` is simulated time (deterministic).
+  bool simulated_time = false;
+  /// Primary data-path bytes: engine network bytes / machine outer-ring
+  /// bytes — the quantity Figures 3.1 and 4.2 argue about.
+  uint64_t data_bytes = 0;
+  /// Packets on that data path.
+  uint64_t packets = 0;
+  /// Faults injected during the run (0 for healthy runs).
+  uint64_t faults = 0;
+  /// Full named-counter snapshot.
+  MetricsRegistry counters;
+  /// Event trace, or nullptr when tracing was disabled.
+  std::shared_ptr<const Trace> trace;
+
+  /// Offered data-path load, bits per second.
+  double bits_per_second() const {
+    return seconds > 0 ? static_cast<double>(data_bytes) * 8.0 / seconds
+                       : 0.0;
+  }
+
+  /// Full report document. With \p include_timing false, every
+  /// wall-clock-derived field (seconds, bps, event timestamps) is omitted
+  /// so identically-seeded runs export byte-identical JSON even on the
+  /// threads backend. Simulated time is always included (it is
+  /// deterministic).
+  void ToJson(JsonWriter* w, bool include_timing = true) const;
+  std::string ToJson(bool include_timing = true) const;
+
+  /// chrome://tracing document of the attached trace; empty string when
+  /// there is no trace.
+  std::string ToChromeTrace() const;
+
+  /// Short human summary (REPL `\stats`, bench footers).
+  std::string ToString() const;
+};
+
+}  // namespace obs
+}  // namespace dfdb
+
+#endif  // DFDB_OBS_RUN_REPORT_H_

@@ -1,0 +1,190 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace dfdb {
+namespace obs {
+
+std::string_view TraceEventKindToString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kTaskClaimed: return "task_claimed";
+    case TraceEventKind::kTaskExecuted: return "task_executed";
+    case TraceEventKind::kPageProduced: return "page_produced";
+    case TraceEventKind::kPacketEnqueued: return "packet_enqueued";
+    case TraceEventKind::kPacketDelivered: return "packet_delivered";
+    case TraceEventKind::kFaultInjected: return "fault_injected";
+    case TraceEventKind::kFaultRecovered: return "fault_recovered";
+  }
+  return "unknown";
+}
+
+size_t Trace::CountKind(TraceEventKind kind) const {
+  size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+void Trace::ToJson(JsonWriter* w, bool include_timing) const {
+  w->BeginObject();
+  w->Key("num_events");
+  w->Uint(events_.size());
+  w->Key("events");
+  w->BeginArray();
+  for (const TraceEvent& e : events_) {
+    w->BeginObject();
+    w->Key("seq");
+    w->Uint(e.seq);
+    if (include_timing) {
+      w->Key("ts_ns");
+      w->Int(e.ts_ns);
+    }
+    w->Key("kind");
+    w->String(TraceEventKindToString(e.kind));
+    w->Key("query");
+    w->Uint(e.query);
+    if (e.a >= 0) {
+      w->Key("a");
+      w->Int(e.a);
+    }
+    if (e.b >= 0) {
+      w->Key("b");
+      w->Int(e.b);
+    }
+    if (e.bytes > 0) {
+      w->Key("bytes");
+      w->Uint(e.bytes);
+    }
+    if (e.detail != nullptr) {
+      w->Key("detail");
+      w->String(e.detail);
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string Trace::ToJson(bool include_timing) const {
+  JsonWriter w;
+  ToJson(&w, include_timing);
+  return w.TakeString();
+}
+
+std::string Trace::ToChromeTrace() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ns");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceEvent& e : events_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(TraceEventKindToString(e.kind));
+    w.Key("ph");
+    w.String("i");  // Instant event.
+    w.Key("s");
+    w.String("t");  // Thread-scoped.
+    w.Key("ts");
+    // chrome://tracing expects microseconds; keep sub-us precision.
+    w.Double(static_cast<double>(e.ts_ns) / 1000.0);
+    w.Key("pid");
+    w.Uint(e.query);
+    w.Key("tid");
+    w.Int(e.b >= 0 ? e.b : 0);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("seq");
+    w.Uint(e.seq);
+    if (e.a >= 0) {
+      w.Key("node");
+      w.Int(e.a);
+    }
+    if (e.bytes > 0) {
+      w.Key("bytes");
+      w.Uint(e.bytes);
+    }
+    if (e.detail != nullptr) {
+      w.Key("detail");
+      w.String(e.detail);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+TraceRecorder::TraceRecorder(bool enabled)
+    : enabled_(enabled), id_([] {
+        static std::atomic<uint64_t> next_id{1};
+        return next_id.fetch_add(1, std::memory_order_relaxed);
+      }()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+namespace {
+/// Thread-local shard cache. Keyed by recorder id so a worker thread that
+/// outlives one recorder and records into the next does not write into a
+/// stale (freed) shard.
+struct ShardCache {
+  uint64_t recorder_id = 0;
+  void* shard = nullptr;
+};
+thread_local ShardCache tls_shard_cache;
+}  // namespace
+
+TraceRecorder::Shard* TraceRecorder::ShardForThisThread() {
+  if (tls_shard_cache.recorder_id == id_) {
+    return static_cast<Shard*>(tls_shard_cache.shard);
+  }
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  tls_shard_cache = {id_, shard};
+  return shard;
+}
+
+void TraceRecorder::Record(TraceEventKind kind, uint64_t query, int32_t a,
+                           int32_t b, uint64_t bytes, const char* detail,
+                           int64_t ts_ns) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  e.ts_ns = ts_ns;
+  e.kind = kind;
+  e.query = query;
+  e.a = a;
+  e.b = b;
+  e.bytes = bytes;
+  e.detail = detail;
+  ShardForThisThread()->events.push_back(e);
+}
+
+std::shared_ptr<const Trace> TraceRecorder::Finish() {
+  if (!enabled_) return nullptr;
+  auto trace = std::make_shared<Trace>();
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    size_t total = 0;
+    for (const auto& s : shards_) total += s->events.size();
+    trace->events_.reserve(total);
+    for (const auto& s : shards_) {
+      trace->events_.insert(trace->events_.end(), s->events.begin(),
+                            s->events.end());
+    }
+  }
+  std::sort(trace->events_.begin(), trace->events_.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return trace;
+}
+
+}  // namespace obs
+}  // namespace dfdb

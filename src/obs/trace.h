@@ -1,0 +1,132 @@
+/// \file trace.h
+/// \brief Per-run structured event traces, recorded lock-free.
+///
+/// A Trace is the *flow* side of observability: every interesting moment of
+/// a run — an instruction packet dispatched, a task executed, a result page
+/// produced, a fault injected or recovered from — becomes one TraceEvent.
+/// The threads engine records from worker threads through a TraceRecorder
+/// (lock-free on the hot path: one atomic fetch_add for the global sequence
+/// number plus an append to a thread-private shard); the simulator records
+/// in event order from its single driver thread. Timestamps are steady-clock
+/// nanoseconds since run start for the engine and simulated nanoseconds for
+/// the machine, so a machine trace is bit-for-bit reproducible across runs.
+///
+/// Export formats:
+///   - ToJson(include_timing): a flat event array. With include_timing set
+///     to false the (nondeterministic) wall-clock timestamps are omitted,
+///     which is what makes two identically-seeded 1-worker engine runs
+///     byte-identical.
+///   - ToChromeTrace(): a chrome://tracing / Perfetto-compatible
+///     "traceEvents" document (the `dfdb-trace` dump).
+
+#ifndef DFDB_OBS_TRACE_H_
+#define DFDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dfdb {
+namespace obs {
+
+class JsonWriter;
+
+/// \brief What happened. Kept deliberately coarse: one enum across both
+/// backends so cross-backend tooling needs no translation table.
+enum class TraceEventKind : uint8_t {
+  kTaskClaimed = 0,    ///< A processor accepted an instruction packet.
+  kTaskExecuted,       ///< The instruction's kernel ran to completion.
+  kPageProduced,       ///< A result page left a processor.
+  kPacketEnqueued,     ///< A packet entered the network / task queue.
+  kPacketDelivered,    ///< A packet arrived at its destination.
+  kFaultInjected,      ///< The fault plan fired (kill/fail/drop/corrupt/...).
+  kFaultRecovered,     ///< Recovery work (retry/redispatch/rehome/drop).
+};
+
+std::string_view TraceEventKindToString(TraceEventKind kind);
+
+/// \brief One observed event. `a` and `b` are kind-dependent small ids
+/// (plan-node id and station/worker id in the engine; instruction id and
+/// IP/IC id in the machine); -1 means "not applicable".
+struct TraceEvent {
+  uint64_t seq = 0;      ///< Global record order (total order per run).
+  int64_t ts_ns = 0;     ///< Steady-clock (engine) or sim-time (machine) ns.
+  TraceEventKind kind = TraceEventKind::kTaskExecuted;
+  uint64_t query = 0;    ///< Query index within the batch/program.
+  int32_t a = -1;
+  int32_t b = -1;
+  uint64_t bytes = 0;    ///< Payload bytes involved, if meaningful.
+  const char* detail = nullptr;  ///< Static-string annotation or nullptr.
+};
+
+/// \brief An immutable, seq-ordered event list produced by
+/// TraceRecorder::Finish().
+class Trace {
+ public:
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  size_t CountKind(TraceEventKind kind) const;
+
+  /// Flat `{"events":[...]}` array in seq order. When \p include_timing is
+  /// false the ts_ns field is omitted from every event (deterministic
+  /// export for wall-clock backends).
+  void ToJson(JsonWriter* w, bool include_timing) const;
+  std::string ToJson(bool include_timing = true) const;
+
+  /// chrome://tracing "traceEvents" JSON (instant events; ts in
+  /// microseconds, pid = query, tid = station id).
+  std::string ToChromeTrace() const;
+
+ private:
+  friend class TraceRecorder;
+  std::vector<TraceEvent> events_;
+};
+
+/// \brief Collects TraceEvents from many threads without a hot-path lock.
+///
+/// Each recording thread appends to its own shard (created once per thread
+/// under a mutex, then cached in a thread_local slot); ordering across
+/// shards is recovered at Finish() time by sorting on the atomic sequence
+/// number. A disabled recorder records nothing and costs one predictable
+/// branch per call site.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(bool enabled);
+  ~TraceRecorder();
+  DFDB_DISALLOW_COPY(TraceRecorder);
+
+  bool enabled() const { return enabled_; }
+
+  /// Records one event; no-op when disabled. Safe to call concurrently.
+  void Record(TraceEventKind kind, uint64_t query, int32_t a, int32_t b,
+              uint64_t bytes, const char* detail, int64_t ts_ns);
+
+  /// Merges all shards into a seq-sorted immutable Trace. Must be called
+  /// after every recording thread has quiesced (the engine joins its
+  /// workers first). Returns nullptr when the recorder is disabled.
+  std::shared_ptr<const Trace> Finish();
+
+ private:
+  struct Shard {
+    std::vector<TraceEvent> events;
+  };
+
+  Shard* ShardForThisThread();
+
+  const bool enabled_;
+  const uint64_t id_;  ///< Distinguishes recorders in the thread_local cache.
+  std::atomic<uint64_t> next_seq_{0};
+  std::mutex shards_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace obs
+}  // namespace dfdb
+
+#endif  // DFDB_OBS_TRACE_H_

@@ -21,6 +21,10 @@
 
 namespace dfdb {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// \brief Byte and operation counters across the hierarchy boundaries.
 struct BufferStats {
   /// Mass storage <-> disk cache.
@@ -43,6 +47,12 @@ struct BufferStats {
 
   std::string ToString() const;
 };
+
+/// Registers every BufferStats counter into \p registry under the
+/// observability naming scheme: `storage.disk_read_bytes`,
+/// `storage.cache_reads`, ... (`local_hits` is exported as
+/// `storage.cache_hits`: a request satisfied at the top of the hierarchy).
+void RegisterMetrics(const BufferStats& stats, obs::MetricsRegistry* registry);
 
 /// \brief LRU-managed two-level cache over a PageStore.
 ///

@@ -368,11 +368,11 @@ TEST_F(FaultInjectionTest, EngineSurvivesWorkerAbandonmentAndPoison) {
   opts.fault_plan.abandon_after_tasks = 3;
   opts.fault_plan.poison_packets = 7;
   Executor engine(storage_.get(), opts);
+  ExecStats stats;
   ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> results,
-                       engine.ExecuteBatch(raw));
+                       engine.ExecuteBatch(raw, &stats));
   ExpectSameResult(e1, results[0]);
   ExpectSameResult(e2, results[1]);
-  const ExecStats& stats = engine.last_stats();
   EXPECT_EQ(stats.workers_abandoned, 2u);
   EXPECT_EQ(stats.poison_dropped, 7u);
   EXPECT_GE(stats.faults_injected, 9u);
@@ -390,9 +390,10 @@ TEST_F(FaultInjectionTest, EngineClampsSoOneWorkerSurvives) {
   opts.fault_plan.abandon_workers = 99;
   opts.fault_plan.abandon_after_tasks = 1;
   Executor engine(storage_.get(), opts);
-  ASSERT_OK_AND_ASSIGN(QueryResult result, engine.Execute(*q));
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(QueryResult result, engine.Execute(*q, &stats));
   ExpectSameResult(expected, result);
-  EXPECT_LE(engine.last_stats().workers_abandoned, 2u);
+  EXPECT_LE(stats.workers_abandoned, 2u);
 }
 
 }  // namespace

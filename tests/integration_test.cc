@@ -87,9 +87,8 @@ TEST_F(IntegrationTest, EngineStatsInvariants) {
   opts.num_processors = 2;
   opts.page_bytes = 4096;
   Executor engine(storage_.get(), opts);
-  ASSERT_OK_AND_ASSIGN(auto results, engine.ExecuteBatch(plans));
-  (void)results;
-  const ExecStats& stats = engine.last_stats();
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto results, engine.ExecuteBatch(plans, &stats));
   EXPECT_GT(stats.wall_seconds, 0.0);
   EXPECT_GT(stats.tasks_executed, 0u);
   EXPECT_GT(stats.packets, 0u);

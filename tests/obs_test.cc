@@ -1,0 +1,381 @@
+/// \file obs_test.cc
+/// \brief The unified observability layer: registry semantics, trace
+/// determinism, zero overhead when disabled, and the fault-trace contract.
+///
+/// The headline contracts under test:
+///   - two identically-seeded machine runs export byte-identical JSON
+///     (full timing included: simulated time is deterministic);
+///   - two identically-seeded 1-worker engine runs export byte-identical
+///     canonical JSON (timing omitted: wall clock is not deterministic);
+///   - with tracing disabled no trace is allocated at all;
+///   - under a fault storm the trace carries exactly one kFaultInjected
+///     event per fault counted in MachineReport::faults.injected.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "machine/simulator.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+namespace dfdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("n");
+  w.Uint(3);
+  w.Key("xs");
+  w.BeginArray();
+  w.Uint(1);
+  w.Int(-2);
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("s");
+  w.String("hi");
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            "{\"n\":3,\"xs\":[1,-2,true,null],\"nested\":{\"s\":\"hi\"}}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(obs::JsonEscape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(obs::JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripDeterministically) {
+  obs::JsonWriter w1, w2;
+  w1.Double(0.1);
+  w2.Double(0.1);
+  EXPECT_EQ(w1.str(), w2.str());
+  EXPECT_EQ(w1.str(), "0.10000000000000001");
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, SetAddGetAndSortedExport) {
+  obs::MetricsRegistry registry;
+  registry.Set("machine.outer_ring_bytes", 100);
+  registry.Add("engine.tasks_executed", 7);
+  registry.Add("engine.tasks_executed", 3);
+  EXPECT_EQ(registry.GetOr("engine.tasks_executed", 0), 10u);
+  EXPECT_EQ(registry.GetOr("missing", 42), 42u);
+  // Keys export sorted regardless of insertion order.
+  EXPECT_EQ(registry.ToJson(),
+            "{\"engine.tasks_executed\":10,\"machine.outer_ring_bytes\":100}");
+  // Human dump mentions every counter.
+  const std::string text = registry.ToString();
+  EXPECT_NE(text.find("engine.tasks_executed"), std::string::npos);
+  EXPECT_NE(text.find("machine.outer_ring_bytes"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorderTest, DisabledRecorderReturnsNull) {
+  obs::TraceRecorder recorder(/*enabled=*/false);
+  recorder.Record(obs::TraceEventKind::kTaskExecuted, 0, 1, 2, 3, "x", 4);
+  EXPECT_EQ(recorder.Finish(), nullptr);
+}
+
+TEST(TraceRecorderTest, EventsComeBackInSequenceOrder) {
+  obs::TraceRecorder recorder(/*enabled=*/true);
+  for (int i = 0; i < 100; ++i) {
+    recorder.Record(i % 2 == 0 ? obs::TraceEventKind::kTaskClaimed
+                               : obs::TraceEventKind::kTaskExecuted,
+                    /*query=*/static_cast<uint64_t>(i), i, -1, 0, nullptr, i);
+  }
+  std::shared_ptr<const obs::Trace> trace = recorder.Finish();
+  ASSERT_NE(trace, nullptr);
+  ASSERT_EQ(trace->size(), 100u);
+  for (size_t i = 0; i < trace->events().size(); ++i) {
+    EXPECT_EQ(trace->events()[i].seq, i);
+    EXPECT_EQ(trace->events()[i].query, i);
+  }
+  EXPECT_EQ(trace->CountKind(obs::TraceEventKind::kTaskClaimed), 50u);
+  EXPECT_EQ(trace->CountKind(obs::TraceEventKind::kTaskExecuted), 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixture: a small database + plans for both backends
+// ---------------------------------------------------------------------------
+
+class ObsBackendTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<StorageEngine> FreshStorage() {
+    auto storage = std::make_unique<StorageEngine>(/*default_page_bytes=*/2000);
+    auto a = GenerateRelation(storage.get(), "alpha", 300, 3);
+    auto b = GenerateRelation(storage.get(), "beta", 120, 4);
+    EXPECT_TRUE(a.ok() && b.ok());
+    return storage;
+  }
+
+  static std::vector<PlanNodePtr> Plans() {
+    std::vector<PlanNodePtr> plans;
+    plans.push_back(
+        MakeJoin(MakeRestrict(MakeScan("alpha"), Lt(Col("k1000"), Lit(400))),
+                 MakeScan("beta"), Eq(Col("k100"), RightCol("k100"))));
+    plans.push_back(MakeRestrict(MakeScan("beta"), Ge(Col("k1000"), Lit(200))));
+    return plans;
+  }
+
+  static std::vector<const PlanNode*> Raw(const std::vector<PlanNodePtr>& p) {
+    std::vector<const PlanNode*> raw;
+    for (const auto& n : p) raw.push_back(n.get());
+    return raw;
+  }
+
+  static MachineOptions MachineOpts(bool trace) {
+    MachineOptions opts;
+    opts.granularity = Granularity::kPage;
+    opts.config.num_instruction_processors = 4;
+    opts.config.num_instruction_controllers = 2;
+    opts.config.page_bytes = 2000;
+    opts.config.ic_local_memory_pages = 8;
+    opts.config.disk_cache_pages = 64;
+    opts.enable_trace = trace;
+    return opts;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Machine determinism and fault-trace contract
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsBackendTest, MachineRunsExportByteIdenticalJson) {
+  // Two identically-configured runs — including a seeded fault storm — must
+  // export byte-identical full reports (timestamps included).
+  std::string docs[2];
+  std::string chrome[2];
+  for (int run = 0; run < 2; ++run) {
+    auto storage = FreshStorage();
+    auto plans = Plans();
+    MachineOptions opts = MachineOpts(/*trace=*/true);
+    opts.fault_plan = FaultPlan::RandomStorm(/*seed=*/7, /*ip_kills=*/1,
+                                             /*packet_faults=*/4,
+                                             SimTime::Millis(500));
+    opts.fault_plan.detection_timeout = SimTime::Micros(500);
+    opts.fault_plan.retry_backoff = SimTime::Micros(100);
+    MachineSimulator sim(storage.get(), opts);
+    auto report = sim.Run(Raw(plans));
+    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_NE(report->trace, nullptr);
+    EXPECT_GT(report->trace->size(), 0u);
+    docs[run] = report->ToReport().ToJson(/*include_timing=*/true);
+    chrome[run] = report->ToReport().ToChromeTrace();
+  }
+  EXPECT_EQ(docs[0], docs[1]);
+  EXPECT_EQ(chrome[0], chrome[1]);
+  EXPECT_NE(docs[0].find("\"backend\":\"machine\""), std::string::npos);
+  EXPECT_NE(docs[0].find("machine.outer_ring_bytes"), std::string::npos);
+  EXPECT_NE(chrome[0].find("traceEvents"), std::string::npos);
+}
+
+TEST_F(ObsBackendTest, MachineTraceCarriesEveryInjectedFault) {
+  auto storage = FreshStorage();
+  auto plans = Plans();
+  MachineOptions opts = MachineOpts(/*trace=*/true);
+  opts.fault_plan = FaultPlan::RandomStorm(/*seed=*/11, /*ip_kills=*/2,
+                                           /*packet_faults=*/6,
+                                           SimTime::Millis(500));
+  opts.fault_plan.detection_timeout = SimTime::Micros(500);
+  opts.fault_plan.retry_backoff = SimTime::Micros(100);
+  MachineSimulator sim(storage.get(), opts);
+  auto report = sim.Run(Raw(plans));
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_NE(report->trace, nullptr);
+  // The contract: one kFaultInjected trace event per counted injection, and
+  // recovery work leaves kFaultRecovered events behind.
+  EXPECT_EQ(report->trace->CountKind(obs::TraceEventKind::kFaultInjected),
+            report->faults.injected);
+  EXPECT_GT(report->faults.injected, 0u);
+  if (report->faults.retries + report->faults.redispatches +
+          report->faults.instructions_rehomed >
+      0) {
+    EXPECT_GT(report->trace->CountKind(obs::TraceEventKind::kFaultRecovered),
+              0u);
+  }
+}
+
+TEST_F(ObsBackendTest, MachineTracingDisabledMeansNoTrace) {
+  auto storage = FreshStorage();
+  auto plans = Plans();
+  MachineSimulator sim(storage.get(), MachineOpts(/*trace=*/false));
+  auto report = sim.Run(Raw(plans));
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->trace, nullptr);
+  // The RunReport JSON still exports fine, just without a trace field.
+  const std::string doc = report->ToReport().ToJson();
+  EXPECT_EQ(doc.find("\"trace\""), std::string::npos);
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(report->ToReport().ToChromeTrace(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism, per-query stats, disabled-trace contract
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsBackendTest, EngineSingleWorkerRunsExportByteIdenticalJson) {
+  // With one worker the engine's event order is deterministic; the
+  // canonical export (timing omitted) must be byte-identical across runs.
+  std::string docs[2];
+  for (int run = 0; run < 2; ++run) {
+    auto storage = FreshStorage();
+    auto plans = Plans();
+    ExecOptions opts;
+    opts.granularity = Granularity::kPage;
+    opts.num_processors = 1;
+    opts.page_bytes = 2000;
+    opts.enable_trace = true;
+    Executor engine(storage.get(), opts);
+    ExecStats stats;
+    auto results = engine.ExecuteBatch(Raw(plans), &stats);
+    ASSERT_TRUE(results.ok()) << results.status();
+    ASSERT_NE(stats.trace, nullptr);
+    EXPECT_GT(stats.trace->size(), 0u);
+    docs[run] = stats.ToReport().ToJson(/*include_timing=*/false);
+  }
+  EXPECT_EQ(docs[0], docs[1]);
+  EXPECT_NE(docs[0].find("\"backend\":\"engine\""), std::string::npos);
+  EXPECT_NE(docs[0].find("engine.arbitration_bytes"), std::string::npos);
+  EXPECT_NE(docs[0].find("storage.cache_hits"), std::string::npos);
+  // Canonical form omits every wall-clock-derived field.
+  EXPECT_EQ(docs[0].find("\"seconds\""), std::string::npos);
+  EXPECT_EQ(docs[0].find("\"ts_ns\""), std::string::npos);
+}
+
+TEST_F(ObsBackendTest, EngineAttachesPerQueryStatsToResults) {
+  auto storage = FreshStorage();
+  auto plans = Plans();
+  ExecOptions opts;
+  opts.granularity = Granularity::kPage;
+  opts.num_processors = 2;
+  opts.page_bytes = 2000;
+  Executor engine(storage.get(), opts);
+  ExecStats batch;
+  auto results = engine.ExecuteBatch(Raw(plans), &batch);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 2u);
+  uint64_t task_sum = 0;
+  for (const QueryResult& r : *results) {
+    EXPECT_GT(r.stats().tasks_executed, 0u);
+    EXPECT_GT(r.stats().wall_seconds, 0.0);
+    task_sum += r.stats().tasks_executed;
+  }
+  // Per-query work counters partition the batch aggregate.
+  EXPECT_EQ(task_sum, batch.tasks_executed);
+  EXPECT_GT(batch.wall_seconds, 0.0);
+  // Tracing was off: no trace anywhere.
+  EXPECT_EQ(batch.trace, nullptr);
+  EXPECT_EQ((*results)[0].trace(), nullptr);
+}
+
+TEST_F(ObsBackendTest, EngineTraceEventsKeyedByBatchIndex) {
+  auto storage = FreshStorage();
+  auto plans = Plans();
+  ExecOptions opts;
+  opts.granularity = Granularity::kPage;
+  opts.num_processors = 2;
+  opts.page_bytes = 2000;
+  opts.enable_trace = true;
+  Executor engine(storage.get(), opts);
+  ExecStats batch;
+  auto results = engine.ExecuteBatch(Raw(plans), &batch);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_NE(batch.trace, nullptr);
+  // Both queries contributed events, keyed 0 / 1 by batch position, and the
+  // per-query results share the batch trace.
+  bool saw[2] = {false, false};
+  for (const obs::TraceEvent& e : batch.trace->events()) {
+    ASSERT_LT(e.query, 2u);
+    saw[e.query] = true;
+  }
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+  EXPECT_EQ((*results)[0].trace(), batch.trace);
+  EXPECT_GT(batch.trace->CountKind(obs::TraceEventKind::kTaskExecuted), 0u);
+  EXPECT_GT(batch.trace->CountKind(obs::TraceEventKind::kPageProduced), 0u);
+  EXPECT_GT(batch.trace->CountKind(obs::TraceEventKind::kPacketEnqueued), 0u);
+}
+
+TEST_F(ObsBackendTest, EngineFaultStormLeavesTraceEvidence) {
+  auto storage = FreshStorage();
+  auto plans = Plans();
+  ExecOptions opts;
+  opts.granularity = Granularity::kPage;
+  opts.num_processors = 4;
+  opts.page_bytes = 600;
+  opts.enable_trace = true;
+  opts.fault_plan.abandon_workers = 2;
+  opts.fault_plan.abandon_after_tasks = 2;
+  opts.fault_plan.poison_packets = 5;
+  Executor engine(storage.get(), opts);
+  ExecStats batch;
+  auto results = engine.ExecuteBatch(Raw(plans), &batch);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_NE(batch.trace, nullptr);
+  EXPECT_EQ(batch.trace->CountKind(obs::TraceEventKind::kFaultInjected),
+            batch.faults_injected);
+  EXPECT_EQ(batch.faults_injected, 7u);  // 2 abandons + 5 poison packets.
+}
+
+// ---------------------------------------------------------------------------
+// RunReport cross-backend shape
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsBackendTest, BothBackendsProduceComparableRunReports) {
+  auto storage = FreshStorage();
+  auto plans = Plans();
+
+  MachineSimulator sim(storage.get(), MachineOpts(/*trace=*/false));
+  auto machine_report = sim.Run(Raw(plans));
+  ASSERT_TRUE(machine_report.ok()) << machine_report.status();
+  obs::RunReport machine_run = machine_report->ToReport();
+
+  ExecOptions opts;
+  opts.granularity = Granularity::kPage;
+  opts.num_processors = 2;
+  opts.page_bytes = 2000;
+  Executor engine(storage.get(), opts);
+  ExecStats stats;
+  auto results = engine.ExecuteBatch(Raw(plans), &stats);
+  ASSERT_TRUE(results.ok()) << results.status();
+  obs::RunReport engine_run = stats.ToReport();
+
+  EXPECT_EQ(machine_run.backend, "machine");
+  EXPECT_TRUE(machine_run.simulated_time);
+  EXPECT_EQ(engine_run.backend, "engine");
+  EXPECT_FALSE(engine_run.simulated_time);
+  for (const obs::RunReport* run : {&machine_run, &engine_run}) {
+    EXPECT_GT(run->seconds, 0.0);
+    EXPECT_GT(run->data_bytes, 0u);
+    EXPECT_GT(run->packets, 0u);
+    EXPECT_EQ(run->faults, 0u);
+    EXPECT_GT(run->bits_per_second(), 0.0);
+    EXPECT_FALSE(run->counters.counters().empty());
+    EXPECT_FALSE(run->ToString().empty());
+  }
+}
+
+}  // namespace
+}  // namespace dfdb

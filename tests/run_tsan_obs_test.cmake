@@ -1,0 +1,28 @@
+# Builds obs_test in a dedicated -DDFDB_SANITIZE=thread tree and runs it.
+# Driven by the `obs_test_tsan` ctest entry (CONFIGURATIONS tsan) so the
+# default test run never pays for the extra build.
+if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BINARY_DIR)
+  message(FATAL_ERROR "run_tsan_obs_test.cmake needs SOURCE_DIR and BINARY_DIR")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+          -DDFDB_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE configure_result)
+if(NOT configure_result EQUAL 0)
+  message(FATAL_ERROR "tsan configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} --target obs_test -j
+  RESULT_VARIABLE build_result)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "tsan build failed")
+endif()
+
+execute_process(
+  COMMAND ${BINARY_DIR}/tests/obs_test
+  RESULT_VARIABLE test_result)
+if(NOT test_result EQUAL 0)
+  message(FATAL_ERROR "obs_test under tsan failed")
+endif()

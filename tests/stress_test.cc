@@ -213,15 +213,15 @@ TEST_F(StressTest, EngineAbandonmentStormMatchesReference) {
   opts.fault_plan.abandon_after_tasks = 2;
   opts.fault_plan.poison_packets = 11;
   Executor engine(storage_.get(), opts);
+  ExecStats stats;
   ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> results,
-                       engine.ExecuteBatch(raw));
+                       engine.ExecuteBatch(raw, &stats));
   ReferenceExecutor reference(storage_.get());
   for (size_t i = 0; i < plans.size(); ++i) {
     SCOPED_TRACE(i);
     ASSERT_OK_AND_ASSIGN(QueryResult ex, reference.Execute(*plans[i]));
     ExpectSameResult(ex, results[i]);
   }
-  const ExecStats& stats = engine.last_stats();
   EXPECT_EQ(stats.workers_abandoned, 3u);
   EXPECT_EQ(stats.poison_dropped, 11u);
 }

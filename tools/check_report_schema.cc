@@ -1,0 +1,400 @@
+/// \file check_report_schema.cc
+/// \brief Validates a bench JSON report against a (subset) JSON Schema.
+///
+/// Usage: check_report_schema --schema=tools/report_schema.json
+///                            --input=results/bench_sec33_bandwidth.json
+///
+/// Supports the schema subset the report contract needs: "type" (object,
+/// array, string, number, integer, boolean), "required", "properties",
+/// "items", "minItems", and "const". Unknown keywords are ignored, matching
+/// JSON Schema's permissive spirit. Exit code 0 = valid; 1 = parse or
+/// validation failure, with the offending JSON path on stderr.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  bool is_integer = false;  ///< Number was written without '.', 'e', 'E'.
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it != object.end() ? &it->second : nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!ParseValue(out)) {
+      *error = error_.empty() ? "malformed JSON" : error_;
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseKeyword(JsonValue* out) {
+    auto match = [&](const char* kw) {
+      const size_t n = std::strlen(kw);
+      if (text_.compare(pos_, n, kw) == 0) {
+        pos_ += n;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    return Fail("unknown keyword");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    out->type = JsonValue::Type::kNumber;
+    out->is_integer = token.find_first_of(".eE") == std::string::npos;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // Validation only needs byte fidelity for ASCII; encode the
+            // rest as UTF-8 without surrogate-pair handling.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema-subset validation
+// ---------------------------------------------------------------------------
+
+bool TypeMatches(const JsonValue& value, const std::string& type) {
+  using T = JsonValue::Type;
+  if (type == "object") return value.type == T::kObject;
+  if (type == "array") return value.type == T::kArray;
+  if (type == "string") return value.type == T::kString;
+  if (type == "boolean") return value.type == T::kBool;
+  if (type == "null") return value.type == T::kNull;
+  if (type == "number") return value.type == T::kNumber;
+  if (type == "integer") {
+    return value.type == T::kNumber &&
+           (value.is_integer || std::floor(value.number) == value.number);
+  }
+  return false;  // Unknown type name: treat as mismatch, it is a schema bug.
+}
+
+const char* TypeName(JsonValue::Type t) {
+  switch (t) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return "boolean";
+    case JsonValue::Type::kNumber: return "number";
+    case JsonValue::Type::kString: return "string";
+    case JsonValue::Type::kArray: return "array";
+    case JsonValue::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+bool Validate(const JsonValue& value, const JsonValue& schema,
+              const std::string& path, std::string* error) {
+  if (schema.type != JsonValue::Type::kObject) {
+    *error = path + ": schema node is not an object";
+    return false;
+  }
+  if (const JsonValue* type = schema.Find("type")) {
+    if (type->type != JsonValue::Type::kString ||
+        !TypeMatches(value, type->string)) {
+      *error = path + ": expected type " +
+               (type->type == JsonValue::Type::kString ? type->string : "?") +
+               ", got " + TypeName(value.type);
+      return false;
+    }
+  }
+  if (const JsonValue* expect = schema.Find("const")) {
+    const bool same =
+        expect->type == value.type &&
+        (expect->type != JsonValue::Type::kString ||
+         expect->string == value.string) &&
+        (expect->type != JsonValue::Type::kNumber ||
+         expect->number == value.number) &&
+        (expect->type != JsonValue::Type::kBool ||
+         expect->boolean == value.boolean);
+    if (!same) {
+      *error = path + ": value does not match schema const";
+      return false;
+    }
+  }
+  if (const JsonValue* required = schema.Find("required")) {
+    for (const JsonValue& key : required->array) {
+      if (value.Find(key.string) == nullptr) {
+        *error = path + ": missing required key \"" + key.string + "\"";
+        return false;
+      }
+    }
+  }
+  if (const JsonValue* properties = schema.Find("properties")) {
+    for (const auto& [key, subschema] : properties->object) {
+      if (const JsonValue* child = value.Find(key)) {
+        if (!Validate(*child, subschema, path + "." + key, error)) return false;
+      }
+    }
+  }
+  if (const JsonValue* min_items = schema.Find("minItems")) {
+    if (value.type == JsonValue::Type::kArray &&
+        value.array.size() < static_cast<size_t>(min_items->number)) {
+      *error = path + ": fewer than " +
+               std::to_string(static_cast<size_t>(min_items->number)) +
+               " items";
+      return false;
+    }
+  }
+  if (const JsonValue* items = schema.Find("items")) {
+    for (size_t i = 0; i < value.array.size(); ++i) {
+      if (!Validate(value.array[i], *items,
+                    path + "[" + std::to_string(i) + "]", error)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out->append(buffer, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::string Flag(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string schema_path = Flag(argc, argv, "schema");
+  const std::string input_path = Flag(argc, argv, "input");
+  if (schema_path.empty() || input_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: check_report_schema --schema=FILE --input=FILE\n");
+    return 1;
+  }
+  std::string schema_text, input_text;
+  if (!ReadFile(schema_path, &schema_text)) {
+    std::fprintf(stderr, "cannot read schema %s\n", schema_path.c_str());
+    return 1;
+  }
+  if (!ReadFile(input_path, &input_text)) {
+    std::fprintf(stderr, "cannot read input %s\n", input_path.c_str());
+    return 1;
+  }
+  JsonValue schema, input;
+  std::string error;
+  if (!Parser(schema_text).Parse(&schema, &error)) {
+    std::fprintf(stderr, "schema parse error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!Parser(input_text).Parse(&input, &error)) {
+    std::fprintf(stderr, "input parse error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!Validate(input, schema, "$", &error)) {
+    std::fprintf(stderr, "schema violation: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s conforms to %s\n", input_path.c_str(), schema_path.c_str());
+  return 0;
+}

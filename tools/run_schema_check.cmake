@@ -1,0 +1,22 @@
+# Runs a seeded bench with --json and validates the emitted report against
+# tools/report_schema.json. Driven by the `report_schema_check` ctest entry.
+if(NOT DEFINED BENCH OR NOT DEFINED CHECKER OR NOT DEFINED SCHEMA
+   OR NOT DEFINED OUT)
+  message(FATAL_ERROR
+      "run_schema_check.cmake needs BENCH, CHECKER, SCHEMA, and OUT")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} --n=60 --json=${OUT}
+  RESULT_VARIABLE bench_result
+  OUTPUT_QUIET)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "bench run failed (${BENCH})")
+endif()
+
+execute_process(
+  COMMAND ${CHECKER} --schema=${SCHEMA} --input=${OUT}
+  RESULT_VARIABLE check_result)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR "report does not conform to ${SCHEMA}")
+endif()

@@ -1,0 +1,238 @@
+/// \file bench_multiuser_throughput.cc
+/// \brief Multi-user throughput: resident scheduler pool vs pool-per-query.
+///
+/// Section 4.0, requirement 1: the master controller must "support the
+/// simultaneous execution of multiple queries from several users". This
+/// bench replays a mixed reader/writer query stream from several client
+/// threads under the two execution regimes the repo has grown through:
+///
+///   per-query — the historical model: each query stands up its own worker
+///       pool via Executor::Execute, with the callers spinning on the
+///       ConflictManager themselves ("the caller's responsibility").
+///   resident  — one long-lived Scheduler: clients Submit() into a shared
+///       persistent pool and the MC admission queue handles conflicts and
+///       re-admission.
+///
+/// Both regimes run the identical stream against an identically seeded
+/// fresh database, so queries/sec is directly comparable. Results report
+/// through the shared RunReport JSON path (`--json=PATH`).
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "engine/concurrency.h"
+#include "engine/executor.h"
+#include "engine/scheduler.h"
+#include "ra/analyzer.h"
+
+namespace dfdb {
+namespace {
+
+/// One entry of the benchmark stream: a plan template plus its admission
+/// sets (pre-analyzed once against a throwaway catalog-equivalent storage).
+struct StreamQuery {
+  PlanNodePtr plan;
+  std::set<std::string> read_set;
+  std::set<std::string> write_set;
+  bool is_writer = false;
+};
+
+/// Builds the mixed stream: the ten paper benchmark readers cycled, with
+/// every fourth slot a writer (alternating appends into and deletes from
+/// r14, a relation the heavier readers also scan).
+std::vector<StreamQuery> BuildStream(int total, StorageEngine* storage) {
+  std::vector<Query> readers = MakePaperBenchmarkQueries();
+  std::vector<StreamQuery> stream;
+  stream.reserve(static_cast<size_t>(total));
+  Analyzer analyzer(&storage->catalog());
+  size_t reader_cursor = 0;
+  for (int i = 0; i < total; ++i) {
+    StreamQuery sq;
+    if (i % 4 == 3) {
+      sq.is_writer = true;
+      if (i % 8 == 3) {
+        sq.plan = MakeAppend(
+            MakeRestrict(MakeScan("r10"), Lt(Col("k1000"), Lit(50))), "r14");
+      } else {
+        sq.plan = MakeDelete("r14", Lt(Col("k1000"), Lit(20)));
+      }
+    } else {
+      sq.plan = readers[reader_cursor % readers.size()].root->Clone();
+      ++reader_cursor;
+    }
+    auto analysis = analyzer.Resolve(sq.plan.get());
+    DFDB_CHECK(analysis.ok()) << analysis.status();
+    sq.read_set = std::move(analysis->read_set);
+    sq.write_set = std::move(analysis->write_set);
+    stream.push_back(std::move(sq));
+  }
+  return stream;
+}
+
+struct ModeResult {
+  double wall_seconds = 0;
+  double qps = 0;
+  uint64_t queued = 0;
+  uint64_t queue_wait_ns = 0;
+  obs::RunReport report;
+};
+
+/// Pool-per-query baseline: clients pull stream indices from a shared
+/// cursor, spin on the ConflictManager until admitted, and run each query
+/// through Executor::Execute — which builds and tears down a worker pool
+/// per call, exactly as pre-scheduler callers did.
+ModeResult RunPerQuery(StorageEngine* storage,
+                       const std::vector<StreamQuery>& stream,
+                       const ExecOptions& opts, int clients) {
+  Executor executor(storage, opts);
+  ConflictManager conflicts;
+  std::atomic<size_t> cursor{0};
+  std::atomic<uint64_t> retries{0};
+  std::vector<ExecStats> per_query(stream.size());
+  std::vector<Status> statuses(stream.size(), Status::OK());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      for (size_t i = cursor.fetch_add(1); i < stream.size();
+           i = cursor.fetch_add(1)) {
+        const StreamQuery& sq = stream[i];
+        const uint64_t qid = static_cast<uint64_t>(i) + 1;
+        while (!conflicts.TryAdmit(qid, sq.read_set, sq.write_set)) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+        auto result = executor.Execute(*sq.plan, &per_query[i]);
+        conflicts.Release(qid);
+        statuses[i] = result.status();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  ModeResult out;
+  ExecStats sum;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    DFDB_CHECK(statuses[i].ok()) << "query " << i << ": " << statuses[i];
+    sum.tasks_executed += per_query[i].tasks_executed;
+    sum.packets += per_query[i].packets;
+    sum.arbitration_bytes += per_query[i].arbitration_bytes;
+    sum.distribution_bytes += per_query[i].distribution_bytes;
+    sum.overhead_bytes += per_query[i].overhead_bytes;
+    sum.pages_produced += per_query[i].pages_produced;
+    sum.tuples_produced += per_query[i].tuples_produced;
+  }
+  out.wall_seconds = std::chrono::duration<double>(end - start).count();
+  sum.wall_seconds = out.wall_seconds;
+  out.qps = static_cast<double>(stream.size()) / out.wall_seconds;
+  out.queued = retries.load();
+  out.report = sum.ToReport();
+  return out;
+}
+
+/// Resident-scheduler mode: the same clients Submit() into one long-lived
+/// pool; the MC admission queue replaces the callers' spin loops.
+ModeResult RunResident(StorageEngine* storage,
+                       const std::vector<StreamQuery>& stream,
+                       const ExecOptions& opts, int clients) {
+  SchedulerOptions sched_opts;
+  sched_opts.exec = opts;
+  Scheduler scheduler(storage, std::move(sched_opts));
+  std::atomic<size_t> cursor{0};
+  std::vector<Status> statuses(stream.size(), Status::OK());
+  std::atomic<uint64_t> queue_wait_ns{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      for (size_t i = cursor.fetch_add(1); i < stream.size();
+           i = cursor.fetch_add(1)) {
+        auto handle = scheduler.Submit(*stream[i].plan);
+        if (!handle.ok()) {
+          statuses[i] = handle.status();
+          continue;
+        }
+        auto result = handle->Wait();
+        statuses[i] = result.status();
+        queue_wait_ns.fetch_add(handle->queue_wait_ns(),
+                                std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  ModeResult out;
+  out.wall_seconds = std::chrono::duration<double>(end - start).count();
+  out.qps = static_cast<double>(stream.size()) / out.wall_seconds;
+  out.queue_wait_ns = queue_wait_ns.load();
+
+  ExecStats agg = scheduler.AggregateStats();
+  out.queued = agg.sched_queued;
+  agg.wall_seconds = out.wall_seconds;
+  out.report = agg.ToReport();
+  for (const Status& s : statuses) DFDB_CHECK(s.ok()) << s;
+  scheduler.Shutdown();
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const double scale = bench::FlagDouble(argc, argv, "scale", 0.5);
+  const int total = bench::FlagInt(argc, argv, "queries", 40);
+  const int clients = bench::FlagInt(argc, argv, "clients", 8);
+  const int procs = bench::FlagInt(argc, argv, "procs", 8);
+  DFDB_CHECK(total >= 16) << "need a >=16-query stream for a meaningful mix";
+
+  std::printf("== multi-user throughput: resident pool vs pool-per-query ==\n");
+  std::printf("# stream: %d queries (every 4th a writer), %d clients, "
+              "%d processors\n", total, clients, procs);
+
+  ExecOptions opts;
+  opts.granularity = Granularity::kPage;
+  opts.num_processors = procs;
+
+  bench::Table table({"mode", "wall_s", "qps", "queued_or_retries",
+                      "avg_queue_wait_ms"});
+  bench::RunTable runs({"mode"});
+  ModeResult results[2];
+  const char* kModes[2] = {"per_query", "resident"};
+  for (int m = 0; m < 2; ++m) {
+    // Fresh, identically seeded database per mode: writers mutate r14, so
+    // reusing one database would hand the second mode a different input.
+    StorageEngine storage(/*default_page_bytes=*/16384);
+    bench::BuildDatabaseOrDie(&storage, scale);
+    std::vector<StreamQuery> stream = BuildStream(total, &storage);
+    results[m] = m == 0 ? RunPerQuery(&storage, stream, opts, clients)
+                        : RunResident(&storage, stream, opts, clients);
+    const ModeResult& r = results[m];
+    const double avg_wait_ms =
+        r.queue_wait_ns > 0
+            ? static_cast<double>(r.queue_wait_ns) / 1e6 / total
+            : 0.0;
+    table.AddRow({kModes[m], StrFormat("%.3f", r.wall_seconds),
+                  StrFormat("%.2f", r.qps), StrFormat("%llu", static_cast<unsigned long long>(r.queued)),
+                  StrFormat("%.3f", avg_wait_ms)});
+    obs::RunReport run = r.report;
+    run.label = StrFormat("%s c=%d p=%d", kModes[m], clients, procs);
+    runs.Add({kModes[m]}, run);
+  }
+  table.Print("multiuser_throughput");
+  runs.Print("multiuser_runs");
+  std::printf("# resident/per_query qps: %.2fx\n",
+              results[1].qps / results[0].qps);
+
+  bench::WriteJson("bench_multiuser_throughput", argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfdb
+
+int main(int argc, char** argv) { return dfdb::Main(argc, argv); }

@@ -1,20 +1,20 @@
 /// \file multiuser.cpp
-/// \brief Multi-query execution with MC-style admission control.
+/// \brief Multi-query execution through the resident Scheduler.
 ///
 /// Section 4.0, requirement 1: "a database machine ... must be able to
 /// support the simultaneous execution of multiple queries from several
 /// users ... This requires careful control of which queries are permitted
 /// to execute concurrently."
 ///
-/// This example submits a mixed batch — read-only analytics, an append
-/// pipeline, and a delete — and shows that conflicting queries serialize
-/// while the rest share the processor pool. It then verifies the final
-/// state of the written relation.
+/// This example submits a mixed stream — read-only analytics, an append
+/// pipeline, and a delete — to a long-lived Scheduler: the master
+/// controller admits non-conflicting queries onto one shared worker pool
+/// and parks conflicting ones in its admission queue, re-admitting them as
+/// the conflicts drain. Each handle reports how long its query waited.
 
 #include <cstdio>
 
-#include "engine/executor.h"
-#include "engine/reference.h"
+#include "engine/scheduler.h"
 #include "storage/storage_engine.h"
 #include "workload/generator.h"
 
@@ -30,19 +30,19 @@ int main() {
       return 1;
     }
   }
-  // An initially empty archive relation the batch will write into.
+  // An initially empty archive relation the stream will write into.
   auto archive = storage.CreateRelation("archive", BenchmarkSchema());
   if (!archive.ok()) {
     std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
     return 1;
   }
 
-  // The batch:
+  // The stream:
   //   A: analytics join (reads events, users)
   //   B: archive recent events (reads events, WRITES archive)
   //   C: aggregate over users (reads users)
   //   D: purge archived rows (WRITES archive) — conflicts with B, so the
-  //      MC admits it only after B completes.
+  //      MC queues it and re-admits it when B completes.
   auto query_a =
       MakeJoin(MakeRestrict(MakeScan("events"), Lt(Col("k1000"), Lit(100))),
                MakeScan("users"), Eq(Col("k100"), RightCol("k100")));
@@ -54,26 +54,45 @@ int main() {
   auto query_c = MakeAggregate(MakeScan("users"), {"k10"}, specs);
   auto query_d = MakeDelete("archive", Lt(Col("k2"), Lit(1)));
 
-  ExecOptions options;
-  options.granularity = Granularity::kPage;
-  options.num_processors = 4;
-  options.page_bytes = 4096;
-  Executor engine(&storage, options);
+  SchedulerOptions options;
+  options.exec.granularity = Granularity::kPage;
+  options.exec.num_processors = 4;
+  options.exec.page_bytes = 4096;
+  Scheduler scheduler(&storage, std::move(options));
 
-  ExecStats batch_stats;
-  auto results = engine.ExecuteBatch(
-      {query_a.get(), query_b.get(), query_c.get(), query_d.get()},
-      &batch_stats);
-  if (!results.ok()) {
-    std::fprintf(stderr, "batch: %s\n", results.status().ToString().c_str());
-    return 1;
+  // Submit the whole stream up front — in a real service each of these
+  // would arrive from a different client thread. No caller retry loops:
+  // the admission queue owns conflict resolution.
+  const PlanNode* plans[] = {query_a.get(), query_b.get(), query_c.get(),
+                             query_d.get()};
+  const char* names[] = {"A (join)", "B (append)", "C (aggregate)",
+                         "D (delete)"};
+  std::vector<QueryHandle> handles;
+  for (const PlanNode* plan : plans) {
+    auto handle = scheduler.Submit(*plan);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "submit: %s\n", handle.status().ToString().c_str());
+      return 1;
+    }
+    handles.push_back(*std::move(handle));
+  }
+
+  std::vector<QueryResult> results;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    auto result = handles[i].Wait();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", names[i],
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(*std::move(result));
   }
 
   std::printf("A (join):       %llu tuples\n",
-              static_cast<unsigned long long>((*results)[0].num_tuples()));
+              static_cast<unsigned long long>(results[0].num_tuples()));
   std::printf("B (append):     side effect on 'archive'\n");
   std::printf("C (aggregate):  %llu groups\n",
-              static_cast<unsigned long long>((*results)[2].num_tuples()));
+              static_cast<unsigned long long>(results[2].num_tuples()));
   std::printf("D (delete):     side effect on 'archive'\n");
 
   auto meta = storage.catalog().GetRelation("archive");
@@ -81,11 +100,23 @@ int main() {
     std::printf("archive now holds %llu tuples (k1000>=900 minus k2=0)\n",
                 static_cast<unsigned long long>(meta->tuple_count));
   }
-  std::printf("\nBatch statistics: %s\n", batch_stats.ToString().c_str());
-  // Each QueryResult also carries its own per-query snapshot.
+
+  // Per-query admission stats: D conflicted with B on 'archive', so it is
+  // the one that shows a queue wait.
+  std::printf("\nqueue waits:\n");
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const ExecStats& qs = results[i].stats();
+    std::printf("  %-14s %s, waited %.3f ms (requeues: %llu)\n", names[i],
+                qs.sched_queued ? "queued " : "admitted",
+                static_cast<double>(qs.sched_queue_wait_ns) / 1e6,
+                static_cast<unsigned long long>(qs.sched_requeues));
+  }
+
+  ExecStats totals = scheduler.AggregateStats();
+  std::printf("\nScheduler totals: %s\n", totals.ToString().c_str());
   std::printf("Join query alone: %.3fs, %llu pages\n",
-              (*results)[0].stats().wall_seconds,
+              results[0].stats().wall_seconds,
               static_cast<unsigned long long>(
-                  (*results)[0].stats().pages_produced));
+                  results[0].stats().pages_produced));
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/macros.h"
 
@@ -36,6 +37,24 @@ class BlockingQueue {
     if (closed_) return false;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pushes \p items as one atomic batch: no other producer's element can
+  /// interleave within the batch, and a consumer blocked in Pop() cannot
+  /// wake until the whole batch is in the queue. This is what makes a
+  /// single-worker schedule deterministic when a query's initial task set
+  /// is enqueued while the worker runs. Blocks while the batch would
+  /// exceed capacity; returns false if the queue was closed first.
+  bool PushAll(std::vector<T> items) {
+    if (items.empty()) return true;
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return closed_ || items_.size() + items.size() <= capacity_;
+    });
+    if (closed_) return false;
+    for (T& item : items) items_.push_back(std::move(item));
+    not_empty_.notify_all();
     return true;
   }
 

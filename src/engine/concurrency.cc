@@ -62,4 +62,97 @@ int ConflictManager::admitted() const {
   return static_cast<int>(held_.size());
 }
 
+// ---------------------------------------------------------------------------
+// AdmissionQueue
+// ---------------------------------------------------------------------------
+
+AdmissionQueue::AdmissionQueue(int max_admission_skips)
+    : max_skips_(max_admission_skips < 1 ? 1 : max_admission_skips) {}
+
+bool AdmissionQueue::Conflicts(const Waiting& w,
+                               const std::set<std::string>& reads,
+                               const std::set<std::string>& writes) {
+  for (const std::string& r : w.writes) {
+    if (reads.count(r) > 0 || writes.count(r) > 0) return true;
+  }
+  for (const std::string& r : writes) {
+    if (w.reads.count(r) > 0) return true;
+  }
+  return false;
+}
+
+bool AdmissionQueue::Submit(uint64_t query_id,
+                            const std::set<std::string>& read_set,
+                            const std::set<std::string>& write_set) {
+  // A starved waiting query is a barrier: conflicting newcomers queue
+  // behind it even if the lock table would admit them right now.
+  bool barred = false;
+  for (const Waiting& w : waiting_) {
+    if (w.skips >= static_cast<uint64_t>(max_skips_) &&
+        Conflicts(w, read_set, write_set)) {
+      barred = true;
+      break;
+    }
+  }
+  if (!barred && conflicts_.TryAdmit(query_id, read_set, write_set)) {
+    // Everything already waiting that conflicts with this admission was
+    // just bypassed.
+    for (Waiting& w : waiting_) {
+      if (Conflicts(w, read_set, write_set)) ++w.skips;
+    }
+    return true;
+  }
+  waiting_.push_back(Waiting{query_id, read_set, write_set, 0, 0});
+  return false;
+}
+
+std::vector<AdmissionQueue::ReAdmitted> AdmissionQueue::Release(
+    uint64_t query_id) {
+  conflicts_.Release(query_id);
+  std::vector<ReAdmitted> admitted;
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    if (conflicts_.TryAdmit(it->qid, it->reads, it->writes)) {
+      // Entries queued earlier that stay behind were bypassed by this
+      // admission if they conflict with it.
+      for (auto jt = waiting_.begin(); jt != it; ++jt) {
+        if (Conflicts(*jt, it->reads, it->writes)) ++jt->skips;
+      }
+      admitted.push_back(ReAdmitted{it->qid, it->failed_probes});
+      it = waiting_.erase(it);
+    } else {
+      ++requeue_failures_;
+      ++it->failed_probes;
+      // Starved and still blocked: nothing behind may jump it.
+      if (it->skips >= static_cast<uint64_t>(max_skips_)) break;
+      ++it;
+    }
+  }
+  return admitted;
+}
+
+bool AdmissionQueue::Cancel(uint64_t query_id) {
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->qid == query_id) {
+      waiting_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<uint64_t> AdmissionQueue::CancelAll() {
+  std::vector<uint64_t> out;
+  out.reserve(waiting_.size());
+  for (const Waiting& w : waiting_) out.push_back(w.qid);
+  waiting_.clear();
+  return out;
+}
+
+uint64_t AdmissionQueue::skips(uint64_t query_id) const {
+  for (const Waiting& w : waiting_) {
+    if (w.qid == query_id) return w.skips;
+  }
+  return 0;
+}
+
 }  // namespace dfdb

@@ -11,10 +11,12 @@
 #define DFDB_ENGINE_CONCURRENCY_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
@@ -52,6 +54,82 @@ class ConflictManager {
   std::map<std::string, LockState> locks_;
   std::map<uint64_t, std::pair<std::set<std::string>, std::set<std::string>>>
       held_;
+};
+
+/// \brief The MC's admission queue: ConflictManager plus a FIFO wait list
+/// with an anti-starvation bound.
+///
+/// Historically, queued re-admission was "the caller's responsibility"; the
+/// AdmissionQueue makes it the MC's. A query that cannot be admitted waits
+/// in FIFO order and is retried whenever a running query releases its
+/// locks. Plain FIFO retry still starves writers — a stream of readers
+/// keeps the shared lock warm forever — so each waiting query counts how
+/// many *conflicting* later queries were admitted ahead of it ("skips").
+/// Once a query's skips reach `max_admission_skips` it becomes a barrier:
+/// no conflicting query may be admitted ahead of it (direct submissions
+/// queue behind it, and re-admission scans stop at it), so it is admitted
+/// as soon as the current holders of its relations drain. This bounds the
+/// bypass count of any waiting query by `max_admission_skips`.
+///
+/// Not internally synchronized beyond the ConflictManager it owns: the
+/// scheduler serializes calls under its admission mutex, and tests drive it
+/// single-threaded.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(int max_admission_skips = 8);
+  DFDB_DISALLOW_COPY(AdmissionQueue);
+
+  /// A query admitted from the wait queue by Release().
+  struct ReAdmitted {
+    uint64_t qid = 0;
+    /// Failed re-admission probes this query experienced while queued.
+    uint64_t failed_probes = 0;
+  };
+
+  /// Admits \p query_id now (true) or appends it to the wait queue (false).
+  bool Submit(uint64_t query_id, const std::set<std::string>& read_set,
+              const std::set<std::string>& write_set);
+
+  /// Releases \p query_id's locks and scans the wait queue in FIFO order,
+  /// admitting every query that now fits (stopping at a starved barrier
+  /// query that still does not fit). Returns the admitted queries in queue
+  /// order.
+  std::vector<ReAdmitted> Release(uint64_t query_id);
+
+  /// Removes a still-waiting query (returns false if it was not queued).
+  bool Cancel(uint64_t query_id);
+
+  /// Empties the wait queue (shutdown); returns the cancelled qids in
+  /// queue order.
+  std::vector<uint64_t> CancelAll();
+
+  int admitted() const { return conflicts_.admitted(); }
+  size_t queued() const { return waiting_.size(); }
+
+  /// Times a conflicting later query was admitted ahead of a still-waiting
+  /// \p query_id (0 when not waiting). Test/diagnostic visibility.
+  uint64_t skips(uint64_t query_id) const;
+
+  /// Total failed re-admission probes across all Release() scans.
+  uint64_t requeue_failures() const { return requeue_failures_; }
+
+ private:
+  struct Waiting {
+    uint64_t qid = 0;
+    std::set<std::string> reads;
+    std::set<std::string> writes;
+    uint64_t skips = 0;
+    uint64_t failed_probes = 0;
+  };
+
+  /// Read/write-set conflict between a waiting query and another query.
+  static bool Conflicts(const Waiting& w, const std::set<std::string>& reads,
+                        const std::set<std::string>& writes);
+
+  ConflictManager conflicts_;
+  std::deque<Waiting> waiting_;
+  const int max_skips_;
+  uint64_t requeue_failures_ = 0;
 };
 
 }  // namespace dfdb

@@ -17,6 +17,14 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(pages_produced),
       static_cast<unsigned long long>(tuples_produced),
       buffer.ToString().c_str());
+  if (sched_queued > 0) {
+    out += StrFormat(
+        " | sched: admitted=%llu queued=%llu requeues=%llu wait=%.3fms",
+        static_cast<unsigned long long>(sched_admitted),
+        static_cast<unsigned long long>(sched_queued),
+        static_cast<unsigned long long>(sched_requeues),
+        static_cast<double>(sched_queue_wait_ns) / 1e6);
+  }
   if (faults_injected > 0) {
     out += StrFormat(
         " | faults=%llu abandoned=%llu redispatched=%llu poison=%llu",
@@ -37,6 +45,10 @@ void RegisterMetrics(const ExecStats& stats, obs::MetricsRegistry* registry) {
   registry->Set("engine.network_bytes", stats.network_bytes());
   registry->Set("engine.pages_produced", stats.pages_produced);
   registry->Set("engine.tuples_produced", stats.tuples_produced);
+  registry->Set("engine.sched.admitted", stats.sched_admitted);
+  registry->Set("engine.sched.queued", stats.sched_queued);
+  registry->Set("engine.sched.requeues", stats.sched_requeues);
+  registry->Set("engine.sched.queue_wait_ns", stats.sched_queue_wait_ns);
   registry->Set("engine.faults.injected", stats.faults_injected);
   registry->Set("engine.faults.workers_abandoned", stats.workers_abandoned);
   registry->Set("engine.faults.redispatched_tasks", stats.redispatched_tasks);

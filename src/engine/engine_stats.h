@@ -63,6 +63,15 @@ struct ExecStats {
   uint64_t workers_abandoned = 0;
   uint64_t redispatched_tasks = 0;
   uint64_t poison_dropped = 0;
+  // MC scheduler admission outcomes (engine.sched.*). Per-query snapshots
+  // carry this query's own values (admitted/queued are then 0-or-1); batch
+  // and scheduler aggregates carry totals. queue_wait_ns is exactly 0 for
+  // queries admitted without waiting, so seeded conflict-free runs stay
+  // deterministic.
+  uint64_t sched_admitted = 0;      ///< Queries admitted immediately.
+  uint64_t sched_queued = 0;        ///< Queries that waited in the MC queue.
+  uint64_t sched_requeues = 0;      ///< Failed re-admission probes.
+  uint64_t sched_queue_wait_ns = 0; ///< Time spent waiting for admission.
   BufferStats buffer;
   /// Event trace of the run this snapshot belongs to, when
   /// ExecOptions::enable_trace was set (shared across the batch; events

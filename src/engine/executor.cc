@@ -1,22 +1,20 @@
+/// \file executor.cc
+/// \brief Compatibility wrappers over the resident Scheduler.
+///
+/// The dataflow execution core (node graphs, worker pool, drivers) lives in
+/// scheduler.cc; Execute/ExecuteBatch stand up a private one-shot Scheduler
+/// per call so existing callers keep their self-contained wall-clock
+/// semantics while multi-user callers migrate to Scheduler::Submit.
+
 #include "engine/executor.h"
 
-#include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
-#include <optional>
-#include <thread>
+#include <utility>
+#include <vector>
 
-#include "common/blocking_queue.h"
 #include "common/logging.h"
 #include "common/string_util.h"
-#include "engine/edge.h"
-#include "obs/trace.h"
-#include "operators/aggregator.h"
-#include "operators/dedup.h"
-#include "operators/kernels.h"
-#include "operators/set_ops.h"
+#include "engine/scheduler.h"
 
 namespace dfdb {
 
@@ -40,1122 +38,6 @@ std::string ExecOptions::ToString() const {
       disk_cache_pages);
 }
 
-namespace internal {
-
-class ExecutorImpl;
-
-/// A page travelling between nodes: the live pointer plus its id in the
-/// buffer hierarchy (fetching by id is what generates storage traffic).
-struct PendingPage {
-  PagePtr page;
-  PageId id;
-};
-
-/// One outer page's join progress: the paper's IRC vector collapses to a
-/// cursor because inner pages accumulate in arrival order.
-struct OuterWork {
-  PendingPage outer;
-  size_t cursor = 0;
-  bool first = true;
-};
-
-struct QueryRuntime;
-
-/// \brief Runtime state of one plan node (one "instruction").
-struct NodeState {
-  ExecutorImpl* impl = nullptr;
-  QueryRuntime* query = nullptr;
-  const PlanNode* node = nullptr;
-  NodeState* parent = nullptr;  // Null for the root.
-  int parent_slot = 0;
-  std::unique_ptr<Edge> out;
-
-  // Static (post-analysis) configuration.
-  int num_inputs = 0;
-  std::vector<int> project_indices;  // kProject.
-  HeapFile* target_file = nullptr;   // kAppend / kDelete.
-
-  std::mutex mu;
-  std::vector<bool> input_closed;
-  std::vector<uint64_t> pending_slot;
-  uint64_t pending = 0;
-  /// Relation-granularity operand buffers (per slot).
-  std::vector<std::vector<PendingPage>> buffered;
-  /// True once tasks may be generated (always true outside kRelation).
-  bool launched = true;
-  bool finalize_claimed = false;
-  /// Leaves (scan/delete): set when the driver finished.
-  bool source_done = false;
-
-  // kJoin.
-  std::vector<PendingPage> inner_pages;
-  std::vector<OuterWork> parked;
-  uint64_t outer_seen = 0;
-  uint64_t outer_done = 0;
-
-  // kProject with dedup: sharded eliminators for parallel dedup.
-  struct DedupShard {
-    std::mutex mu;
-    DuplicateEliminator set;
-  };
-  std::vector<std::unique_ptr<DedupShard>> dedup_shards;
-
-  // kUnion (set semantics).
-  std::mutex union_mu;
-  DuplicateEliminator union_seen;
-
-  // kDifference.
-  std::mutex diff_mu;
-  DifferenceOp diff;
-  bool left_released = false;
-  std::vector<PendingPage> left_buffer;
-
-  // kAggregate.
-  std::mutex agg_mu;
-  std::optional<Aggregator> aggregator;
-
-  // --- producer-side events (called by the child's edge wiring) ---
-  void OnPage(int slot, PendingPage p);
-  void OnClose(int slot);
-
-  // --- task bodies ---
-  void RunUnaryTask(int slot, PendingPage p);
-  void RunJoinOuter(OuterWork w);
-
-  // --- scheduling helpers ---
-  void DispatchStream(int slot, PendingPage p);
-  void LaunchRelationReplayLocked(std::vector<std::function<void()>>* tasks);
-  void ReleaseDifferenceLeftIfReady();
-  void TryFinalize();
-  void RunFinalizeAndClose();
-  bool RightSideDoneLocked() const {
-    return input_closed[1] && pending_slot[1] == 0 && launched;
-  }
-};
-
-/// \brief Per-query execution context.
-struct QueryRuntime {
-  uint64_t qid = 0;
-  size_t batch_index = 0;
-  std::unique_ptr<PlanNode> plan;
-  QueryAnalysis analysis;
-  std::vector<std::unique_ptr<NodeState>> nodes;
-  NodeState* root = nullptr;
-
-  /// Per-query work counters: attributing packets/bytes to the query that
-  /// caused them is what lets stats ride on the QueryResult. Pool-wide
-  /// effects (faults, buffer traffic) stay on the ExecutorImpl.
-  EngineCounters counters;
-  /// Set by OnQueryDone; read by Run() after the workers joined.
-  std::chrono::steady_clock::time_point completed_at{};
-  bool completed = false;
-
-  std::mutex result_mu;
-  QueryResult result;
-
-  std::atomic<bool> failed{false};
-  std::mutex err_mu;
-  Status error;
-
-  std::mutex interm_mu;
-  std::vector<PageId> intermediates;
-
-  void Fail(const Status& status) {
-    bool expected = false;
-    if (failed.compare_exchange_strong(expected, true)) {
-      std::lock_guard<std::mutex> lock(err_mu);
-      error = status;
-    }
-  }
-
-  void RecordIntermediate(PageId id) {
-    std::lock_guard<std::mutex> lock(interm_mu);
-    intermediates.push_back(id);
-  }
-};
-
-/// \brief One batch run: worker pool, admission control, node graphs.
-class ExecutorImpl {
- public:
-  ExecutorImpl(StorageEngine* storage, const ExecOptions& opts)
-      : storage_(storage),
-        opts_(opts),
-        buffer_(&storage->page_store(), opts.local_memory_pages,
-                opts.disk_cache_pages),
-        trace_(opts.enable_trace) {}
-
-  Status Run(const std::vector<const PlanNode*>& plans,
-             std::vector<QueryResult>* results, ExecStats* stats);
-
-  void Dispatch(std::function<void()> fn) { queue_.Push(std::move(fn)); }
-
-  /// Dispatches an enabled instruction packet. The packet occupies a memory
-  /// cell from dispatch until a processor picks it up ("As soon as all the
-  /// required data is present, the contents of the cell are sent to some
-  /// processor for execution. This frees the cell", Section 2.2).
-  void DispatchPacket(std::function<void()> fn) {
-    enabled_packets_.fetch_add(1, std::memory_order_relaxed);
-    queue_.Push([this, fn = std::move(fn)] {
-      enabled_packets_.fetch_sub(1, std::memory_order_relaxed);
-      fn();
-    });
-  }
-
-  /// True while every memory cell is occupied by an enabled packet; scan
-  /// sources yield instead of producing more operands.
-  bool ThrottleExceeded() const {
-    return enabled_packets_.load(std::memory_order_relaxed) >=
-           static_cast<size_t>(opts_.num_processors) *
-               static_cast<size_t>(opts_.memory_cells_per_processor);
-  }
-
-  BufferManager* buffer() { return &buffer_; }
-  StorageEngine* storage() { return storage_; }
-  const ExecOptions& opts() const { return opts_; }
-  /// Pool-wide counters (fault injection outcomes). Per-query work counters
-  /// live on QueryRuntime.
-  EngineCounters& counters() { return counters_; }
-
-  /// Steady-clock nanoseconds since Run() started (trace timestamps).
-  int64_t NowNs() const {
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now() - run_start_)
-        .count();
-  }
-
-  bool trace_enabled() const { return trace_.enabled(); }
-
-  /// Records one trace event; no-op (one branch) when tracing is off.
-  /// Events are keyed by batch index, not global qid, so two
-  /// identically-seeded runs produce identical traces.
-  void RecordTrace(obs::TraceEventKind kind, const QueryRuntime* q, int32_t a,
-                   int32_t b, uint64_t bytes, const char* detail) {
-    if (!trace_.enabled()) return;
-    trace_.Record(kind, q != nullptr ? q->batch_index : 0, a, b, bytes,
-                  detail, NowNs());
-  }
-
-  /// Called by the root edge's close wiring.
-  void OnQueryDone(QueryRuntime* q);
-
-  /// Scan driver step; re-dispatches itself page by page.
-  void ScanStep(NodeState* node, std::shared_ptr<std::vector<PageId>> ids,
-                size_t idx);
-  void DeleteDriver(NodeState* node);
-
- private:
-  StatusOr<std::unique_ptr<QueryRuntime>> Prepare(const PlanNode& plan,
-                                                  size_t batch_index);
-  NodeState* BuildNode(const PlanNode* n, NodeState* parent, int slot,
-                       QueryRuntime* q);
-  void LaunchQuery(QueryRuntime* q);
-  void WorkerLoop(int worker_index);
-
-  StorageEngine* storage_;
-  ExecOptions opts_;
-  BufferManager buffer_;
-  EngineCounters counters_;
-  obs::TraceRecorder trace_;
-  std::chrono::steady_clock::time_point run_start_{};
-  BlockingQueue<std::function<void()>> queue_;
-  std::atomic<size_t> enabled_packets_{0};
-
-  std::mutex admit_mu_;
-  std::deque<QueryRuntime*> waiting_;
-  int active_queries_ = 0;
-  ConflictManager conflicts_;
-
-  static std::atomic<uint64_t> next_qid_;
-};
-
-std::atomic<uint64_t> ExecutorImpl::next_qid_{1};
-
-namespace {
-
-/// PageSink adapter feeding an Edge.
-class EdgeSink final : public PageSink {
- public:
-  explicit EdgeSink(Edge* edge) : edge_(edge) {}
-  Status Emit(Slice tuple) override { return edge_->EmitTuple(tuple); }
-
- private:
-  Edge* edge_;
-};
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// NodeState: dataflow event handling
-// ---------------------------------------------------------------------------
-
-void NodeState::OnPage(int slot, PendingPage p) {
-  std::vector<std::function<void()>> to_dispatch;
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    if (!launched) {
-      // Relation granularity: the instruction is not yet enabled; operands
-      // accumulate until every input relation is complete (Section 3.1).
-      buffered[static_cast<size_t>(slot)].push_back(std::move(p));
-      return;
-    }
-  }
-  DispatchStream(slot, std::move(p));
-}
-
-void NodeState::DispatchStream(int slot, PendingPage p) {
-  impl->RecordTrace(obs::TraceEventKind::kPacketEnqueued, query, node->id,
-                    slot,
-                    static_cast<uint64_t>(p.page->payload_bytes()), nullptr);
-  if (node->op == PlanOp::kJoin && slot == 1) {
-    // Inner page: make it visible, then wake every parked outer task.
-    std::vector<OuterWork> wake;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      inner_pages.push_back(std::move(p));
-      wake.swap(parked);
-      pending += wake.size();
-    }
-    for (auto& w : wake) {
-      impl->DispatchPacket([this, w = std::move(w)]() mutable {
-        RunJoinOuter(std::move(w));
-      });
-    }
-    return;
-  }
-  if (node->op == PlanOp::kJoin && slot == 0) {
-    OuterWork w;
-    w.outer = std::move(p);
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      ++outer_seen;
-      ++pending;
-      ++pending_slot[0];
-    }
-    impl->DispatchPacket([this, w = std::move(w)]() mutable {
-      RunJoinOuter(std::move(w));
-    });
-    return;
-  }
-  if (node->op == PlanOp::kDifference && slot == 0) {
-    // Left pages must wait for the right side to finish (set difference is
-    // a barrier on its subtrahend).
-    std::lock_guard<std::mutex> lock(mu);
-    if (!RightSideDoneLocked() || !left_released) {
-      left_buffer.push_back(std::move(p));
-      return;
-    }
-    ++pending;
-    ++pending_slot[0];
-    PendingPage moved = std::move(p);
-    impl->DispatchPacket([this, moved]() mutable { RunUnaryTask(0, std::move(moved)); });
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    ++pending;
-    ++pending_slot[static_cast<size_t>(slot)];
-  }
-  PendingPage moved = std::move(p);
-  impl->DispatchPacket(
-      [this, slot, moved]() mutable { RunUnaryTask(slot, std::move(moved)); });
-}
-
-void NodeState::OnClose(int slot) {
-  bool replay = false;
-  std::vector<std::function<void()>> replay_tasks;
-  std::vector<OuterWork> wake;
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    input_closed[static_cast<size_t>(slot)] = true;
-    if (!launched) {
-      bool all = true;
-      for (bool c : input_closed) all = all && c;
-      if (all) {
-        launched = true;
-        replay = true;
-        LaunchRelationReplayLocked(&replay_tasks);
-      }
-    } else if (node->op == PlanOp::kJoin && slot == 1) {
-      // Inner relation complete: parked outers can now finish.
-      wake.swap(parked);
-      pending += wake.size();
-    }
-  }
-  if (replay) {
-    for (auto& t : replay_tasks) impl->DispatchPacket(std::move(t));
-  }
-  for (auto& w : wake) {
-    impl->DispatchPacket(
-        [this, w = std::move(w)]() mutable { RunJoinOuter(std::move(w)); });
-  }
-  if (node->op == PlanOp::kDifference && slot == 1) {
-    ReleaseDifferenceLeftIfReady();
-  }
-  TryFinalize();
-}
-
-void NodeState::LaunchRelationReplayLocked(
-    std::vector<std::function<void()>>* tasks) {
-  // All inputs are complete; generate the instruction's tasks. Inner join
-  // pages become visible first so outer tasks complete in one pass.
-  if (node->op == PlanOp::kJoin) {
-    for (auto& p : buffered[1]) inner_pages.push_back(std::move(p));
-    buffered[1].clear();
-    for (auto& p : buffered[0]) {
-      OuterWork w;
-      w.outer = std::move(p);
-      ++outer_seen;
-      ++pending;
-      tasks->push_back([this, w = std::move(w)]() mutable {
-        RunJoinOuter(std::move(w));
-      });
-    }
-    buffered[0].clear();
-    return;
-  }
-  // Difference: replay the right side as tasks; the left side stays in
-  // left_buffer until the right tasks retire.
-  if (node->op == PlanOp::kDifference) {
-    for (auto& p : buffered[1]) {
-      ++pending;
-      ++pending_slot[1];
-      PendingPage moved = std::move(p);
-      tasks->push_back(
-          [this, moved]() mutable { RunUnaryTask(1, std::move(moved)); });
-    }
-    buffered[1].clear();
-    for (auto& p : buffered[0]) left_buffer.push_back(std::move(p));
-    buffered[0].clear();
-    return;
-  }
-  for (int slot = 0; slot < num_inputs; ++slot) {
-    for (auto& p : buffered[static_cast<size_t>(slot)]) {
-      ++pending;
-      ++pending_slot[static_cast<size_t>(slot)];
-      PendingPage moved = std::move(p);
-      tasks->push_back(
-          [this, slot, moved]() mutable { RunUnaryTask(slot, std::move(moved)); });
-    }
-    buffered[static_cast<size_t>(slot)].clear();
-  }
-}
-
-void NodeState::ReleaseDifferenceLeftIfReady() {
-  std::vector<PendingPage> release;
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    if (left_released) return;
-    if (!RightSideDoneLocked()) return;
-    left_released = true;
-    release.swap(left_buffer);
-    pending += release.size();
-    pending_slot[0] += release.size();
-  }
-  for (auto& p : release) {
-    PendingPage moved = std::move(p);
-    impl->DispatchPacket([this, moved]() mutable { RunUnaryTask(0, std::move(moved)); });
-  }
-}
-
-// ---------------------------------------------------------------------------
-// NodeState: task bodies
-// ---------------------------------------------------------------------------
-
-void NodeState::RunUnaryTask(int slot, PendingPage p) {
-  EngineCounters& ctr = query->counters;
-  ctr.tasks_executed.fetch_add(1, std::memory_order_relaxed);
-  impl->RecordTrace(obs::TraceEventKind::kTaskClaimed, query, node->id, slot,
-                    0, nullptr);
-  if (!query->failed.load(std::memory_order_relaxed)) {
-    // Fetch through the hierarchy: this is the operand delivery that the
-    // arbitration path carries in the paper's model.
-    auto fetched = impl->buffer()->Fetch(p.id);
-    if (!fetched.ok()) {
-      query->Fail(fetched.status().WithContext("operand fetch"));
-    } else {
-      const Page& page = **fetched;
-      ctr.packets.fetch_add(1, std::memory_order_relaxed);
-      ctr.arbitration_bytes.fetch_add(
-          static_cast<uint64_t>(page.payload_bytes()), std::memory_order_relaxed);
-      ctr.overhead_bytes.fetch_add(
-          static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
-          std::memory_order_relaxed);
-      impl->RecordTrace(obs::TraceEventKind::kPacketDelivered, query,
-                        node->id, slot,
-                        static_cast<uint64_t>(page.payload_bytes()), nullptr);
-
-      EdgeSink sink(out.get());
-      Status s = Status::OK();
-      const Schema& in_schema = node->num_children() > 0
-                                    ? node->child(slot).output_schema
-                                    : node->output_schema;
-      switch (node->op) {
-        case PlanOp::kRestrict:
-          s = RestrictPage(in_schema, *node->predicate, page, &sink);
-          break;
-        case PlanOp::kProject: {
-          if (!node->dedup) {
-            s = ProjectPage(in_schema, project_indices, page, &sink);
-            break;
-          }
-          // Parallel duplicate elimination: hash-partitioned shards so
-          // concurrent tasks only contend on colliding partitions.
-          for (int i = 0; i < page.num_tuples() && s.ok(); ++i) {
-            const std::string projected =
-                ProjectTuple(in_schema, page.tuple(i), project_indices);
-            DedupShard& shard = *dedup_shards[static_cast<size_t>(
-                DedupPartition(Slice(projected),
-                               static_cast<int>(dedup_shards.size())))];
-            bool fresh;
-            {
-              std::lock_guard<std::mutex> lock(shard.mu);
-              fresh = shard.set.Insert(Slice(projected));
-            }
-            if (fresh) s = sink.Emit(Slice(projected));
-          }
-          break;
-        }
-        case PlanOp::kUnion: {
-          if (node->bag_semantics) {
-            s = CopyPage(page, &sink);
-            break;
-          }
-          for (int i = 0; i < page.num_tuples() && s.ok(); ++i) {
-            bool fresh;
-            {
-              std::lock_guard<std::mutex> lock(union_mu);
-              fresh = union_seen.Insert(page.tuple(i));
-            }
-            if (fresh) s = sink.Emit(page.tuple(i));
-          }
-          break;
-        }
-        case PlanOp::kDifference: {
-          std::lock_guard<std::mutex> lock(diff_mu);
-          if (slot == 1) {
-            diff.ConsumeRight(page);
-          } else {
-            s = diff.ConsumeLeft(page, &sink);
-          }
-          break;
-        }
-        case PlanOp::kAggregate: {
-          std::lock_guard<std::mutex> lock(agg_mu);
-          s = aggregator->Consume(page);
-          break;
-        }
-        case PlanOp::kAppend:
-          s = target_file->AppendPage(page);
-          break;
-        default:
-          s = Status::Internal("unary task on non-unary node");
-      }
-      if (!s.ok()) query->Fail(s.WithContext("operator task"));
-    }
-  }
-  impl->RecordTrace(obs::TraceEventKind::kTaskExecuted, query, node->id, slot,
-                    0, nullptr);
-  bool was_right_diff = node->op == PlanOp::kDifference && slot == 1;
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    --pending;
-    --pending_slot[static_cast<size_t>(slot)];
-  }
-  if (was_right_diff) ReleaseDifferenceLeftIfReady();
-  TryFinalize();
-}
-
-void NodeState::RunJoinOuter(OuterWork w) {
-  EngineCounters& ctr = query->counters;
-  ctr.tasks_executed.fetch_add(1, std::memory_order_relaxed);
-  impl->RecordTrace(obs::TraceEventKind::kTaskClaimed, query, node->id, 0, 0,
-                    w.first ? "join-outer" : "join-resume");
-  const bool failed = query->failed.load(std::memory_order_relaxed);
-
-  PagePtr outer_page;
-  if (!failed) {
-    auto fetched = impl->buffer()->Fetch(w.outer.id);
-    if (!fetched.ok()) {
-      query->Fail(fetched.status().WithContext("join outer fetch"));
-    } else {
-      outer_page = *fetched;
-      if (w.first) {
-        ctr.packets.fetch_add(1, std::memory_order_relaxed);
-        ctr.arbitration_bytes.fetch_add(
-            static_cast<uint64_t>(outer_page->payload_bytes()),
-            std::memory_order_relaxed);
-        ctr.overhead_bytes.fetch_add(
-            static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
-            std::memory_order_relaxed);
-      }
-    }
-  }
-  w.first = false;
-
-  const Schema& outer_schema = node->child(0).output_schema;
-  const Schema& inner_schema = node->child(1).output_schema;
-
-  for (;;) {
-    std::vector<PendingPage> batch;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      for (size_t i = w.cursor; i < inner_pages.size(); ++i) {
-        batch.push_back(inner_pages[i]);
-      }
-    }
-    if (batch.empty()) {
-      std::lock_guard<std::mutex> lock(mu);
-      // Re-check under the lock: a page may have arrived since the
-      // snapshot. inner_pages only grows, so cursor comparison is safe.
-      if (w.cursor < inner_pages.size()) continue;
-      if (input_closed[1] && launched) {
-        ++outer_done;
-        --pending;
-        break;
-      }
-      // Wait for more inner pages: park this outer ("scan its IRC vector
-      // and request the pages it missed", Section 4.2).
-      parked.push_back(std::move(w));
-      --pending;
-      // Finalization cannot trigger here (inner not closed), so return.
-      return;
-    }
-    if (!failed && outer_page != nullptr &&
-        !query->failed.load(std::memory_order_relaxed)) {
-      EdgeSink sink(out.get());
-      for (const PendingPage& inner : batch) {
-        auto inner_fetched = impl->buffer()->Fetch(inner.id);
-        if (!inner_fetched.ok()) {
-          query->Fail(inner_fetched.status().WithContext("join inner fetch"));
-          break;
-        }
-        // Each inner-page delivery is one broadcast packet (Section 4.2).
-        ctr.packets.fetch_add(1, std::memory_order_relaxed);
-        ctr.arbitration_bytes.fetch_add(
-            static_cast<uint64_t>((*inner_fetched)->payload_bytes()),
-            std::memory_order_relaxed);
-        ctr.overhead_bytes.fetch_add(
-            static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
-            std::memory_order_relaxed);
-        impl->RecordTrace(
-            obs::TraceEventKind::kPacketDelivered, query, node->id, 1,
-            static_cast<uint64_t>((*inner_fetched)->payload_bytes()),
-            "broadcast");
-        Status s = JoinPages(outer_schema, inner_schema, *node->predicate,
-                             *outer_page, **inner_fetched, &sink);
-        if (!s.ok()) {
-          query->Fail(s.WithContext("join task"));
-          break;
-        }
-      }
-    }
-    w.cursor += batch.size();
-  }
-  impl->RecordTrace(obs::TraceEventKind::kTaskExecuted, query, node->id, 0, 0,
-                    "join-outer");
-  TryFinalize();
-}
-
-// ---------------------------------------------------------------------------
-// NodeState: completion
-// ---------------------------------------------------------------------------
-
-void NodeState::TryFinalize() {
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    if (finalize_claimed) return;
-    if (pending != 0) return;
-    if (num_inputs == 0) {
-      // Leaf (scan or delete): done when the driver retires.
-      if (!source_done) return;
-    } else {
-      if (!launched) return;
-      for (bool c : input_closed) {
-        if (!c) return;
-      }
-      if (node->op == PlanOp::kJoin) {
-        if (outer_seen != outer_done || !parked.empty()) return;
-      }
-      if (node->op == PlanOp::kDifference && !left_released) return;
-    }
-    finalize_claimed = true;
-  }
-  RunFinalizeAndClose();
-}
-
-void NodeState::RunFinalizeAndClose() {
-  if (!query->failed.load(std::memory_order_relaxed)) {
-    Status s = Status::OK();
-    switch (node->op) {
-      case PlanOp::kAggregate: {
-        EdgeSink sink(out.get());
-        std::lock_guard<std::mutex> lock(agg_mu);
-        s = aggregator->Finish(&sink);
-        break;
-      }
-      case PlanOp::kAppend: {
-        s = impl->storage()->SyncStats(target_file->relation());
-        break;
-      }
-      default:
-        break;
-    }
-    if (!s.ok()) query->Fail(s.WithContext("finalize"));
-  }
-  Status close = out->CloseProducer();
-  if (!close.ok()) query->Fail(close);
-}
-
-// ---------------------------------------------------------------------------
-// ExecutorImpl: drivers
-// ---------------------------------------------------------------------------
-
-void ExecutorImpl::ScanStep(NodeState* node,
-                            std::shared_ptr<std::vector<PageId>> ids,
-                            size_t idx) {
-  node->query->counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
-  if (node->query->failed.load(std::memory_order_relaxed)) {
-    idx = ids->size();  // Stop producing.
-  }
-  if (idx >= ids->size()) {
-    {
-      std::lock_guard<std::mutex> lock(node->mu);
-      node->source_done = true;
-      --node->pending;
-    }
-    node->TryFinalize();
-    return;
-  }
-  // Memory-cell throttle: sources yield while the packet backlog exceeds
-  // cells-per-processor * processors (the paper's "two memory cells for
-  // each processor" resource bound).
-  if (ThrottleExceeded()) {
-    Dispatch([this, node, ids, idx] { ScanStep(node, ids, idx); });
-    std::this_thread::yield();
-    return;
-  }
-  auto page = buffer_.Fetch((*ids)[idx]);
-  if (!page.ok()) {
-    node->query->Fail(page.status().WithContext("scan fetch"));
-  } else {
-    RecordTrace(obs::TraceEventKind::kTaskExecuted, node->query,
-                node->node->id, 0,
-                static_cast<uint64_t>((*page)->payload_bytes()), "scan-step");
-    Status s = node->out->EmitPage(*page);
-    if (!s.ok()) node->query->Fail(s.WithContext("scan emit"));
-  }
-  Dispatch([this, node, ids, idx] { ScanStep(node, ids, idx + 1); });
-}
-
-void ExecutorImpl::DeleteDriver(NodeState* node) {
-  QueryRuntime* q = node->query;
-  q->counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
-  if (!q->failed.load(std::memory_order_relaxed)) {
-    const Schema& schema = node->node->output_schema;
-    const Expr* pred = node->node->predicate.get();
-    Status pred_error = Status::OK();
-    auto matcher = [&](const TupleView& t) {
-      auto r = pred->EvalBool(t, nullptr);
-      if (!r.ok()) {
-        if (pred_error.ok()) pred_error = r.status();
-        return false;
-      }
-      return *r;
-    };
-    const uint64_t before_bytes =
-        node->target_file->tuple_count() *
-        static_cast<uint64_t>(schema.tuple_width());
-    auto removed = node->target_file->DeleteWhere(matcher);
-    q->counters.packets.fetch_add(1, std::memory_order_relaxed);
-    q->counters.arbitration_bytes.fetch_add(before_bytes,
-                                            std::memory_order_relaxed);
-    q->counters.overhead_bytes.fetch_add(
-        static_cast<uint64_t>(opts_.packet_overhead_bytes),
-        std::memory_order_relaxed);
-    RecordTrace(obs::TraceEventKind::kTaskExecuted, q, node->node->id, 0,
-                before_bytes, "delete");
-    if (!removed.ok()) {
-      q->Fail(removed.status().WithContext("delete"));
-    } else if (!pred_error.ok()) {
-      q->Fail(pred_error.WithContext("delete predicate"));
-    } else {
-      Status s = storage_->SyncStats(node->target_file->relation());
-      if (!s.ok()) q->Fail(s);
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(node->mu);
-    node->source_done = true;
-    --node->pending;
-  }
-  node->TryFinalize();
-}
-
-// ---------------------------------------------------------------------------
-// ExecutorImpl: query preparation and wiring
-// ---------------------------------------------------------------------------
-
-StatusOr<std::unique_ptr<QueryRuntime>> ExecutorImpl::Prepare(
-    const PlanNode& plan, size_t batch_index) {
-  auto q = std::make_unique<QueryRuntime>();
-  q->qid = next_qid_.fetch_add(1);
-  q->batch_index = batch_index;
-  q->plan = plan.Clone();
-  Analyzer analyzer(&storage_->catalog());
-  DFDB_ASSIGN_OR_RETURN(q->analysis, analyzer.Resolve(q->plan.get()));
-  NodeState* root = BuildNode(q->plan.get(), nullptr, 0, q.get());
-  if (root == nullptr) {
-    return Status::Internal("failed to build node graph");
-  }
-  q->root = root;
-  q->result.set_schema(q->plan->output_schema);
-  return q;
-}
-
-NodeState* ExecutorImpl::BuildNode(const PlanNode* n, NodeState* parent,
-                                   int slot, QueryRuntime* q) {
-  auto state = std::make_unique<NodeState>();
-  NodeState* ns = state.get();
-  ns->impl = this;
-  ns->query = q;
-  ns->node = n;
-  ns->parent = parent;
-  ns->parent_slot = slot;
-  ns->num_inputs = n->num_children();
-  ns->input_closed.assign(static_cast<size_t>(ns->num_inputs), false);
-  ns->pending_slot.assign(static_cast<size_t>(std::max(ns->num_inputs, 1)), 0);
-  ns->buffered.resize(static_cast<size_t>(ns->num_inputs));
-  // Relation granularity defers interior instructions until their operands
-  // complete; leaves are always immediately executable.
-  ns->launched =
-      opts_.granularity != Granularity::kRelation || ns->num_inputs == 0;
-
-  // Op-specific static setup.
-  Status setup = Status::OK();
-  switch (n->op) {
-    case PlanOp::kProject: {
-      const Schema& in = n->child(0).output_schema;
-      for (const std::string& name : n->columns) {
-        auto idx = in.ColumnIndex(name);
-        if (!idx.ok()) {
-          setup = idx.status();
-          break;
-        }
-        ns->project_indices.push_back(*idx);
-      }
-      if (n->dedup) {
-        const int shards = std::max(1, opts_.dedup_partitions);
-        for (int i = 0; i < shards; ++i) {
-          ns->dedup_shards.push_back(std::make_unique<NodeState::DedupShard>());
-        }
-      }
-      break;
-    }
-    case PlanOp::kAggregate: {
-      auto agg = Aggregator::Create(n->child(0).output_schema, n->output_schema,
-                                    n->columns, n->aggregates);
-      if (!agg.ok()) {
-        setup = agg.status();
-      } else {
-        ns->aggregator.emplace(*std::move(agg));
-      }
-      break;
-    }
-    case PlanOp::kAppend:
-    case PlanOp::kDelete: {
-      auto file = storage_->GetHeapFile(n->relation);
-      if (!file.ok()) {
-        setup = file.status();
-      } else {
-        ns->target_file = *file;
-      }
-      break;
-    }
-    default:
-      break;
-  }
-  if (!setup.ok()) {
-    q->Fail(setup.WithContext("node setup"));
-  }
-
-  // Output edge: unit is the configured page size, or one tuple under
-  // tuple granularity.
-  const int tuple_width = std::max(1, n->output_schema.tuple_width());
-  const int unit = opts_.granularity == Granularity::kTuple
-                       ? tuple_width
-                       : std::max(opts_.page_bytes, tuple_width);
-  const RelationId pseudo = 0xD0000000u + static_cast<RelationId>(n->id);
-  const bool count_distribution = n->op != PlanOp::kScan;
-  const int node_id = n->id;
-  if (parent == nullptr) {
-    // Root: deliver into the query result.
-    ns->out = std::make_unique<Edge>(
-        pseudo, tuple_width, unit,
-        [this, q, node_id, count_distribution](PagePtr page) {
-          if (count_distribution) {
-            q->counters.distribution_bytes.fetch_add(
-                static_cast<uint64_t>(page->payload_bytes()),
-                std::memory_order_relaxed);
-          }
-          q->counters.pages_produced.fetch_add(1, std::memory_order_relaxed);
-          q->counters.tuples_produced.fetch_add(
-              static_cast<uint64_t>(page->num_tuples()),
-              std::memory_order_relaxed);
-          RecordTrace(obs::TraceEventKind::kPageProduced, q, node_id, -1,
-                      static_cast<uint64_t>(page->payload_bytes()), "root");
-          std::lock_guard<std::mutex> lock(q->result_mu);
-          q->result.AddPage(std::move(page));
-        },
-        [this, q] { OnQueryDone(q); });
-  } else {
-    ns->out = std::make_unique<Edge>(
-        pseudo, tuple_width, unit,
-        [this, q, node_id, parent, slot, count_distribution](PagePtr page) {
-          if (count_distribution) {
-            q->counters.distribution_bytes.fetch_add(
-                static_cast<uint64_t>(page->payload_bytes()),
-                std::memory_order_relaxed);
-          }
-          q->counters.pages_produced.fetch_add(1, std::memory_order_relaxed);
-          q->counters.tuples_produced.fetch_add(
-              static_cast<uint64_t>(page->num_tuples()),
-              std::memory_order_relaxed);
-          RecordTrace(obs::TraceEventKind::kPageProduced, q, node_id, -1,
-                      static_cast<uint64_t>(page->payload_bytes()), nullptr);
-          const PageId id = buffer_.PutNew(page);
-          q->RecordIntermediate(id);
-          parent->OnPage(slot, PendingPage{std::move(page), id});
-        },
-        [parent, slot] { parent->OnClose(slot); });
-  }
-
-  // Children are wired after this node exists so their edges can reference
-  // it.
-  for (int i = 0; i < n->num_children(); ++i) {
-    BuildNode(&n->child(i), ns, i, q);
-  }
-
-  q->nodes.push_back(std::move(state));
-  return ns;
-}
-
-void ExecutorImpl::LaunchQuery(QueryRuntime* q) {
-  // Start every source driver. Leaves are "immediately executable"
-  // (Section 3.1) under every granularity.
-  for (auto& node : q->nodes) {
-    NodeState* ns = node.get();
-    if (ns->node->op == PlanOp::kScan) {
-      auto file = storage_->GetHeapFile(ns->node->relation);
-      if (!file.ok()) {
-        q->Fail(file.status());
-        std::lock_guard<std::mutex> lock(ns->mu);
-        ns->source_done = true;
-        continue;
-      }
-      Status flushed = (*file)->Flush();
-      if (!flushed.ok()) q->Fail(flushed);
-      auto ids = std::make_shared<std::vector<PageId>>((*file)->PageIds());
-      {
-        std::lock_guard<std::mutex> lock(ns->mu);
-        ++ns->pending;
-      }
-      Dispatch([this, ns, ids] { ScanStep(ns, ids, 0); });
-    } else if (ns->node->op == PlanOp::kDelete) {
-      {
-        std::lock_guard<std::mutex> lock(ns->mu);
-        ++ns->pending;
-      }
-      Dispatch([this, ns] { DeleteDriver(ns); });
-    }
-  }
-  // Degenerate plans whose leaves failed setup still need to terminate.
-  for (auto& node : q->nodes) {
-    node->TryFinalize();
-  }
-}
-
-void ExecutorImpl::OnQueryDone(QueryRuntime* q) {
-  // Per-query completion timestamp (read by Run() after the join).
-  q->completed_at = std::chrono::steady_clock::now();
-  q->completed = true;
-  // Free intermediate pages (they have been consumed).
-  {
-    std::lock_guard<std::mutex> lock(q->interm_mu);
-    for (PageId id : q->intermediates) {
-      (void)buffer_.Discard(id);
-    }
-    q->intermediates.clear();
-  }
-  conflicts_.Release(q->qid);
-  std::vector<QueryRuntime*> to_launch;
-  bool all_done = false;
-  {
-    std::lock_guard<std::mutex> lock(admit_mu_);
-    --active_queries_;
-    for (auto it = waiting_.begin(); it != waiting_.end();) {
-      QueryRuntime* cand = *it;
-      if (conflicts_.TryAdmit(cand->qid, cand->analysis.read_set,
-                              cand->analysis.write_set)) {
-        ++active_queries_;
-        to_launch.push_back(cand);
-        it = waiting_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    all_done = active_queries_ == 0 && waiting_.empty();
-  }
-  for (QueryRuntime* cand : to_launch) LaunchQuery(cand);
-  if (all_done) queue_.Close();
-}
-
-void ExecutorImpl::WorkerLoop(int worker_index) {
-  const EngineFaultPlan& fp = opts_.fault_plan;
-  // Clamp so at least one worker survives to drain the queue.
-  const int doomed_count =
-      std::min(fp.abandon_workers, opts_.num_processors - 1);
-  const bool doomed = worker_index < doomed_count;
-  uint64_t claimed = 0;
-  for (;;) {
-    auto task = queue_.Pop();
-    if (!task.has_value()) return;
-    if (doomed && ++claimed > fp.abandon_after_tasks) {
-      // Fail-stop at a packet boundary: the claimed task has not run, so
-      // handing it back re-executes it from scratch on a survivor and the
-      // results are exactly those of a healthy run.
-      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
-      counters_.workers_abandoned.fetch_add(1, std::memory_order_relaxed);
-      RecordTrace(obs::TraceEventKind::kFaultInjected, nullptr, -1,
-                  worker_index, 0, "worker-abandon");
-      if (queue_.TryPush(std::move(*task))) {
-        counters_.redispatched_tasks.fetch_add(1, std::memory_order_relaxed);
-        RecordTrace(obs::TraceEventKind::kFaultRecovered, nullptr, -1,
-                    worker_index, 0, "task-redispatched");
-      }
-      return;
-    }
-    (*task)();
-  }
-}
-
-Status ExecutorImpl::Run(const std::vector<const PlanNode*>& plans,
-                         std::vector<QueryResult>* results, ExecStats* stats) {
-  results->clear();
-  if (plans.empty()) return Status::OK();
-  std::vector<std::unique_ptr<QueryRuntime>> runtimes;
-  runtimes.reserve(plans.size());
-  for (size_t i = 0; i < plans.size(); ++i) {
-    if (plans[i] == nullptr) return Status::InvalidArgument("null plan");
-    DFDB_ASSIGN_OR_RETURN(auto q, Prepare(*plans[i], i));
-    runtimes.push_back(std::move(q));
-  }
-
-  buffer_.ResetStats();
-  const auto start = std::chrono::steady_clock::now();
-  run_start_ = start;
-
-  // MC admission: admit every non-conflicting query now, queue the rest.
-  std::vector<QueryRuntime*> to_launch;
-  {
-    std::lock_guard<std::mutex> lock(admit_mu_);
-    for (auto& q : runtimes) {
-      if (conflicts_.TryAdmit(q->qid, q->analysis.read_set,
-                              q->analysis.write_set)) {
-        ++active_queries_;
-        to_launch.push_back(q.get());
-      } else {
-        waiting_.push_back(q.get());
-      }
-    }
-  }
-
-  // Poisoned packets (corrupted on the wire): workers detect the bad
-  // checksum and drop them; no operator ever sees the payload.
-  for (int i = 0; i < std::max(0, opts_.fault_plan.poison_packets); ++i) {
-    counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
-    RecordTrace(obs::TraceEventKind::kFaultInjected, nullptr, -1, -1, 0,
-                "poison-packet");
-    queue_.Push([this] {
-      counters_.poison_dropped.fetch_add(1, std::memory_order_relaxed);
-      RecordTrace(obs::TraceEventKind::kFaultRecovered, nullptr, -1, -1, 0,
-                  "poison-dropped");
-    });
-  }
-
-  // Enqueue every admitted query's initial tasks BEFORE starting workers:
-  // otherwise these pushes race with worker re-dispatches (scan throttle
-  // yields, parked join outers) and even a single-worker schedule becomes
-  // timing-dependent, breaking the deterministic-export contract.
-  for (QueryRuntime* q : to_launch) LaunchQuery(q);
-
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(opts_.num_processors));
-  for (int i = 0; i < opts_.num_processors; ++i) {
-    workers.emplace_back([this, i] { WorkerLoop(i); });
-  }
-  for (auto& w : workers) w.join();
-
-  const auto end = std::chrono::steady_clock::now();
-
-  // Workers have quiesced: merge the trace shards once, share across the
-  // batch aggregate and every per-query snapshot.
-  std::shared_ptr<const obs::Trace> trace = trace_.Finish();
-
-  // Batch aggregate = per-query work counters + pool-wide fault counters +
-  // buffer-hierarchy traffic.
-  *stats = ExecStats{};
-  stats->wall_seconds = std::chrono::duration<double>(end - start).count();
-  for (auto& q : runtimes) {
-    stats->tasks_executed += q->counters.tasks_executed.load();
-    stats->packets += q->counters.packets.load();
-    stats->arbitration_bytes += q->counters.arbitration_bytes.load();
-    stats->distribution_bytes += q->counters.distribution_bytes.load();
-    stats->overhead_bytes += q->counters.overhead_bytes.load();
-    stats->pages_produced += q->counters.pages_produced.load();
-    stats->tuples_produced += q->counters.tuples_produced.load();
-  }
-  stats->faults_injected = counters_.faults_injected.load();
-  stats->workers_abandoned = counters_.workers_abandoned.load();
-  stats->redispatched_tasks = counters_.redispatched_tasks.load();
-  stats->poison_dropped = counters_.poison_dropped.load();
-  stats->buffer = buffer_.stats();
-  stats->trace = trace;
-
-  results->resize(plans.size());
-  for (auto& q : runtimes) {
-    if (q->failed.load()) {
-      std::lock_guard<std::mutex> lock(q->err_mu);
-      return q->error.WithContext(StrFormat("query %llu",
-                                            static_cast<unsigned long long>(
-                                                q->qid)));
-    }
-    // Per-query snapshot: this query's own work, timed from batch start to
-    // its completion. Pool-wide fault/buffer counters stay zero here.
-    ExecStats qs;
-    qs.wall_seconds =
-        q->completed
-            ? std::chrono::duration<double>(q->completed_at - start).count()
-            : stats->wall_seconds;
-    qs.tasks_executed = q->counters.tasks_executed.load();
-    qs.packets = q->counters.packets.load();
-    qs.arbitration_bytes = q->counters.arbitration_bytes.load();
-    qs.distribution_bytes = q->counters.distribution_bytes.load();
-    qs.overhead_bytes = q->counters.overhead_bytes.load();
-    qs.pages_produced = q->counters.pages_produced.load();
-    qs.tuples_produced = q->counters.tuples_produced.load();
-    qs.trace = trace;
-    q->result.set_stats(std::move(qs));
-    (*results)[q->batch_index] = std::move(q->result);
-  }
-  return Status::OK();
-}
-
-}  // namespace internal
-
-// ---------------------------------------------------------------------------
-// Public API
-// ---------------------------------------------------------------------------
-
 Executor::Executor(StorageEngine* storage, ExecOptions options)
     : storage_(storage), options_(options) {
   DFDB_CHECK(storage != nullptr);
@@ -1175,12 +57,72 @@ StatusOr<QueryResult> Executor::Execute(const PlanNode& plan,
 
 StatusOr<std::vector<QueryResult>> Executor::ExecuteBatch(
     const std::vector<const PlanNode*>& plans, ExecStats* batch_stats) {
-  internal::ExecutorImpl impl(storage_, options_);
   std::vector<QueryResult> results;
-  ExecStats stats;
-  Status s = impl.Run(plans, &results, &stats);
-  if (batch_stats != nullptr) *batch_stats = std::move(stats);
-  if (!s.ok()) return s;
+  if (plans.empty()) {
+    if (batch_stats != nullptr) *batch_stats = ExecStats{};
+    return results;
+  }
+
+  // Deferred start keeps the batch deterministic: every query's initial
+  // tasks are enqueued before any worker runs, exactly like the historical
+  // one-pool-per-batch executor.
+  SchedulerOptions sched_options;
+  sched_options.exec = options_;
+  sched_options.defer_worker_start = true;
+  Scheduler scheduler(storage_, std::move(sched_options));
+
+  std::vector<QueryHandle> handles;
+  handles.reserve(plans.size());
+  for (const PlanNode* plan : plans) {
+    if (plan == nullptr) {
+      if (batch_stats != nullptr) *batch_stats = ExecStats{};
+      return Status::InvalidArgument("null plan");
+    }
+    auto handle = scheduler.Submit(*plan);
+    if (!handle.ok()) {
+      // Analysis failed before anything executed; the never-started
+      // scheduler cancels the earlier submissions without side effects.
+      if (batch_stats != nullptr) *batch_stats = ExecStats{};
+      return handle.status();
+    }
+    handles.push_back(*std::move(handle));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  scheduler.Start();
+
+  Status first_error = Status::OK();
+  results.resize(handles.size());
+  for (size_t i = 0; i < handles.size(); ++i) {
+    auto result = handles[i].Wait();
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
+    results[i] = *std::move(result);
+  }
+  scheduler.Shutdown();
+  const auto end = std::chrono::steady_clock::now();
+
+  // Workers have quiesced: merge the trace once and share it across the
+  // batch aggregate and every per-query snapshot.
+  std::shared_ptr<const obs::Trace> trace = scheduler.FinishTrace();
+  if (trace != nullptr) {
+    for (QueryResult& result : results) {
+      ExecStats qs = result.stats();
+      qs.trace = trace;
+      result.set_stats(std::move(qs));
+    }
+  }
+
+  if (batch_stats != nullptr) {
+    *batch_stats = scheduler.AggregateStats();
+    // The batch wall clock is this call's own span, not the scheduler's
+    // lifetime (construction and preparation are excluded, as before).
+    batch_stats->wall_seconds =
+        std::chrono::duration<double>(end - start).count();
+  }
+  if (!first_error.ok()) return first_error;
   return results;
 }
 

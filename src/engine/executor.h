@@ -38,20 +38,16 @@
 
 namespace dfdb {
 
-namespace internal {
-struct QueryRuntime;
-struct NodeState;
-class ExecutorImpl;
-}  // namespace internal
-
 /// \brief Executes resolved or unresolved query trees against a
 /// StorageEngine with data-flow scheduling.
 ///
 /// An Executor owns its worker pool configuration and a BufferManager
 /// modelling the IC-local-memory / disk-cache / mass-storage hierarchy.
-/// Execute() and ExecuteBatch() may be called repeatedly; each call spins
-/// up `num_processors` workers, runs to completion, and tears them down so
-/// that wall-clock measurements are self-contained.
+/// Execute() and ExecuteBatch() may be called repeatedly; each call stands
+/// up a private one-shot Scheduler (see scheduler.h) — workers run to
+/// completion and tear down so that wall-clock measurements are
+/// self-contained. Long-lived multi-user services should hold a resident
+/// Scheduler instead and call Submit().
 class Executor {
  public:
   Executor(StorageEngine* storage, ExecOptions options);

@@ -1,0 +1,1477 @@
+/// \file scheduler.cc
+/// \brief Resident scheduler: persistent worker pool, MC admission queue,
+/// and the dataflow execution core (moved here from executor.cc, which is
+/// now a thin compatibility wrapper).
+
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "engine/concurrency.h"
+#include "engine/edge.h"
+#include "obs/trace.h"
+#include "operators/aggregator.h"
+#include "operators/dedup.h"
+#include "operators/kernels.h"
+#include "operators/set_ops.h"
+#include "ra/analyzer.h"
+#include "storage/buffer_manager.h"
+
+namespace dfdb {
+namespace internal {
+
+class SchedulerImpl;
+
+/// A page travelling between nodes: the live pointer plus its id in the
+/// buffer hierarchy (fetching by id is what generates storage traffic).
+struct PendingPage {
+  PagePtr page;
+  PageId id;
+};
+
+/// One outer page's join progress: the paper's IRC vector collapses to a
+/// cursor because inner pages accumulate in arrival order.
+struct OuterWork {
+  PendingPage outer;
+  size_t cursor = 0;
+  bool first = true;
+};
+
+struct QueryRuntime;
+
+/// \brief Runtime state of one plan node (one "instruction").
+struct NodeState {
+  SchedulerImpl* impl = nullptr;
+  QueryRuntime* query = nullptr;
+  const PlanNode* node = nullptr;
+  NodeState* parent = nullptr;  // Null for the root.
+  int parent_slot = 0;
+  std::unique_ptr<Edge> out;
+
+  // Static (post-analysis) configuration.
+  int num_inputs = 0;
+  std::vector<int> project_indices;  // kProject.
+  HeapFile* target_file = nullptr;   // kAppend / kDelete.
+
+  std::mutex mu;
+  std::vector<bool> input_closed;
+  std::vector<uint64_t> pending_slot;
+  uint64_t pending = 0;
+  /// Relation-granularity operand buffers (per slot).
+  std::vector<std::vector<PendingPage>> buffered;
+  /// True once tasks may be generated (always true outside kRelation).
+  bool launched = true;
+  bool finalize_claimed = false;
+  /// Leaves (scan/delete): set when the driver finished.
+  bool source_done = false;
+
+  // kJoin.
+  std::vector<PendingPage> inner_pages;
+  std::vector<OuterWork> parked;
+  uint64_t outer_seen = 0;
+  uint64_t outer_done = 0;
+
+  // kProject with dedup: sharded eliminators for parallel dedup.
+  struct DedupShard {
+    std::mutex mu;
+    DuplicateEliminator set;
+  };
+  std::vector<std::unique_ptr<DedupShard>> dedup_shards;
+
+  // kUnion (set semantics).
+  std::mutex union_mu;
+  DuplicateEliminator union_seen;
+
+  // kDifference.
+  std::mutex diff_mu;
+  DifferenceOp diff;
+  bool left_released = false;
+  std::vector<PendingPage> left_buffer;
+
+  // kAggregate.
+  std::mutex agg_mu;
+  std::optional<Aggregator> aggregator;
+
+  // --- producer-side events (called by the child's edge wiring) ---
+  void OnPage(int slot, PendingPage p);
+  void OnClose(int slot);
+
+  // --- task bodies ---
+  void RunUnaryTask(int slot, PendingPage p);
+  void RunJoinOuter(OuterWork w);
+
+  // --- scheduling helpers ---
+  void DispatchStream(int slot, PendingPage p);
+  void LaunchRelationReplayLocked(std::vector<std::function<void()>>* tasks);
+  void ReleaseDifferenceLeftIfReady();
+  void TryFinalize();
+  void RunFinalizeAndClose();
+  bool RightSideDoneLocked() const {
+    return input_closed[1] && pending_slot[1] == 0 && launched;
+  }
+};
+
+/// \brief Shared completion state between a QueryHandle and the scheduler.
+struct QueryState {
+  uint64_t qid = 0;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool taken = false;
+  Status status = Status::OK();
+  QueryResult result;
+  std::atomic<uint64_t> queue_wait_ns{0};
+};
+
+/// \brief Per-query execution context, owned by the scheduler from Submit
+/// until it is reaped after completion.
+struct QueryRuntime {
+  uint64_t qid = 0;
+  size_t batch_index = 0;
+  std::unique_ptr<PlanNode> plan;
+  QueryAnalysis analysis;
+  std::vector<std::unique_ptr<NodeState>> nodes;
+  NodeState* root = nullptr;
+  std::shared_ptr<QueryState> state;
+
+  /// Per-query work counters: attributing packets/bytes to the query that
+  /// caused them is what lets stats ride on the QueryResult. Pool-wide
+  /// effects (faults, buffer traffic) stay on the SchedulerImpl.
+  EngineCounters counters;
+
+  std::chrono::steady_clock::time_point submitted_at{};
+  std::chrono::steady_clock::time_point completed_at{};
+  uint64_t queue_wait_ns = 0;     ///< Set at admission (0 = immediate).
+  uint64_t failed_probes = 0;     ///< Failed re-admission probes while queued.
+  bool was_queued = false;
+
+  /// Completion/reaping protocol: `completed` is set by OnQueryDone (always
+  /// inside some frame that holds an `in_flight` reference); the runtime is
+  /// destroyed only when `in_flight` drops to zero afterwards, so no worker
+  /// can still be inside a NodeState of this query.
+  std::atomic<bool> completed{false};
+  std::atomic<int64_t> in_flight{0};
+
+  std::mutex result_mu;
+  QueryResult result;
+
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  Status error;
+
+  std::mutex interm_mu;
+  std::vector<PageId> intermediates;
+
+  void Fail(const Status& status) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true)) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      error = status;
+    }
+  }
+
+  void RecordIntermediate(PageId id) {
+    std::lock_guard<std::mutex> lock(interm_mu);
+    intermediates.push_back(id);
+  }
+};
+
+/// \brief The resident scheduler: one persistent worker pool, one buffer
+/// hierarchy, one admission queue — shared by every submitted query.
+class SchedulerImpl {
+ public:
+  SchedulerImpl(StorageEngine* storage, SchedulerOptions options)
+      : storage_(storage),
+        options_(std::move(options)),
+        buffer_(&storage->page_store(), options_.exec.local_memory_pages,
+                options_.exec.disk_cache_pages),
+        trace_(options_.exec.enable_trace),
+        admission_(options_.max_admission_skips) {
+    DFDB_CHECK(storage != nullptr);
+    DFDB_CHECK(options_.exec.num_processors >= 1);
+    DFDB_CHECK(options_.exec.memory_cells_per_processor >= 1);
+    run_start_ = std::chrono::steady_clock::now();
+    // Poisoned packets (corrupted on the wire) are injected once, ahead of
+    // any query's tasks: workers detect the bad checksum and drop them.
+    for (int i = 0; i < std::max(0, options_.exec.fault_plan.poison_packets);
+         ++i) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      RecordTrace(obs::TraceEventKind::kFaultInjected, nullptr, -1, -1, 0,
+                  "poison-packet");
+      queue_.Push(Task{nullptr, [this] {
+                         counters_.poison_dropped.fetch_add(
+                             1, std::memory_order_relaxed);
+                         RecordTrace(obs::TraceEventKind::kFaultRecovered,
+                                     nullptr, -1, -1, 0, "poison-dropped");
+                       }});
+    }
+    if (!options_.defer_worker_start) Start();
+  }
+
+  ~SchedulerImpl() { Shutdown(); }
+
+  const SchedulerOptions& options() const { return options_; }
+  const ExecOptions& opts() const { return options_.exec; }
+
+  StatusOr<QueryHandle> Submit(const PlanNode& plan);
+  void Start();
+  void Shutdown();
+  ExecStats AggregateStats() const;
+  void SnapshotMetrics(obs::MetricsRegistry* registry) const;
+
+  std::shared_ptr<const obs::Trace> FinishTrace() {
+    DFDB_CHECK(workers_joined())
+        << "FinishTrace requires Shutdown() (workers must have quiesced)";
+    if (finished_trace_ == nullptr) finished_trace_ = trace_.Finish();
+    return finished_trace_;
+  }
+
+  /// One unit of pool work, tagged with the query it belongs to (null for
+  /// pool-level work such as poison packets) so workers can account
+  /// per-query in-flight execution for completion-safe reaping.
+  struct Task {
+    QueryRuntime* query = nullptr;
+    std::function<void()> fn;
+  };
+
+  void Dispatch(QueryRuntime* q, std::function<void()> fn) {
+    queue_.Push(Task{q, std::move(fn)});
+  }
+
+  /// Dispatches an enabled instruction packet. The packet occupies a memory
+  /// cell from dispatch until a processor picks it up ("As soon as all the
+  /// required data is present, the contents of the cell are sent to some
+  /// processor for execution. This frees the cell", Section 2.2).
+  void DispatchPacket(QueryRuntime* q, std::function<void()> fn) {
+    enabled_packets_.fetch_add(1, std::memory_order_relaxed);
+    queue_.Push(Task{q, [this, fn = std::move(fn)] {
+                       enabled_packets_.fetch_sub(1,
+                                                  std::memory_order_relaxed);
+                       fn();
+                     }});
+  }
+
+  /// True while every memory cell is occupied by an enabled packet; scan
+  /// sources yield instead of producing more operands.
+  bool ThrottleExceeded() const {
+    return enabled_packets_.load(std::memory_order_relaxed) >=
+           static_cast<size_t>(opts().num_processors) *
+               static_cast<size_t>(opts().memory_cells_per_processor);
+  }
+
+  BufferManager* buffer() { return &buffer_; }
+  StorageEngine* storage() { return storage_; }
+  /// Pool-wide counters (fault injection outcomes). Per-query work counters
+  /// live on QueryRuntime.
+  EngineCounters& counters() { return counters_; }
+
+  /// Steady-clock nanoseconds since the scheduler started (trace
+  /// timestamps).
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - run_start_)
+        .count();
+  }
+
+  bool trace_enabled() const { return trace_.enabled(); }
+
+  /// Records one trace event; no-op (one branch) when tracing is off.
+  /// Events are keyed by submission index, not qid, so two
+  /// identically-seeded runs produce identical traces.
+  void RecordTrace(obs::TraceEventKind kind, const QueryRuntime* q, int32_t a,
+                   int32_t b, uint64_t bytes, const char* detail) {
+    if (!trace_.enabled()) return;
+    trace_.Record(kind, q != nullptr ? q->batch_index : 0, a, b, bytes,
+                  detail, NowNs());
+  }
+
+  /// Called by the root edge's close wiring.
+  void OnQueryDone(QueryRuntime* q);
+
+  /// Scan driver step; re-dispatches itself page by page.
+  void ScanStep(NodeState* node, std::shared_ptr<std::vector<PageId>> ids,
+                size_t idx);
+  void DeleteDriver(NodeState* node);
+
+ private:
+  StatusOr<std::unique_ptr<QueryRuntime>> Prepare(const PlanNode& plan,
+                                                  size_t batch_index);
+  NodeState* BuildNode(const PlanNode* n, NodeState* parent, int slot,
+                       QueryRuntime* q);
+  /// Enqueues every source-driver task of \p q as one atomic batch. The
+  /// caller must hold an `in_flight` reference on \p q (see MaybeReap).
+  void LaunchQuery(QueryRuntime* q);
+  /// Builds the per-query ExecStats snapshot and fulfills the handle.
+  void FulfillLocked(QueryRuntime* q);
+  /// Destroys a completed query's runtime once no worker frame can still
+  /// reference its node graph.
+  void MaybeReap(QueryRuntime* q);
+  void WorkerLoop(int worker_index);
+
+  bool workers_joined() const {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    return shutdown_complete_;
+  }
+
+  StorageEngine* storage_;
+  const SchedulerOptions options_;
+  BufferManager buffer_;
+  EngineCounters counters_;
+  obs::TraceRecorder trace_;
+  std::shared_ptr<const obs::Trace> finished_trace_;
+  std::chrono::steady_clock::time_point run_start_{};
+  BlockingQueue<Task> queue_;
+  std::atomic<size_t> enabled_packets_{0};
+  std::atomic<int> busy_workers_{0};
+  std::atomic<int> peak_busy_workers_{0};
+
+  mutable std::mutex admit_mu_;
+  std::condition_variable drain_cv_;
+  AdmissionQueue admission_;
+  std::map<uint64_t, std::unique_ptr<QueryRuntime>> runtimes_;
+  uint64_t next_qid_ = 1;
+  uint64_t next_batch_index_ = 0;
+  int active_queries_ = 0;
+  bool started_ = false;
+  bool shutting_down_ = false;
+  bool shutdown_complete_ = false;
+  std::vector<std::thread> workers_;
+
+  // Lifetime totals (under admit_mu_), accumulated as queries retire.
+  struct SchedTotals {
+    uint64_t submitted = 0;
+    uint64_t admitted_immediately = 0;
+    uint64_t queued = 0;
+    uint64_t completed = 0;
+    uint64_t cancelled = 0;
+    uint64_t queue_wait_ns = 0;
+    ExecStats work;  // Summed per-query work counters of completed queries.
+  } totals_;
+};
+
+namespace {
+
+/// PageSink adapter feeding an Edge.
+class EdgeSink final : public PageSink {
+ public:
+  explicit EdgeSink(Edge* edge) : edge_(edge) {}
+  Status Emit(Slice tuple) override { return edge_->EmitTuple(tuple); }
+
+ private:
+  Edge* edge_;
+};
+
+/// Scoped in-flight reference: prevents a query's runtime from being reaped
+/// while the holder's frames may still touch its node graph.
+class InFlightGuard {
+ public:
+  explicit InFlightGuard(QueryRuntime* q) : q_(q) {
+    q_->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  }
+  DFDB_DISALLOW_COPY(InFlightGuard);
+  /// True when the guard released the last reference of a completed query;
+  /// the caller must then call SchedulerImpl::MaybeReap.
+  bool ReleaseNeedsReap() {
+    const bool last = q_->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1;
+    return last && q_->completed.load(std::memory_order_acquire);
+  }
+
+ private:
+  QueryRuntime* q_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NodeState: dataflow event handling
+// ---------------------------------------------------------------------------
+
+void NodeState::OnPage(int slot, PendingPage p) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!launched) {
+      // Relation granularity: the instruction is not yet enabled; operands
+      // accumulate until every input relation is complete (Section 3.1).
+      buffered[static_cast<size_t>(slot)].push_back(std::move(p));
+      return;
+    }
+  }
+  DispatchStream(slot, std::move(p));
+}
+
+void NodeState::DispatchStream(int slot, PendingPage p) {
+  impl->RecordTrace(obs::TraceEventKind::kPacketEnqueued, query, node->id,
+                    slot,
+                    static_cast<uint64_t>(p.page->payload_bytes()), nullptr);
+  if (node->op == PlanOp::kJoin && slot == 1) {
+    // Inner page: make it visible, then wake every parked outer task.
+    std::vector<OuterWork> wake;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      inner_pages.push_back(std::move(p));
+      wake.swap(parked);
+      pending += wake.size();
+    }
+    for (auto& w : wake) {
+      impl->DispatchPacket(query, [this, w = std::move(w)]() mutable {
+        RunJoinOuter(std::move(w));
+      });
+    }
+    return;
+  }
+  if (node->op == PlanOp::kJoin && slot == 0) {
+    OuterWork w;
+    w.outer = std::move(p);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++outer_seen;
+      ++pending;
+      ++pending_slot[0];
+    }
+    impl->DispatchPacket(query, [this, w = std::move(w)]() mutable {
+      RunJoinOuter(std::move(w));
+    });
+    return;
+  }
+  if (node->op == PlanOp::kDifference && slot == 0) {
+    // Left pages must wait for the right side to finish (set difference is
+    // a barrier on its subtrahend).
+    std::lock_guard<std::mutex> lock(mu);
+    if (!RightSideDoneLocked() || !left_released) {
+      left_buffer.push_back(std::move(p));
+      return;
+    }
+    ++pending;
+    ++pending_slot[0];
+    PendingPage moved = std::move(p);
+    impl->DispatchPacket(
+        query, [this, moved]() mutable { RunUnaryTask(0, std::move(moved)); });
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ++pending;
+    ++pending_slot[static_cast<size_t>(slot)];
+  }
+  PendingPage moved = std::move(p);
+  impl->DispatchPacket(query, [this, slot, moved]() mutable {
+    RunUnaryTask(slot, std::move(moved));
+  });
+}
+
+void NodeState::OnClose(int slot) {
+  bool replay = false;
+  std::vector<std::function<void()>> replay_tasks;
+  std::vector<OuterWork> wake;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    input_closed[static_cast<size_t>(slot)] = true;
+    if (!launched) {
+      bool all = true;
+      for (bool c : input_closed) all = all && c;
+      if (all) {
+        launched = true;
+        replay = true;
+        LaunchRelationReplayLocked(&replay_tasks);
+      }
+    } else if (node->op == PlanOp::kJoin && slot == 1) {
+      // Inner relation complete: parked outers can now finish.
+      wake.swap(parked);
+      pending += wake.size();
+    }
+  }
+  if (replay) {
+    for (auto& t : replay_tasks) impl->DispatchPacket(query, std::move(t));
+  }
+  for (auto& w : wake) {
+    impl->DispatchPacket(query, [this, w = std::move(w)]() mutable {
+      RunJoinOuter(std::move(w));
+    });
+  }
+  if (node->op == PlanOp::kDifference && slot == 1) {
+    ReleaseDifferenceLeftIfReady();
+  }
+  TryFinalize();
+}
+
+void NodeState::LaunchRelationReplayLocked(
+    std::vector<std::function<void()>>* tasks) {
+  // All inputs are complete; generate the instruction's tasks. Inner join
+  // pages become visible first so outer tasks complete in one pass.
+  if (node->op == PlanOp::kJoin) {
+    for (auto& p : buffered[1]) inner_pages.push_back(std::move(p));
+    buffered[1].clear();
+    for (auto& p : buffered[0]) {
+      OuterWork w;
+      w.outer = std::move(p);
+      ++outer_seen;
+      ++pending;
+      tasks->push_back([this, w = std::move(w)]() mutable {
+        RunJoinOuter(std::move(w));
+      });
+    }
+    buffered[0].clear();
+    return;
+  }
+  // Difference: replay the right side as tasks; the left side stays in
+  // left_buffer until the right tasks retire.
+  if (node->op == PlanOp::kDifference) {
+    for (auto& p : buffered[1]) {
+      ++pending;
+      ++pending_slot[1];
+      PendingPage moved = std::move(p);
+      tasks->push_back(
+          [this, moved]() mutable { RunUnaryTask(1, std::move(moved)); });
+    }
+    buffered[1].clear();
+    for (auto& p : buffered[0]) left_buffer.push_back(std::move(p));
+    buffered[0].clear();
+    return;
+  }
+  for (int slot = 0; slot < num_inputs; ++slot) {
+    for (auto& p : buffered[static_cast<size_t>(slot)]) {
+      ++pending;
+      ++pending_slot[static_cast<size_t>(slot)];
+      PendingPage moved = std::move(p);
+      tasks->push_back([this, slot, moved]() mutable {
+        RunUnaryTask(slot, std::move(moved));
+      });
+    }
+    buffered[static_cast<size_t>(slot)].clear();
+  }
+}
+
+void NodeState::ReleaseDifferenceLeftIfReady() {
+  std::vector<PendingPage> release;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (left_released) return;
+    if (!RightSideDoneLocked()) return;
+    left_released = true;
+    release.swap(left_buffer);
+    pending += release.size();
+    pending_slot[0] += release.size();
+  }
+  for (auto& p : release) {
+    PendingPage moved = std::move(p);
+    impl->DispatchPacket(
+        query, [this, moved]() mutable { RunUnaryTask(0, std::move(moved)); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NodeState: task bodies
+// ---------------------------------------------------------------------------
+
+void NodeState::RunUnaryTask(int slot, PendingPage p) {
+  EngineCounters& ctr = query->counters;
+  ctr.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  impl->RecordTrace(obs::TraceEventKind::kTaskClaimed, query, node->id, slot,
+                    0, nullptr);
+  if (!query->failed.load(std::memory_order_relaxed)) {
+    // Fetch through the hierarchy: this is the operand delivery that the
+    // arbitration path carries in the paper's model.
+    auto fetched = impl->buffer()->Fetch(p.id);
+    if (!fetched.ok()) {
+      query->Fail(fetched.status().WithContext("operand fetch"));
+    } else {
+      const Page& page = **fetched;
+      ctr.packets.fetch_add(1, std::memory_order_relaxed);
+      ctr.arbitration_bytes.fetch_add(
+          static_cast<uint64_t>(page.payload_bytes()),
+          std::memory_order_relaxed);
+      ctr.overhead_bytes.fetch_add(
+          static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
+          std::memory_order_relaxed);
+      impl->RecordTrace(obs::TraceEventKind::kPacketDelivered, query,
+                        node->id, slot,
+                        static_cast<uint64_t>(page.payload_bytes()), nullptr);
+
+      EdgeSink sink(out.get());
+      Status s = Status::OK();
+      const Schema& in_schema = node->num_children() > 0
+                                    ? node->child(slot).output_schema
+                                    : node->output_schema;
+      switch (node->op) {
+        case PlanOp::kRestrict:
+          s = RestrictPage(in_schema, *node->predicate, page, &sink);
+          break;
+        case PlanOp::kProject: {
+          if (!node->dedup) {
+            s = ProjectPage(in_schema, project_indices, page, &sink);
+            break;
+          }
+          // Parallel duplicate elimination: hash-partitioned shards so
+          // concurrent tasks only contend on colliding partitions.
+          for (int i = 0; i < page.num_tuples() && s.ok(); ++i) {
+            const std::string projected =
+                ProjectTuple(in_schema, page.tuple(i), project_indices);
+            DedupShard& shard = *dedup_shards[static_cast<size_t>(
+                DedupPartition(Slice(projected),
+                               static_cast<int>(dedup_shards.size())))];
+            bool fresh;
+            {
+              std::lock_guard<std::mutex> lock(shard.mu);
+              fresh = shard.set.Insert(Slice(projected));
+            }
+            if (fresh) s = sink.Emit(Slice(projected));
+          }
+          break;
+        }
+        case PlanOp::kUnion: {
+          if (node->bag_semantics) {
+            s = CopyPage(page, &sink);
+            break;
+          }
+          for (int i = 0; i < page.num_tuples() && s.ok(); ++i) {
+            bool fresh;
+            {
+              std::lock_guard<std::mutex> lock(union_mu);
+              fresh = union_seen.Insert(page.tuple(i));
+            }
+            if (fresh) s = sink.Emit(page.tuple(i));
+          }
+          break;
+        }
+        case PlanOp::kDifference: {
+          std::lock_guard<std::mutex> lock(diff_mu);
+          if (slot == 1) {
+            diff.ConsumeRight(page);
+          } else {
+            s = diff.ConsumeLeft(page, &sink);
+          }
+          break;
+        }
+        case PlanOp::kAggregate: {
+          std::lock_guard<std::mutex> lock(agg_mu);
+          s = aggregator->Consume(page);
+          break;
+        }
+        case PlanOp::kAppend:
+          s = target_file->AppendPage(page);
+          break;
+        default:
+          s = Status::Internal("unary task on non-unary node");
+      }
+      if (!s.ok()) query->Fail(s.WithContext("operator task"));
+    }
+  }
+  impl->RecordTrace(obs::TraceEventKind::kTaskExecuted, query, node->id, slot,
+                    0, nullptr);
+  bool was_right_diff = node->op == PlanOp::kDifference && slot == 1;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    --pending;
+    --pending_slot[static_cast<size_t>(slot)];
+  }
+  if (was_right_diff) ReleaseDifferenceLeftIfReady();
+  TryFinalize();
+}
+
+void NodeState::RunJoinOuter(OuterWork w) {
+  EngineCounters& ctr = query->counters;
+  ctr.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  impl->RecordTrace(obs::TraceEventKind::kTaskClaimed, query, node->id, 0, 0,
+                    w.first ? "join-outer" : "join-resume");
+  const bool failed = query->failed.load(std::memory_order_relaxed);
+
+  PagePtr outer_page;
+  if (!failed) {
+    auto fetched = impl->buffer()->Fetch(w.outer.id);
+    if (!fetched.ok()) {
+      query->Fail(fetched.status().WithContext("join outer fetch"));
+    } else {
+      outer_page = *fetched;
+      if (w.first) {
+        ctr.packets.fetch_add(1, std::memory_order_relaxed);
+        ctr.arbitration_bytes.fetch_add(
+            static_cast<uint64_t>(outer_page->payload_bytes()),
+            std::memory_order_relaxed);
+        ctr.overhead_bytes.fetch_add(
+            static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
+            std::memory_order_relaxed);
+      }
+    }
+  }
+  w.first = false;
+
+  const Schema& outer_schema = node->child(0).output_schema;
+  const Schema& inner_schema = node->child(1).output_schema;
+
+  for (;;) {
+    std::vector<PendingPage> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t i = w.cursor; i < inner_pages.size(); ++i) {
+        batch.push_back(inner_pages[i]);
+      }
+    }
+    if (batch.empty()) {
+      std::lock_guard<std::mutex> lock(mu);
+      // Re-check under the lock: a page may have arrived since the
+      // snapshot. inner_pages only grows, so cursor comparison is safe.
+      if (w.cursor < inner_pages.size()) continue;
+      if (input_closed[1] && launched) {
+        ++outer_done;
+        --pending;
+        break;
+      }
+      // Wait for more inner pages: park this outer ("scan its IRC vector
+      // and request the pages it missed", Section 4.2).
+      parked.push_back(std::move(w));
+      --pending;
+      // Finalization cannot trigger here (inner not closed), so return.
+      return;
+    }
+    if (!failed && outer_page != nullptr &&
+        !query->failed.load(std::memory_order_relaxed)) {
+      EdgeSink sink(out.get());
+      for (const PendingPage& inner : batch) {
+        auto inner_fetched = impl->buffer()->Fetch(inner.id);
+        if (!inner_fetched.ok()) {
+          query->Fail(inner_fetched.status().WithContext("join inner fetch"));
+          break;
+        }
+        // Each inner-page delivery is one broadcast packet (Section 4.2).
+        ctr.packets.fetch_add(1, std::memory_order_relaxed);
+        ctr.arbitration_bytes.fetch_add(
+            static_cast<uint64_t>((*inner_fetched)->payload_bytes()),
+            std::memory_order_relaxed);
+        ctr.overhead_bytes.fetch_add(
+            static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
+            std::memory_order_relaxed);
+        impl->RecordTrace(
+            obs::TraceEventKind::kPacketDelivered, query, node->id, 1,
+            static_cast<uint64_t>((*inner_fetched)->payload_bytes()),
+            "broadcast");
+        Status s = JoinPages(outer_schema, inner_schema, *node->predicate,
+                             *outer_page, **inner_fetched, &sink);
+        if (!s.ok()) {
+          query->Fail(s.WithContext("join task"));
+          break;
+        }
+      }
+    }
+    w.cursor += batch.size();
+  }
+  impl->RecordTrace(obs::TraceEventKind::kTaskExecuted, query, node->id, 0, 0,
+                    "join-outer");
+  TryFinalize();
+}
+
+// ---------------------------------------------------------------------------
+// NodeState: completion
+// ---------------------------------------------------------------------------
+
+void NodeState::TryFinalize() {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (finalize_claimed) return;
+    if (pending != 0) return;
+    if (num_inputs == 0) {
+      // Leaf (scan or delete): done when the driver retires.
+      if (!source_done) return;
+    } else {
+      if (!launched) return;
+      for (bool c : input_closed) {
+        if (!c) return;
+      }
+      if (node->op == PlanOp::kJoin) {
+        if (outer_seen != outer_done || !parked.empty()) return;
+      }
+      if (node->op == PlanOp::kDifference && !left_released) return;
+    }
+    finalize_claimed = true;
+  }
+  RunFinalizeAndClose();
+}
+
+void NodeState::RunFinalizeAndClose() {
+  if (!query->failed.load(std::memory_order_relaxed)) {
+    Status s = Status::OK();
+    switch (node->op) {
+      case PlanOp::kAggregate: {
+        EdgeSink sink(out.get());
+        std::lock_guard<std::mutex> lock(agg_mu);
+        s = aggregator->Finish(&sink);
+        break;
+      }
+      case PlanOp::kAppend: {
+        s = impl->storage()->SyncStats(target_file->relation());
+        break;
+      }
+      default:
+        break;
+    }
+    if (!s.ok()) query->Fail(s.WithContext("finalize"));
+  }
+  Status close = out->CloseProducer();
+  if (!close.ok()) query->Fail(close);
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerImpl: drivers
+// ---------------------------------------------------------------------------
+
+void SchedulerImpl::ScanStep(NodeState* node,
+                             std::shared_ptr<std::vector<PageId>> ids,
+                             size_t idx) {
+  node->query->counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  if (node->query->failed.load(std::memory_order_relaxed)) {
+    idx = ids->size();  // Stop producing.
+  }
+  if (idx >= ids->size()) {
+    {
+      std::lock_guard<std::mutex> lock(node->mu);
+      node->source_done = true;
+      --node->pending;
+    }
+    node->TryFinalize();
+    return;
+  }
+  // Memory-cell throttle: sources yield while the packet backlog exceeds
+  // cells-per-processor * processors (the paper's "two memory cells for
+  // each processor" resource bound).
+  if (ThrottleExceeded()) {
+    Dispatch(node->query, [this, node, ids, idx] { ScanStep(node, ids, idx); });
+    std::this_thread::yield();
+    return;
+  }
+  auto page = buffer_.Fetch((*ids)[idx]);
+  if (!page.ok()) {
+    node->query->Fail(page.status().WithContext("scan fetch"));
+  } else {
+    RecordTrace(obs::TraceEventKind::kTaskExecuted, node->query,
+                node->node->id, 0,
+                static_cast<uint64_t>((*page)->payload_bytes()), "scan-step");
+    Status s = node->out->EmitPage(*page);
+    if (!s.ok()) node->query->Fail(s.WithContext("scan emit"));
+  }
+  Dispatch(node->query,
+           [this, node, ids, idx] { ScanStep(node, ids, idx + 1); });
+}
+
+void SchedulerImpl::DeleteDriver(NodeState* node) {
+  QueryRuntime* q = node->query;
+  q->counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  if (!q->failed.load(std::memory_order_relaxed)) {
+    const Schema& schema = node->node->output_schema;
+    const Expr* pred = node->node->predicate.get();
+    Status pred_error = Status::OK();
+    auto matcher = [&](const TupleView& t) {
+      auto r = pred->EvalBool(t, nullptr);
+      if (!r.ok()) {
+        if (pred_error.ok()) pred_error = r.status();
+        return false;
+      }
+      return *r;
+    };
+    const uint64_t before_bytes =
+        node->target_file->tuple_count() *
+        static_cast<uint64_t>(schema.tuple_width());
+    auto removed = node->target_file->DeleteWhere(matcher);
+    q->counters.packets.fetch_add(1, std::memory_order_relaxed);
+    q->counters.arbitration_bytes.fetch_add(before_bytes,
+                                            std::memory_order_relaxed);
+    q->counters.overhead_bytes.fetch_add(
+        static_cast<uint64_t>(opts().packet_overhead_bytes),
+        std::memory_order_relaxed);
+    RecordTrace(obs::TraceEventKind::kTaskExecuted, q, node->node->id, 0,
+                before_bytes, "delete");
+    if (!removed.ok()) {
+      q->Fail(removed.status().WithContext("delete"));
+    } else if (!pred_error.ok()) {
+      q->Fail(pred_error.WithContext("delete predicate"));
+    } else {
+      Status s = storage_->SyncStats(node->target_file->relation());
+      if (!s.ok()) q->Fail(s);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(node->mu);
+    node->source_done = true;
+    --node->pending;
+  }
+  node->TryFinalize();
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerImpl: query preparation and wiring
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<QueryRuntime>> SchedulerImpl::Prepare(
+    const PlanNode& plan, size_t batch_index) {
+  auto q = std::make_unique<QueryRuntime>();
+  q->batch_index = batch_index;
+  q->plan = plan.Clone();
+  Analyzer analyzer(&storage_->catalog());
+  DFDB_ASSIGN_OR_RETURN(q->analysis, analyzer.Resolve(q->plan.get()));
+  NodeState* root = BuildNode(q->plan.get(), nullptr, 0, q.get());
+  if (root == nullptr) {
+    return Status::Internal("failed to build node graph");
+  }
+  q->root = root;
+  q->result.set_schema(q->plan->output_schema);
+  return q;
+}
+
+NodeState* SchedulerImpl::BuildNode(const PlanNode* n, NodeState* parent,
+                                    int slot, QueryRuntime* q) {
+  auto state = std::make_unique<NodeState>();
+  NodeState* ns = state.get();
+  ns->impl = this;
+  ns->query = q;
+  ns->node = n;
+  ns->parent = parent;
+  ns->parent_slot = slot;
+  ns->num_inputs = n->num_children();
+  ns->input_closed.assign(static_cast<size_t>(ns->num_inputs), false);
+  ns->pending_slot.assign(static_cast<size_t>(std::max(ns->num_inputs, 1)), 0);
+  ns->buffered.resize(static_cast<size_t>(ns->num_inputs));
+  // Relation granularity defers interior instructions until their operands
+  // complete; leaves are always immediately executable.
+  ns->launched =
+      opts().granularity != Granularity::kRelation || ns->num_inputs == 0;
+
+  // Op-specific static setup.
+  Status setup = Status::OK();
+  switch (n->op) {
+    case PlanOp::kProject: {
+      const Schema& in = n->child(0).output_schema;
+      for (const std::string& name : n->columns) {
+        auto idx = in.ColumnIndex(name);
+        if (!idx.ok()) {
+          setup = idx.status();
+          break;
+        }
+        ns->project_indices.push_back(*idx);
+      }
+      if (n->dedup) {
+        const int shards = std::max(1, opts().dedup_partitions);
+        for (int i = 0; i < shards; ++i) {
+          ns->dedup_shards.push_back(std::make_unique<NodeState::DedupShard>());
+        }
+      }
+      break;
+    }
+    case PlanOp::kAggregate: {
+      auto agg = Aggregator::Create(n->child(0).output_schema, n->output_schema,
+                                    n->columns, n->aggregates);
+      if (!agg.ok()) {
+        setup = agg.status();
+      } else {
+        ns->aggregator.emplace(*std::move(agg));
+      }
+      break;
+    }
+    case PlanOp::kAppend:
+    case PlanOp::kDelete: {
+      auto file = storage_->GetHeapFile(n->relation);
+      if (!file.ok()) {
+        setup = file.status();
+      } else {
+        ns->target_file = *file;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  if (!setup.ok()) {
+    q->Fail(setup.WithContext("node setup"));
+  }
+
+  // Output edge: unit is the configured page size, or one tuple under
+  // tuple granularity.
+  const int tuple_width = std::max(1, n->output_schema.tuple_width());
+  const int unit = opts().granularity == Granularity::kTuple
+                       ? tuple_width
+                       : std::max(opts().page_bytes, tuple_width);
+  const RelationId pseudo = 0xD0000000u + static_cast<RelationId>(n->id);
+  const bool count_distribution = n->op != PlanOp::kScan;
+  const int node_id = n->id;
+  if (parent == nullptr) {
+    // Root: deliver into the query result.
+    ns->out = std::make_unique<Edge>(
+        pseudo, tuple_width, unit,
+        [this, q, node_id, count_distribution](PagePtr page) {
+          if (count_distribution) {
+            q->counters.distribution_bytes.fetch_add(
+                static_cast<uint64_t>(page->payload_bytes()),
+                std::memory_order_relaxed);
+          }
+          q->counters.pages_produced.fetch_add(1, std::memory_order_relaxed);
+          q->counters.tuples_produced.fetch_add(
+              static_cast<uint64_t>(page->num_tuples()),
+              std::memory_order_relaxed);
+          RecordTrace(obs::TraceEventKind::kPageProduced, q, node_id, -1,
+                      static_cast<uint64_t>(page->payload_bytes()), "root");
+          std::lock_guard<std::mutex> lock(q->result_mu);
+          q->result.AddPage(std::move(page));
+        },
+        [this, q] { OnQueryDone(q); });
+  } else {
+    ns->out = std::make_unique<Edge>(
+        pseudo, tuple_width, unit,
+        [this, q, node_id, parent, slot, count_distribution](PagePtr page) {
+          if (count_distribution) {
+            q->counters.distribution_bytes.fetch_add(
+                static_cast<uint64_t>(page->payload_bytes()),
+                std::memory_order_relaxed);
+          }
+          q->counters.pages_produced.fetch_add(1, std::memory_order_relaxed);
+          q->counters.tuples_produced.fetch_add(
+              static_cast<uint64_t>(page->num_tuples()),
+              std::memory_order_relaxed);
+          RecordTrace(obs::TraceEventKind::kPageProduced, q, node_id, -1,
+                      static_cast<uint64_t>(page->payload_bytes()), nullptr);
+          const PageId id = buffer_.PutNew(page);
+          q->RecordIntermediate(id);
+          parent->OnPage(slot, PendingPage{std::move(page), id});
+        },
+        [parent, slot] { parent->OnClose(slot); });
+  }
+
+  // Children are wired after this node exists so their edges can reference
+  // it.
+  for (int i = 0; i < n->num_children(); ++i) {
+    BuildNode(&n->child(i), ns, i, q);
+  }
+
+  q->nodes.push_back(std::move(state));
+  return ns;
+}
+
+void SchedulerImpl::LaunchQuery(QueryRuntime* q) {
+  // Start every source driver. Leaves are "immediately executable"
+  // (Section 3.1) under every granularity. The drivers are enqueued as one
+  // atomic batch so a single-worker schedule stays deterministic even while
+  // the pool is already running.
+  std::vector<Task> drivers;
+  for (auto& node : q->nodes) {
+    NodeState* ns = node.get();
+    if (ns->node->op == PlanOp::kScan) {
+      auto file = storage_->GetHeapFile(ns->node->relation);
+      if (!file.ok()) {
+        q->Fail(file.status());
+        std::lock_guard<std::mutex> lock(ns->mu);
+        ns->source_done = true;
+        continue;
+      }
+      Status flushed = (*file)->Flush();
+      if (!flushed.ok()) q->Fail(flushed);
+      auto ids = std::make_shared<std::vector<PageId>>((*file)->PageIds());
+      {
+        std::lock_guard<std::mutex> lock(ns->mu);
+        ++ns->pending;
+      }
+      drivers.push_back(Task{q, [this, ns, ids] { ScanStep(ns, ids, 0); }});
+    } else if (ns->node->op == PlanOp::kDelete) {
+      {
+        std::lock_guard<std::mutex> lock(ns->mu);
+        ++ns->pending;
+      }
+      drivers.push_back(Task{q, [this, ns] { DeleteDriver(ns); }});
+    }
+  }
+  queue_.PushAll(std::move(drivers));
+  // Degenerate plans whose leaves failed setup still need to terminate.
+  for (auto& node : q->nodes) {
+    node->TryFinalize();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerImpl: admission, completion, reaping
+// ---------------------------------------------------------------------------
+
+StatusOr<QueryHandle> SchedulerImpl::Submit(const PlanNode& plan) {
+  uint64_t qid = 0;
+  size_t batch_index = 0;
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    if (shutting_down_) {
+      return Status::Unavailable("scheduler is shut down");
+    }
+    qid = next_qid_++;
+    batch_index = next_batch_index_++;
+  }
+  DFDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryRuntime> owned,
+                        Prepare(plan, batch_index));
+  QueryRuntime* q = owned.get();
+  q->qid = qid;
+  q->submitted_at = std::chrono::steady_clock::now();
+  q->state = std::make_shared<QueryState>();
+  q->state->qid = qid;
+  QueryHandle handle(q->state);
+
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    if (shutting_down_) {
+      return Status::Unavailable("scheduler is shut down");
+    }
+    runtimes_[qid] = std::move(owned);
+    ++totals_.submitted;
+    admitted = admission_.Submit(qid, q->analysis.read_set,
+                                 q->analysis.write_set);
+    if (admitted) {
+      ++totals_.admitted_immediately;
+      ++active_queries_;
+    } else {
+      ++totals_.queued;
+      q->was_queued = true;
+    }
+  }
+  if (admitted) {
+    InFlightGuard guard(q);
+    LaunchQuery(q);
+    if (guard.ReleaseNeedsReap()) MaybeReap(q);
+  }
+  return handle;
+}
+
+void SchedulerImpl::FulfillLocked(QueryRuntime* q) {
+  // Per-query snapshot: this query's own work, timed from submission to
+  // completion (including any MC queue wait). Pool-wide fault/buffer
+  // counters stay zero here.
+  ExecStats qs;
+  qs.wall_seconds =
+      std::chrono::duration<double>(q->completed_at - q->submitted_at).count();
+  qs.tasks_executed = q->counters.tasks_executed.load();
+  qs.packets = q->counters.packets.load();
+  qs.arbitration_bytes = q->counters.arbitration_bytes.load();
+  qs.distribution_bytes = q->counters.distribution_bytes.load();
+  qs.overhead_bytes = q->counters.overhead_bytes.load();
+  qs.pages_produced = q->counters.pages_produced.load();
+  qs.tuples_produced = q->counters.tuples_produced.load();
+  qs.sched_admitted = q->was_queued ? 0 : 1;
+  qs.sched_queued = q->was_queued ? 1 : 0;
+  qs.sched_requeues = q->failed_probes;
+  qs.sched_queue_wait_ns = q->queue_wait_ns;
+
+  ++totals_.completed;
+  totals_.queue_wait_ns += q->queue_wait_ns;
+  totals_.work.tasks_executed += qs.tasks_executed;
+  totals_.work.packets += qs.packets;
+  totals_.work.arbitration_bytes += qs.arbitration_bytes;
+  totals_.work.distribution_bytes += qs.distribution_bytes;
+  totals_.work.overhead_bytes += qs.overhead_bytes;
+  totals_.work.pages_produced += qs.pages_produced;
+  totals_.work.tuples_produced += qs.tuples_produced;
+
+  QueryState* state = q->state.get();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->queue_wait_ns.store(q->queue_wait_ns, std::memory_order_relaxed);
+    if (q->failed.load()) {
+      std::lock_guard<std::mutex> err_lock(q->err_mu);
+      state->status = q->error.WithContext(
+          StrFormat("query %llu", static_cast<unsigned long long>(q->qid)));
+    } else {
+      std::lock_guard<std::mutex> result_lock(q->result_mu);
+      q->result.set_stats(std::move(qs));
+      state->result = std::move(q->result);
+    }
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+void SchedulerImpl::OnQueryDone(QueryRuntime* q) {
+  q->completed_at = std::chrono::steady_clock::now();
+  // Free intermediate pages (they have been consumed).
+  {
+    std::lock_guard<std::mutex> lock(q->interm_mu);
+    for (PageId id : q->intermediates) {
+      (void)buffer_.Discard(id);
+    }
+    q->intermediates.clear();
+  }
+  std::vector<QueryRuntime*> to_launch;
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (const AdmissionQueue::ReAdmitted& adm : admission_.Release(q->qid)) {
+      auto it = runtimes_.find(adm.qid);
+      if (it == runtimes_.end()) continue;  // Cancelled meanwhile.
+      QueryRuntime* cand = it->second.get();
+      cand->failed_probes = adm.failed_probes;
+      cand->queue_wait_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - cand->submitted_at)
+              .count());
+      ++active_queries_;
+      to_launch.push_back(cand);
+    }
+    --active_queries_;
+    FulfillLocked(q);
+    // `completed` gates reaping; set it under the lock so MaybeReap's
+    // runtimes_ lookup and this store cannot interleave badly.
+    q->completed.store(true, std::memory_order_release);
+    if (active_queries_ == 0) drain_cv_.notify_all();
+  }
+  for (QueryRuntime* cand : to_launch) {
+    InFlightGuard guard(cand);
+    LaunchQuery(cand);
+    if (guard.ReleaseNeedsReap()) MaybeReap(cand);
+  }
+}
+
+void SchedulerImpl::MaybeReap(QueryRuntime* q) {
+  if (!q->completed.load(std::memory_order_acquire)) return;
+  if (q->in_flight.load(std::memory_order_acquire) != 0) return;
+  std::unique_ptr<QueryRuntime> doomed;
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    auto it = runtimes_.find(q->qid);
+    if (it == runtimes_.end() || it->second.get() != q) return;
+    if (q->in_flight.load(std::memory_order_acquire) != 0) return;
+    doomed = std::move(it->second);
+    runtimes_.erase(it);
+  }
+  // Node graph (and any retained operand pages) destroyed here, outside the
+  // admission lock.
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerImpl: worker pool lifecycle
+// ---------------------------------------------------------------------------
+
+void SchedulerImpl::WorkerLoop(int worker_index) {
+  const EngineFaultPlan& fp = opts().fault_plan;
+  // Clamp so at least one worker survives to drain the queue.
+  const int doomed_count =
+      std::min(fp.abandon_workers, opts().num_processors - 1);
+  const bool doomed = worker_index < doomed_count;
+  uint64_t claimed = 0;
+  for (;;) {
+    auto task = queue_.Pop();
+    if (!task.has_value()) return;
+    if (doomed && ++claimed > fp.abandon_after_tasks) {
+      // Fail-stop at a packet boundary: the claimed task has not run, so
+      // handing it back re-executes it from scratch on a survivor and the
+      // results are exactly those of a healthy run.
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      counters_.workers_abandoned.fetch_add(1, std::memory_order_relaxed);
+      RecordTrace(obs::TraceEventKind::kFaultInjected, nullptr, -1,
+                  worker_index, 0, "worker-abandon");
+      if (queue_.TryPush(std::move(*task))) {
+        counters_.redispatched_tasks.fetch_add(1, std::memory_order_relaxed);
+        RecordTrace(obs::TraceEventKind::kFaultRecovered, nullptr, -1,
+                    worker_index, 0, "task-redispatched");
+      }
+      return;
+    }
+    const int busy = busy_workers_.fetch_add(1, std::memory_order_relaxed) + 1;
+    int peak = peak_busy_workers_.load(std::memory_order_relaxed);
+    while (busy > peak && !peak_busy_workers_.compare_exchange_weak(
+                              peak, busy, std::memory_order_relaxed)) {
+    }
+    QueryRuntime* q = task->query;
+    if (q != nullptr) q->in_flight.fetch_add(1, std::memory_order_acq_rel);
+    task->fn();
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    if (q != nullptr &&
+        q->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        q->completed.load(std::memory_order_acquire)) {
+      MaybeReap(q);
+    }
+  }
+}
+
+void SchedulerImpl::Start() {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  if (started_ || shutting_down_) return;
+  started_ = true;
+  workers_.reserve(static_cast<size_t>(opts().num_processors));
+  for (int i = 0; i < opts().num_processors; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void SchedulerImpl::Shutdown() {
+  std::vector<std::shared_ptr<QueryState>> cancelled;
+  bool join_workers = false;
+  {
+    std::unique_lock<std::mutex> lock(admit_mu_);
+    if (shutdown_complete_) return;
+    if (!shutting_down_) {
+      shutting_down_ = true;
+      // Fail every query still waiting for admission: nothing of theirs
+      // ever ran.
+      for (uint64_t qid : admission_.CancelAll()) {
+        auto it = runtimes_.find(qid);
+        if (it == runtimes_.end()) continue;
+        ++totals_.cancelled;
+        cancelled.push_back(it->second->state);
+        runtimes_.erase(it);
+      }
+      if (!started_) {
+        // Workers never ran: admitted queries have queued tasks but no
+        // side effects; cancel them too and drop the queue.
+        for (auto& [qid, rt] : runtimes_) {
+          if (rt->completed.load()) continue;
+          ++totals_.cancelled;
+          cancelled.push_back(rt->state);
+        }
+        runtimes_.clear();
+        active_queries_ = 0;
+        queue_.Close();
+        shutdown_complete_ = true;
+      }
+    }
+    if (started_ && !shutdown_complete_) {
+      // Drain running queries, then let workers finish any remaining
+      // pool-level tasks (poison packets) and exit.
+      drain_cv_.wait(lock, [&] { return active_queries_ == 0; });
+      if (!workers_.empty() || !queue_.closed()) {
+        join_workers = true;
+      }
+    }
+  }
+  for (const auto& state : cancelled) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->status = Status::Cancelled(StrFormat(
+          "query %llu cancelled by scheduler shutdown",
+          static_cast<unsigned long long>(state->qid)));
+      state->done = true;
+    }
+    state->cv.notify_all();
+  }
+  if (join_workers) {
+    queue_.Close();
+    std::vector<std::thread> workers;
+    {
+      std::lock_guard<std::mutex> lock(admit_mu_);
+      workers.swap(workers_);
+    }
+    for (auto& w : workers) w.join();
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    shutdown_complete_ = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerImpl: observability
+// ---------------------------------------------------------------------------
+
+ExecStats SchedulerImpl::AggregateStats() const {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  ExecStats stats = totals_.work;
+  stats.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - run_start_)
+                           .count();
+  stats.faults_injected = counters_.faults_injected.load();
+  stats.workers_abandoned = counters_.workers_abandoned.load();
+  stats.redispatched_tasks = counters_.redispatched_tasks.load();
+  stats.poison_dropped = counters_.poison_dropped.load();
+  stats.sched_admitted = totals_.admitted_immediately;
+  stats.sched_queued = totals_.queued;
+  stats.sched_requeues = admission_.requeue_failures();
+  stats.sched_queue_wait_ns = totals_.queue_wait_ns;
+  stats.buffer = buffer_.stats();
+  stats.trace = finished_trace_;
+  return stats;
+}
+
+void SchedulerImpl::SnapshotMetrics(obs::MetricsRegistry* registry) const {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  registry->Set("engine.sched.submitted", totals_.submitted);
+  registry->Set("engine.sched.admitted", totals_.admitted_immediately);
+  registry->Set("engine.sched.queued", totals_.queued);
+  registry->Set("engine.sched.completed", totals_.completed);
+  registry->Set("engine.sched.cancelled", totals_.cancelled);
+  registry->Set("engine.sched.requeues", admission_.requeue_failures());
+  registry->Set("engine.sched.queue_wait_ns", totals_.queue_wait_ns);
+  registry->Set("engine.sched.active_queries",
+                static_cast<uint64_t>(active_queries_));
+  registry->Set("engine.sched.queue_depth",
+                static_cast<uint64_t>(admission_.queued()));
+  registry->Set("engine.sched.pool.workers",
+                static_cast<uint64_t>(opts().num_processors));
+  registry->Set("engine.sched.pool.busy", static_cast<uint64_t>(std::max(
+                                              0, busy_workers_.load())));
+  registry->Set("engine.sched.pool.peak_busy",
+                static_cast<uint64_t>(std::max(0, peak_busy_workers_.load())));
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+uint64_t QueryHandle::qid() const {
+  return state_ != nullptr ? state_->qid : 0;
+}
+
+bool QueryHandle::Done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+StatusOr<QueryResult> QueryHandle::Wait() {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("empty QueryHandle");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->taken) {
+    return Status::FailedPrecondition("query result already taken");
+  }
+  state_->taken = true;
+  if (!state_->status.ok()) return state_->status;
+  return std::move(state_->result);
+}
+
+uint64_t QueryHandle::queue_wait_ns() const {
+  return state_ != nullptr
+             ? state_->queue_wait_ns.load(std::memory_order_relaxed)
+             : 0;
+}
+
+Scheduler::Scheduler(StorageEngine* storage, SchedulerOptions options)
+    : impl_(std::make_unique<internal::SchedulerImpl>(storage,
+                                                      std::move(options))) {}
+
+Scheduler::Scheduler(StorageEngine* storage, ExecOptions exec_options)
+    : Scheduler(storage, SchedulerOptions{std::move(exec_options), 8, false}) {}
+
+Scheduler::~Scheduler() = default;
+
+const SchedulerOptions& Scheduler::options() const { return impl_->options(); }
+
+StatusOr<QueryHandle> Scheduler::Submit(const PlanNode& plan) {
+  return impl_->Submit(plan);
+}
+
+void Scheduler::Start() { impl_->Start(); }
+
+void Scheduler::Shutdown() { impl_->Shutdown(); }
+
+ExecStats Scheduler::AggregateStats() const { return impl_->AggregateStats(); }
+
+void Scheduler::SnapshotMetrics(obs::MetricsRegistry* registry) const {
+  impl_->SnapshotMetrics(registry);
+}
+
+std::shared_ptr<const obs::Trace> Scheduler::FinishTrace() {
+  return impl_->FinishTrace();
+}
+
+}  // namespace dfdb

@@ -76,7 +76,15 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   auto copy = std::make_unique<PlanNode>();
   copy->op = op;
   copy->relation = relation;
-  copy->predicate = predicate;
+  if (predicate) {
+    // Reconstruct the expression tree with unbound column refs: binding
+    // mutates ColumnRefExpr, so a shared expression would race when two
+    // queries cloned from one template run concurrently.
+    copy->predicate = predicate->TransformColumns(
+        [](const ColumnRefExpr& ref) -> ExprPtr {
+          return std::make_shared<ColumnRefExpr>(ref.name(), ref.side());
+        });
+  }
   copy->columns = columns;
   copy->project_aliases = project_aliases;
   copy->dedup = dedup;

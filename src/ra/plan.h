@@ -93,8 +93,8 @@ struct PlanNode {
   std::string ToString(int indent = 0) const;
 
   /// Deep copy (unresolved; the copy must be re-analyzed). Expressions are
-  /// shared, which is safe because re-binding against the same catalog
-  /// produces identical indices.
+  /// reconstructed unbound so the copy can be resolved and executed
+  /// concurrently with other clones of the same template tree.
   std::unique_ptr<PlanNode> Clone() const;
 };
 

@@ -1,8 +1,9 @@
-# Builds obs_test in a dedicated -DDFDB_SANITIZE=thread tree and runs it.
-# Driven by the `obs_test_tsan` ctest entry (CONFIGURATIONS tsan) so the
+# Builds one test target in a dedicated -DDFDB_SANITIZE=thread tree and runs
+# it. Driven by the `*_tsan` ctest entries (CONFIGURATIONS tsan) so the
 # default test run never pays for the extra build.
-if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BINARY_DIR)
-  message(FATAL_ERROR "run_tsan_obs_test.cmake needs SOURCE_DIR and BINARY_DIR")
+if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BINARY_DIR OR NOT DEFINED TEST_TARGET)
+  message(FATAL_ERROR
+          "run_tsan_test.cmake needs SOURCE_DIR, BINARY_DIR and TEST_TARGET")
 endif()
 
 execute_process(
@@ -14,15 +15,15 @@ if(NOT configure_result EQUAL 0)
 endif()
 
 execute_process(
-  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} --target obs_test -j
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} --target ${TEST_TARGET} -j
   RESULT_VARIABLE build_result)
 if(NOT build_result EQUAL 0)
   message(FATAL_ERROR "tsan build failed")
 endif()
 
 execute_process(
-  COMMAND ${BINARY_DIR}/tests/obs_test
+  COMMAND ${BINARY_DIR}/tests/${TEST_TARGET}
   RESULT_VARIABLE test_result)
 if(NOT test_result EQUAL 0)
-  message(FATAL_ERROR "obs_test under tsan failed")
+  message(FATAL_ERROR "${TEST_TARGET} under tsan failed")
 endif()

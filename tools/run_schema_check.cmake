@@ -1,13 +1,18 @@
 # Runs a seeded bench with --json and validates the emitted report against
-# tools/report_schema.json. Driven by the `report_schema_check` ctest entry.
+# tools/report_schema.json. Driven by the `report_schema_check*` ctest
+# entries. BENCH_ARGS is an optional semicolon-separated list of extra
+# bench flags (each entry passed as its own argument).
 if(NOT DEFINED BENCH OR NOT DEFINED CHECKER OR NOT DEFINED SCHEMA
    OR NOT DEFINED OUT)
   message(FATAL_ERROR
       "run_schema_check.cmake needs BENCH, CHECKER, SCHEMA, and OUT")
 endif()
+if(NOT DEFINED BENCH_ARGS)
+  set(BENCH_ARGS "")
+endif()
 
 execute_process(
-  COMMAND ${BENCH} --n=60 --json=${OUT}
+  COMMAND ${BENCH} ${BENCH_ARGS} --json=${OUT}
   RESULT_VARIABLE bench_result
   OUTPUT_QUIET)
 if(NOT bench_result EQUAL 0)

@@ -1,0 +1,247 @@
+/// \file bench_wire_throughput.cc
+/// \brief End-to-end wire throughput: N clients × mixed RAQL stream over TCP.
+///
+/// The host interface is a performance surface of its own (Rödiger et al.,
+/// "High-Speed Query Processing over High-Speed Networks"): this bench
+/// measures the full host → wire → master controller → engine → wire path
+/// rather than the in-process Submit() path of bench_multiuser_throughput.
+///
+/// Two phases:
+///
+///   throughput — N client threads (each with its own blocking Client)
+///       replay a mixed reader/writer RAQL stream against an in-process
+///       Server; reports p50/p99 round-trip latency and queries/sec via the
+///       RunReport gauges, plus the server's net.* counters.
+///   backpressure — a server with a tiny admission cap K is offered 2K
+///       concurrent clients; the cap must convert the overload into
+///       kRetryLater rejections (bounded server memory) rather than
+///       unbounded queueing, verified by the net.rejected counter.
+///
+/// Results report through the shared RunReport JSON path (`--json=PATH`).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace dfdb {
+namespace {
+
+/// The query mix, as RAQL text (the wire carries text, not plan trees):
+/// restricts, a projection, a join, and an aggregate as readers, with every
+/// fourth slot a writer against r14 (append / delete alternating).
+std::vector<std::string> BuildStream(int total) {
+  static const char* kReaders[] = {
+      "restrict(r01, k1000 < 100)",
+      "project(r05, [k100], dedup)",
+      "restrict(r08, k10 = 3 and k100 < 50)",
+      "join(restrict(r01, k1000 < 40), r06, k100 = right.k100)",
+      "agg(r02, [k10], [count() as n, sum(k1000) as total])",
+      "restrict(r11, k2 = 1)",
+  };
+  const size_t num_readers = sizeof(kReaders) / sizeof(kReaders[0]);
+  std::vector<std::string> stream;
+  stream.reserve(static_cast<size_t>(total));
+  size_t reader_cursor = 0;
+  for (int i = 0; i < total; ++i) {
+    if (i % 4 == 3) {
+      stream.emplace_back(i % 8 == 3
+                              ? "append(restrict(r10, k1000 < 50), r14)"
+                              : "delete(r14, k1000 >= 950)");
+    } else {
+      stream.emplace_back(kReaders[reader_cursor % num_readers]);
+      ++reader_cursor;
+    }
+  }
+  return stream;
+}
+
+double PercentileMs(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+struct PhaseResult {
+  double wall_seconds = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  uint64_t retries = 0;
+};
+
+/// Replays \p stream from \p num_clients threads, each owning one
+/// connection. Returns merged latency stats; per-query failures are
+/// counted, not fatal (the backpressure phase expects retry exhaustion).
+PhaseResult RunClients(uint16_t port, const std::vector<std::string>& stream,
+                       int num_clients, const net::ClientOptions& copts) {
+  std::atomic<size_t> cursor{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> retries{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(num_clients));
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::Client::Connect("127.0.0.1", port, copts);
+      if (!client.ok()) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (size_t i = cursor.fetch_add(1); i < stream.size();
+           i = cursor.fetch_add(1)) {
+        const auto q_start = std::chrono::steady_clock::now();
+        auto result = client->Execute(stream[i]);
+        const auto q_end = std::chrono::steady_clock::now();
+        if (result.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          retries.fetch_add(static_cast<uint64_t>(result->retries),
+                            std::memory_order_relaxed);
+          latencies[static_cast<size_t>(c)].push_back(
+              std::chrono::duration<double, std::milli>(q_end - q_start)
+                  .count());
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          if (!client->connected()) return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  PhaseResult out;
+  out.wall_seconds = std::chrono::duration<double>(end - start).count();
+  std::vector<double> merged;
+  for (const auto& v : latencies) merged.insert(merged.end(), v.begin(), v.end());
+  std::sort(merged.begin(), merged.end());
+  out.p50_ms = PercentileMs(merged, 0.5);
+  out.p99_ms = PercentileMs(merged, 0.99);
+  out.ok = ok.load();
+  out.failed = failed.load();
+  out.retries = retries.load();
+  out.qps = out.wall_seconds > 0
+                ? static_cast<double>(out.ok) / out.wall_seconds
+                : 0;
+  return out;
+}
+
+/// One RunReport for a finished phase: engine aggregate + net.* counters +
+/// latency gauges.
+obs::RunReport MakeReport(net::Server* server, const PhaseResult& r,
+                          std::string label) {
+  ExecStats agg = server->AggregateStats();
+  agg.wall_seconds = r.wall_seconds;
+  obs::RunReport report = agg.ToReport();
+  report.label = std::move(label);
+  server->SnapshotMetrics(&report.counters);
+  report.gauges["latency.p50_ms"] = r.p50_ms;
+  report.gauges["latency.p99_ms"] = r.p99_ms;
+  report.gauges["queries_per_second"] = r.qps;
+  return report;
+}
+
+int Main(int argc, char** argv) {
+  const double scale = bench::FlagDouble(argc, argv, "scale", 0.25);
+  const int total = bench::FlagInt(argc, argv, "queries", 64);
+  const int clients = bench::FlagInt(argc, argv, "clients", 8);
+  const int procs = bench::FlagInt(argc, argv, "procs", 8);
+  const int cap = bench::FlagInt(argc, argv, "cap", 4);
+
+  std::printf("== wire throughput: %d clients x %d-query mixed stream ==\n",
+              clients, total);
+  const std::vector<std::string> stream = BuildStream(total);
+
+  bench::Table table(
+      {"phase", "clients", "cap", "wall_s", "qps", "p50_ms", "p99_ms",
+       "ok", "failed", "rejected"});
+  bench::RunTable runs({"phase"});
+
+  // --- Phase 1: throughput under a roomy admission cap. -------------------
+  {
+    StorageEngine storage(/*default_page_bytes=*/16384);
+    bench::BuildDatabaseOrDie(&storage, scale);
+    net::ServerOptions options;
+    options.max_inflight = 64;
+    options.scheduler.exec.granularity = Granularity::kPage;
+    options.scheduler.exec.num_processors = procs;
+    net::Server server(&storage, options);
+    DFDB_CHECK_OK(server.Start());
+
+    PhaseResult r = RunClients(server.port(), stream, clients, {});
+    DFDB_CHECK(r.failed == 0) << "throughput phase had failed queries";
+    DFDB_CHECK(r.ok == static_cast<uint64_t>(total));
+    const uint64_t rejected = server.counters().rejected.load();
+    table.AddRow({"throughput", StrFormat("%d", clients), "64",
+                  StrFormat("%.3f", r.wall_seconds), StrFormat("%.1f", r.qps),
+                  StrFormat("%.3f", r.p50_ms), StrFormat("%.3f", r.p99_ms),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.ok)),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.failed)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(rejected))});
+    runs.Add({"throughput"},
+             MakeReport(&server, r,
+                        StrFormat("throughput c=%d p=%d", clients, procs)));
+    server.Stop();
+  }
+
+  // --- Phase 2: backpressure — cap K, offered load 2K. --------------------
+  {
+    StorageEngine storage(/*default_page_bytes=*/16384);
+    bench::BuildDatabaseOrDie(&storage, scale);
+    net::ServerOptions options;
+    options.max_inflight = cap;
+    options.scheduler.exec.granularity = Granularity::kPage;
+    options.scheduler.exec.num_processors = procs;
+    net::Server server(&storage, options);
+    DFDB_CHECK_OK(server.Start());
+
+    net::ClientOptions copts;
+    copts.max_retries = 64;  // Absorb rejections; the stream must finish.
+    copts.retry_backoff_ms = 1;
+    PhaseResult r = RunClients(server.port(), stream, 2 * cap, copts);
+    const uint64_t rejected = server.counters().rejected.load();
+    DFDB_CHECK(r.failed == 0) << "backpressure phase had failed queries";
+    // The cap must actually bite: with 2K clients against K slots, some
+    // requests are rejected pre-execution instead of queueing in memory.
+    DFDB_CHECK(rejected > 0)
+        << "offered load 2K never tripped the admission cap";
+    table.AddRow({"backpressure", StrFormat("%d", 2 * cap),
+                  StrFormat("%d", cap), StrFormat("%.3f", r.wall_seconds),
+                  StrFormat("%.1f", r.qps), StrFormat("%.3f", r.p50_ms),
+                  StrFormat("%.3f", r.p99_ms),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.ok)),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.failed)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(rejected))});
+    runs.Add({"backpressure"},
+             MakeReport(&server, r, StrFormat("backpressure cap=%d", cap)));
+    std::printf("# backpressure: cap=%d offered=%d -> %llu rejections "
+                "absorbed by client retry\n",
+                cap, 2 * cap, static_cast<unsigned long long>(rejected));
+    server.Stop();
+  }
+
+  table.Print("wire_throughput");
+  runs.Print("wire_runs");
+  bench::WriteJson("bench_wire_throughput", argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfdb
+
+int main(int argc, char** argv) { return dfdb::Main(argc, argv); }

@@ -4,6 +4,11 @@
 /// Reads RAQL queries (see ra/parser.h) from stdin, optimizes them, runs
 /// them on the page-granularity data-flow engine, and prints results.
 ///
+/// With `--connect host:port` the shell runs against a remote dfdb_server
+/// instead: queries ship over the wire protocol via dfdb::net::Client and
+/// results stream back (the storage-local commands \gen/\paper/\explain/
+/// \trace are unavailable remotely; \d, \stats and plain queries work).
+///
 /// Commands:
 ///   \d                 list relations (name, tuples, pages)
 ///   \explain <query>   show the optimized plan without running it
@@ -16,10 +21,12 @@
 /// Anything else is parsed as a query.
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "engine/executor.h"
+#include "net/client.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ra/optimizer.h"
@@ -51,9 +58,95 @@ void PrintResult(const QueryResult& result) {
               static_cast<unsigned long long>(result.num_tuples()));
 }
 
+/// Remote mode: ship each line to a dfdb_server as RAQL text; results come
+/// back over the wire already typed (schema + tuple batches + counters).
+int RunRemote(const std::string& host, uint16_t port) {
+  auto client = net::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s:%u failed: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dfdb RAQL shell (remote %s:%u) — \\stats, \\q to quit\n",
+              host.c_str(), port);
+  net::RemoteResult last;
+  bool have_stats = false;
+  std::string line;
+  while (true) {
+    std::printf("dfdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\q") break;
+    if (line == "\\stats") {
+      if (!have_stats) {
+        std::printf("no query has run yet\n");
+      } else {
+        for (const auto& [name, value] : last.counters) {
+          std::printf("%-36s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+        }
+      }
+      continue;
+    }
+    auto result = client->Execute(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      if (!client->connected()) return 1;
+      continue;
+    }
+    for (int c = 0; c < result->schema.num_columns(); ++c) {
+      std::printf("%s%s", c ? " | " : "",
+                  result->schema.column(c).name.c_str());
+    }
+    std::printf("\n");
+    uint64_t shown = 0;
+    result->ForEachTuple([&](const TupleView& t) {
+      if (shown < 20) std::printf("%s\n", t.ToString().c_str());
+      ++shown;
+    });
+    if (shown > 20) {
+      std::printf("... (%llu rows total)\n",
+                  static_cast<unsigned long long>(shown));
+    }
+    std::printf("(%llu rows, %.3f ms server)\n",
+                static_cast<unsigned long long>(result->num_tuples),
+                result->server_seconds * 1e3);
+    last = *std::move(result);
+    have_stats = true;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int RunLocal();
+
+int main(int argc, char** argv) {
+  // --connect host:port (or --connect=host:port) switches to remote mode.
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string target;
+    if (arg.rfind("--connect=", 0) == 0) {
+      target = arg.substr(10);
+    } else if (arg == "--connect" && i + 1 < argc) {
+      target = argv[i + 1];
+    } else {
+      continue;
+    }
+    const size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "usage: raql_repl --connect host:port\n");
+      return 2;
+    }
+    return RunRemote(target.substr(0, colon),
+                     static_cast<uint16_t>(
+                         std::atoi(target.c_str() + colon + 1)));
+  }
+  return RunLocal();
+}
+
+int RunLocal() {
   StorageEngine storage(/*default_page_bytes=*/4096);
   ExecOptions options;
   options.granularity = Granularity::kPage;

@@ -157,12 +157,16 @@ struct QueryRuntime {
   uint64_t failed_probes = 0;     ///< Failed re-admission probes while queued.
   bool was_queued = false;
 
-  /// Completion/reaping protocol: `completed` is set by OnQueryDone (always
-  /// inside some frame that holds an `in_flight` reference); the runtime is
-  /// destroyed only when `in_flight` drops to zero afterwards, so no worker
-  /// can still be inside a NodeState of this query.
+  /// Completion/reaping protocol: `in_flight` counts the frames that may
+  /// still touch this runtime, plus one "completion reference" held from
+  /// construction until OnQueryDone drops it (after setting `completed`).
+  /// The count therefore cannot reach zero before the query completes, and
+  /// whichever frame's decrement reaches zero owns the runtime exclusively
+  /// and must reap it. No thread may touch the runtime after its own
+  /// decrement unless that decrement was the last — reading any member
+  /// (even an atomic) after releasing the reference races with the reaper.
   std::atomic<bool> completed{false};
-  std::atomic<int64_t> in_flight{0};
+  std::atomic<int64_t> in_flight{1};
 
   std::mutex result_mu;
   QueryResult result;
@@ -337,6 +341,9 @@ class SchedulerImpl {
   std::atomic<int> busy_workers_{0};
   std::atomic<int> peak_busy_workers_{0};
 
+  /// Taken for the full duration of Shutdown(); never taken under
+  /// admit_mu_ (Shutdown acquires admit_mu_ inside it, not vice versa).
+  std::mutex shutdown_serial_mu_;
   mutable std::mutex admit_mu_;
   std::condition_variable drain_cv_;
   AdmissionQueue admission_;
@@ -381,11 +388,12 @@ class InFlightGuard {
     q_->in_flight.fetch_add(1, std::memory_order_acq_rel);
   }
   DFDB_DISALLOW_COPY(InFlightGuard);
-  /// True when the guard released the last reference of a completed query;
-  /// the caller must then call SchedulerImpl::MaybeReap.
+  /// True when the guard released the last reference; the caller must then
+  /// call SchedulerImpl::MaybeReap. Because the completion reference is
+  /// dropped only after `completed` is set, reaching zero implies the query
+  /// completed — no second load of the (possibly freed) runtime is needed.
   bool ReleaseNeedsReap() {
-    const bool last = q_->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1;
-    return last && q_->completed.load(std::memory_order_acquire);
+    return q_->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1;
   }
 
  private:
@@ -1218,8 +1226,6 @@ void SchedulerImpl::OnQueryDone(QueryRuntime* q) {
     }
     --active_queries_;
     FulfillLocked(q);
-    // `completed` gates reaping; set it under the lock so MaybeReap's
-    // runtimes_ lookup and this store cannot interleave badly.
     q->completed.store(true, std::memory_order_release);
     if (active_queries_ == 0) drain_cv_.notify_all();
   }
@@ -1228,17 +1234,24 @@ void SchedulerImpl::OnQueryDone(QueryRuntime* q) {
     LaunchQuery(cand);
     if (guard.ReleaseNeedsReap()) MaybeReap(cand);
   }
+  // Drop the completion reference taken at construction. This is the last
+  // access to `q` on this path: if the drop reaches zero the caller's frame
+  // is the sole remaining owner (the worker executing this close callback
+  // still holds its own reference, so zero is reached there or later).
+  if (q->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) MaybeReap(q);
 }
 
 void SchedulerImpl::MaybeReap(QueryRuntime* q) {
-  if (!q->completed.load(std::memory_order_acquire)) return;
-  if (q->in_flight.load(std::memory_order_acquire) != 0) return;
+  // Only the frame whose in_flight decrement reached zero gets here, and
+  // zero is unreachable before OnQueryDone drops the completion reference —
+  // so the caller owns `q` exclusively and these loads cannot race.
+  DFDB_CHECK(q->completed.load(std::memory_order_acquire));
+  DFDB_CHECK(q->in_flight.load(std::memory_order_acquire) == 0);
   std::unique_ptr<QueryRuntime> doomed;
   {
     std::lock_guard<std::mutex> lock(admit_mu_);
     auto it = runtimes_.find(q->qid);
     if (it == runtimes_.end() || it->second.get() != q) return;
-    if (q->in_flight.load(std::memory_order_acquire) != 0) return;
     doomed = std::move(it->second);
     runtimes_.erase(it);
   }
@@ -1285,8 +1298,7 @@ void SchedulerImpl::WorkerLoop(int worker_index) {
     task->fn();
     busy_workers_.fetch_sub(1, std::memory_order_relaxed);
     if (q != nullptr &&
-        q->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
-        q->completed.load(std::memory_order_acquire)) {
+        q->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       MaybeReap(q);
     }
   }
@@ -1303,6 +1315,11 @@ void SchedulerImpl::Start() {
 }
 
 void SchedulerImpl::Shutdown() {
+  // Serialize whole shutdowns: a second concurrent caller must not return
+  // until the first has joined the workers (callers destroy the scheduler
+  // right after Shutdown() returns). Idempotence is preserved — later
+  // entrants see shutdown_complete_ and return immediately.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_serial_mu_);
   std::vector<std::shared_ptr<QueryState>> cancelled;
   bool join_workers = false;
   {

@@ -1,0 +1,323 @@
+/// \file client.cc
+
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dfdb {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+void SleepBackoff(const ClientOptions& options, int attempt) {
+  int64_t ms = options.retry_backoff_ms;
+  ms <<= std::min(attempt, 10);
+  ms = std::min<int64_t>(ms, 1000);
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void SetTimeouts(int fd, int io_timeout_ms) {
+  if (io_timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = io_timeout_ms / 1000;
+  tv.tv_usec = (io_timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// connect(2) with a timeout: non-blocking connect + poll, then back to
+/// blocking mode (SO_RCVTIMEO handles I/O timeouts afterwards).
+Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addr_len,
+                          int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl");
+  }
+  int rc = ::connect(fd, addr, addr_len);
+  if (rc != 0 && errno != EINPROGRESS) return Errno("connect");
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+    if (rc == 0) return Status::IOError("connect timed out");
+    if (rc < 0) return Errno("poll");
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      return Status::IOError(
+          StrFormat("connect: %s", std::strerror(err != 0 ? err : errno)));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) return Errno("fcntl");
+  return Status::OK();
+}
+
+StatusOr<int> DialOnce(const std::string& host, uint16_t port,
+                       const ClientOptions& options) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                               &result);
+  if (rc != 0) {
+    return Status::IOError(
+        StrFormat("resolve %s: %s", host.c_str(), ::gai_strerror(rc)));
+  }
+  Status last = Status::IOError("no addresses resolved");
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    Status s = ConnectWithTimeout(fd, ai->ai_addr, ai->ai_addrlen,
+                                  options.connect_timeout_ms);
+    if (s.ok()) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      SetTimeouts(fd, options.io_timeout_ms);
+      ::freeaddrinfo(result);
+      return fd;
+    }
+    last = std::move(s);
+    ::close(fd);
+  }
+  ::freeaddrinfo(result);
+  return last;
+}
+
+}  // namespace
+
+void RemoteResult::ForEachTuple(
+    const std::function<void(const TupleView&)>& fn) const {
+  const size_t width = static_cast<size_t>(schema.tuple_width());
+  if (width == 0) return;
+  for (size_t off = 0; off + width <= tuples.size(); off += width) {
+    TupleView view(&schema, Slice(tuples.data() + off, width));
+    fn(view);
+  }
+}
+
+std::vector<std::vector<std::string>> RemoteResult::ToRows() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(static_cast<size_t>(num_tuples));
+  ForEachTuple([&](const TupleView& t) {
+    std::vector<std::string> row;
+    row.reserve(static_cast<size_t>(schema.num_columns()));
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      auto v = t.GetValue(c);
+      row.push_back(v.ok() ? v->ToString() : std::string("<bad>"));
+    }
+    rows.push_back(std::move(row));
+  });
+  return rows;
+}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : options_(std::move(other.options_)),
+      fd_(other.fd_),
+      next_request_id_(other.next_request_id_),
+      reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    options_ = std::move(other.options_);
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
+                                 ClientOptions options) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+    if (attempt > 0) SleepBackoff(options, attempt - 1);
+    auto fd = DialOnce(host, port, options);
+    if (fd.ok()) {
+      Client client;
+      client.options_ = options;
+      client.fd_ = *fd;
+      client.reader_ = FrameReader(options.max_frame_bytes);
+      return client;
+    }
+    last = fd.status();
+  }
+  return last;
+}
+
+Status Client::SendAll(const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::IOError("send timed out");
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> Client::ReadFrame() {
+  char buf[64 * 1024];
+  for (;;) {
+    auto next = reader_.Next();
+    if (!next.ok()) {
+      Close();
+      return next.status();
+    }
+    if (next->has_value()) return std::move(**next);
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    Close();
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("receive timed out");
+    }
+    return Errno("recv");
+  }
+}
+
+Status Client::Ping() {
+  if (!connected()) return Status::FailedPrecondition("client not connected");
+  const uint32_t id = next_request_id_++;
+  DFDB_RETURN_IF_ERROR(SendAll(EncodePingFrame(id)));
+  for (;;) {
+    DFDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (frame.header.request_id != id) continue;  // Stale pipelined frame.
+    if (static_cast<Opcode>(frame.header.opcode) == Opcode::kPong) {
+      return Status::OK();
+    }
+    Close();
+    return Status::Internal("unexpected frame in ping response");
+  }
+}
+
+StatusOr<RemoteResult> Client::Execute(const std::string& text,
+                                       uint32_t deadline_ms) {
+  if (!connected()) return Status::FailedPrecondition("client not connected");
+  QueryRequest request;
+  request.deadline_ms = deadline_ms;
+  request.text = text;
+
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    const uint32_t id = next_request_id_++;
+    DFDB_RETURN_IF_ERROR(SendAll(EncodeQueryFrame(id, request)));
+
+    RemoteResult result;
+    result.retries = attempt;
+    bool have_schema = false;
+    bool retry = false;
+    while (!retry) {
+      DFDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+      if (frame.header.request_id != id) {
+        Close();
+        return Status::Internal(StrFormat(
+            "response for request %u while waiting for %u",
+            frame.header.request_id, id));
+      }
+      switch (static_cast<Opcode>(frame.header.opcode)) {
+        case Opcode::kSchema: {
+          DFDB_ASSIGN_OR_RETURN(result.schema, DecodeSchema(frame.body));
+          have_schema = true;
+          break;
+        }
+        case Opcode::kRows: {
+          DFDB_ASSIGN_OR_RETURN(RowsBatch batch, DecodeRows(frame.body));
+          if (!have_schema ||
+              (batch.num_tuples > 0 &&
+               batch.tuple_width !=
+                   static_cast<uint32_t>(result.schema.tuple_width()))) {
+            Close();
+            return Status::Internal("rows frame inconsistent with schema");
+          }
+          result.tuples.append(batch.tuples);
+          result.num_tuples += batch.num_tuples;
+          break;
+        }
+        case Opcode::kStats: {
+          DFDB_ASSIGN_OR_RETURN(StatsMessage stats, DecodeStats(frame.body));
+          result.server_seconds = stats.seconds;
+          result.counters = std::move(stats.counters);
+          if (stats.total_rows != result.num_tuples) {
+            Close();
+            return Status::Internal("row count mismatch in stats frame");
+          }
+          return result;
+        }
+        case Opcode::kError: {
+          DFDB_ASSIGN_OR_RETURN(ErrorMessage err, DecodeError(frame.body));
+          // Only kRetryLater is guaranteed pre-execution; everything else
+          // (including deadline/internal) is surfaced, not retried.
+          if (err.code == WireError::kRetryLater &&
+              attempt < options_.max_retries) {
+            SleepBackoff(options_, attempt);
+            retry = true;
+            break;
+          }
+          return WireErrorToStatus(err.code, err.message);
+        }
+        case Opcode::kPong:
+          break;  // Stale ping reply; skip.
+        default:
+          Close();
+          return Status::Internal(
+              StrFormat("unexpected opcode %u in query response",
+                        static_cast<unsigned>(frame.header.opcode)));
+      }
+    }
+  }
+  return Status::ResourceExhausted(StrFormat(
+      "server busy: rejected after %d attempts", options_.max_retries + 1));
+}
+
+}  // namespace net
+}  // namespace dfdb

@@ -1,0 +1,116 @@
+/// \file client.h
+/// \brief Blocking client for the dfdb wire protocol.
+///
+/// This is the "host computer" side of the paper's host↔back-end split: it
+/// ships RAQL text to a `dfdb::net::Server` and reassembles the streamed
+/// response (schema, row batches, stats) into a `RemoteResult`.
+///
+/// Retry policy — correctness first: the client retries only
+/// (a) connect-time failures and (b) kRetryLater rejections, which the
+/// server guarantees happen *before* any execution. A connection that dies
+/// mid-query is NOT retried, because the server may already have executed
+/// the query (re-running an append/delete would double-apply it); such
+/// failures surface as IOError for the caller to decide.
+///
+/// Thread safety: a Client instance serves one thread. Open one client per
+/// thread for concurrent load (see bench/bench_wire_throughput.cc).
+
+#ifndef DFDB_NET_CLIENT_H_
+#define DFDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "net/protocol.h"
+#include "storage/tuple.h"
+
+namespace dfdb {
+namespace net {
+
+/// \brief Client-side knobs.
+struct ClientOptions {
+  /// Per-attempt connect timeout.
+  int connect_timeout_ms = 5000;
+
+  /// Socket send/receive timeout; an exceeded receive timeout fails the
+  /// query with IOError (the query may still complete server-side).
+  int io_timeout_ms = 30000;
+
+  /// Additional attempts after the first, applied to connect failures and
+  /// kRetryLater rejections (each with exponential backoff).
+  int max_retries = 8;
+
+  /// Initial backoff; doubles per retry, capped at 1 second.
+  int retry_backoff_ms = 5;
+
+  /// Frame-size sanity cap for responses.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// \brief One query's reassembled result set.
+struct RemoteResult {
+  Schema schema;
+  /// Packed fixed-width tuples, concatenated across row batches.
+  std::string tuples;
+  uint64_t num_tuples = 0;
+  /// Server-side wall seconds for the query.
+  double server_seconds = 0;
+  /// Per-query engine counters from the terminal stats frame.
+  std::map<std::string, uint64_t> counters;
+  /// kRetryLater rejections absorbed before this result was obtained.
+  int retries = 0;
+
+  /// Visits each tuple as a TupleView over `schema`.
+  void ForEachTuple(const std::function<void(const TupleView&)>& fn) const;
+
+  /// Renders all tuples as printable rows (mirrors QueryResult::ToRows).
+  std::vector<std::vector<std::string>> ToRows() const;
+};
+
+/// \brief Blocking connection to one dfdb_server.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  DFDB_DISALLOW_COPY(Client);
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects (with retries/backoff per \p options).
+  static StatusOr<Client> Connect(const std::string& host, uint16_t port,
+                                  ClientOptions options = {});
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Runs one RAQL query and blocks for the full response.
+  /// \p deadline_ms is enforced server-side; 0 = no deadline.
+  StatusOr<RemoteResult> Execute(const std::string& text,
+                                 uint32_t deadline_ms = 0);
+
+  /// Round-trips a ping frame.
+  Status Ping();
+
+  void Close();
+
+ private:
+  Status SendAll(const std::string& bytes);
+  /// Blocks until one complete frame arrives.
+  StatusOr<Frame> ReadFrame();
+
+  ClientOptions options_;
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace net
+}  // namespace dfdb
+
+#endif  // DFDB_NET_CLIENT_H_

@@ -1,0 +1,581 @@
+/// \file server.cc
+/// \brief Poll-based event loop: framing, admission, response streaming.
+///
+/// All socket and frame handling runs on one loop thread; query execution
+/// runs on the Scheduler's worker pool. The loop polls completion by
+/// QueryHandle::Done() — handles are cheap shared-state probes — so no
+/// extra thread per request is needed and Submit() is only ever called
+/// from the loop thread while Wait() is only called once Done() is true
+/// (i.e. it never blocks the loop).
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "ra/parser.h"
+
+namespace dfdb {
+namespace net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Engine/planner status → wire error category.
+WireError StatusToWireError(const Status& status) {
+  if (status.IsInvalidArgument() || status.IsNotFound()) {
+    return WireError::kInvalidRequest;
+  }
+  if (status.IsUnavailable() || status.IsCancelled()) {
+    return WireError::kShuttingDown;
+  }
+  return WireError::kInternal;
+}
+
+}  // namespace
+
+/// \brief Event-loop-private state. Only the loop thread touches it.
+struct Server::LoopState {
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameReader reader;
+    /// Encoded frames awaiting the socket; out_offset is the progress
+    /// within the front frame.
+    std::deque<std::string> outq;
+    size_t out_offset = 0;
+    bool dead = false;
+
+    explicit Connection(uint32_t max_frame_bytes)
+        : reader(max_frame_bytes) {}
+  };
+
+  /// One submitted-but-unanswered request. `orphaned` means nobody is
+  /// waiting anymore (client disconnected or deadline already answered);
+  /// the handle is kept until Done() so the admission gauge keeps counting
+  /// the pool resources the query still occupies, then the result is
+  /// discarded — the scheduler reaps the runtime either way.
+  struct InFlight {
+    uint64_t conn_id = 0;
+    uint32_t request_id = 0;
+    QueryHandle handle;
+    bool has_deadline = false;
+    SteadyClock::time_point deadline{};
+    bool orphaned = false;
+  };
+
+  std::map<uint64_t, Connection> conns;
+  std::vector<InFlight> inflight;
+  uint64_t next_conn_id = 1;
+};
+
+Server::Server(StorageEngine* storage, ServerOptions options)
+    : storage_(storage),
+      options_(std::move(options)),
+      scheduler_(storage, options_.scheduler),
+      optimizer_(&storage->catalog()) {
+  DFDB_CHECK(storage != nullptr);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (stopped_) return Status::FailedPrecondition("server already stopped");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument(
+        StrFormat("cannot parse bind address '%s'", options_.host.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string(s.message()));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    Status s = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string(s.message()));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (!SetNonBlocking(listen_fd_) || ::pipe(wake_fds_) != 0 ||
+      !SetNonBlocking(wake_fds_[0])) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Errno("server setup");
+  }
+
+  started_ = true;
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void Server::Wake() {
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'w';
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (stopped_) return;
+  draining_.store(true, std::memory_order_release);
+  if (started_) {
+    Wake();
+    loop_thread_.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int i = 0; i < 2; ++i) {
+    if (wake_fds_[i] >= 0) ::close(wake_fds_[i]);
+  }
+  listen_fd_ = -1;
+  wake_fds_[0] = wake_fds_[1] = -1;
+  scheduler_.Shutdown();
+  stopped_ = true;
+}
+
+void Server::SnapshotMetrics(obs::MetricsRegistry* registry) const {
+  registry->Set("net.connections", counters_.connections_accepted.load());
+  registry->Set("net.connections.refused",
+                counters_.connections_refused.load());
+  registry->Set("net.connections.active", active_connections_.load());
+  registry->Set("net.requests", counters_.requests.load());
+  registry->Set("net.rejected", counters_.rejected.load());
+  registry->Set("net.invalid_requests", counters_.invalid_requests.load());
+  registry->Set("net.protocol_errors", counters_.protocol_errors.load());
+  registry->Set("net.deadline_expired", counters_.deadline_expired.load());
+  registry->Set("net.disconnects", counters_.disconnects.load());
+  registry->Set("net.orphaned_results", counters_.orphaned_results.load());
+  registry->Set("net.bytes_in", counters_.bytes_in.load());
+  registry->Set("net.bytes_out", counters_.bytes_out.load());
+  registry->Set("net.pings", counters_.pings.load());
+  registry->Set("net.inflight", inflight_now_.load());
+  registry->Set("net.max_inflight",
+                static_cast<uint64_t>(std::max(0, options_.max_inflight)));
+  scheduler_.SnapshotMetrics(registry);
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void Server::Loop() {
+  LoopState state;
+
+  auto send_frame = [&](LoopState::Connection& conn, std::string frame) {
+    if (conn.dead) return;
+    conn.outq.push_back(std::move(frame));
+  };
+
+  auto send_error = [&](LoopState::Connection& conn, uint32_t request_id,
+                        WireError code, std::string message) {
+    send_frame(conn, EncodeErrorFrame(
+                         request_id, ErrorMessage{code, std::move(message)}));
+  };
+
+  // Closes the socket and orphans the connection's in-flight requests.
+  // The map entry survives until retired requests stop referencing it.
+  auto drop_conn = [&](LoopState::Connection& conn) {
+    if (conn.dead) return;
+    conn.dead = true;
+    ::close(conn.fd);
+    conn.fd = -1;
+    conn.outq.clear();
+    counters_.disconnects.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    for (auto& req : state.inflight) {
+      if (req.conn_id == conn.id) req.orphaned = true;
+    }
+  };
+
+  auto handle_query = [&](LoopState::Connection& conn, uint32_t request_id,
+                          Slice body) {
+    counters_.requests.fetch_add(1, std::memory_order_relaxed);
+    auto query = DecodeQuery(body);
+    if (!query.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, request_id, WireError::kInvalidRequest,
+                 query.status().ToString());
+      return;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      send_error(conn, request_id, WireError::kShuttingDown,
+                 "server is draining");
+      return;
+    }
+    if (inflight_now_.load(std::memory_order_relaxed) >=
+        static_cast<uint64_t>(std::max(0, options_.max_inflight))) {
+      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, request_id, WireError::kRetryLater,
+                 StrFormat("admission cap of %d in-flight requests reached",
+                           options_.max_inflight));
+      return;
+    }
+    auto parsed = ParseQuery(query->text);
+    if (!parsed.ok()) {
+      counters_.invalid_requests.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, request_id, WireError::kInvalidRequest,
+                 parsed.status().ToString());
+      return;
+    }
+    auto optimized = optimizer_.Optimize(**parsed);
+    if (!optimized.ok()) {
+      counters_.invalid_requests.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, request_id, WireError::kInvalidRequest,
+                 optimized.status().ToString());
+      return;
+    }
+    auto handle = scheduler_.Submit(**optimized);
+    if (!handle.ok()) {
+      const WireError code = StatusToWireError(handle.status());
+      if (code == WireError::kInvalidRequest) {
+        counters_.invalid_requests.fetch_add(1, std::memory_order_relaxed);
+      }
+      send_error(conn, request_id, code, handle.status().ToString());
+      return;
+    }
+    LoopState::InFlight req;
+    req.conn_id = conn.id;
+    req.request_id = request_id;
+    req.handle = *std::move(handle);
+    const uint32_t deadline_ms = query->deadline_ms != 0
+                                     ? query->deadline_ms
+                                     : options_.default_deadline_ms;
+    if (deadline_ms != 0) {
+      req.has_deadline = true;
+      req.deadline =
+          SteadyClock::now() + std::chrono::milliseconds(deadline_ms);
+    }
+    state.inflight.push_back(std::move(req));
+    inflight_now_.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  auto handle_frame = [&](LoopState::Connection& conn, const Frame& frame) {
+    if (!IsKnownOpcode(frame.header.opcode)) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, frame.header.request_id, WireError::kInvalidRequest,
+                 StrFormat("unknown opcode %u",
+                           static_cast<unsigned>(frame.header.opcode)));
+      return;
+    }
+    switch (static_cast<Opcode>(frame.header.opcode)) {
+      case Opcode::kQuery:
+        handle_query(conn, frame.header.request_id, Slice(frame.body));
+        break;
+      case Opcode::kPing:
+        counters_.pings.fetch_add(1, std::memory_order_relaxed);
+        send_frame(conn, EncodePongFrame(frame.header.request_id));
+        break;
+      default:
+        // A client sending server→client frames is confused but framed;
+        // answer and keep the connection.
+        send_error(conn, frame.header.request_id, WireError::kInvalidRequest,
+                   "unexpected frame direction");
+        break;
+    }
+  };
+
+  auto read_conn = [&](LoopState::Connection& conn) {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        counters_.bytes_in.fetch_add(static_cast<uint64_t>(n),
+                                     std::memory_order_relaxed);
+        conn.reader.Append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {  // Peer closed.
+        drop_conn(conn);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      drop_conn(conn);
+      return;
+    }
+    for (;;) {
+      auto next = conn.reader.Next();
+      if (!next.ok()) {
+        // Framing lost: the stream cannot be resynchronized.
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        drop_conn(conn);
+        return;
+      }
+      if (!next->has_value()) break;
+      handle_frame(conn, **next);
+      if (conn.dead) return;
+    }
+  };
+
+  auto flush_conn = [&](LoopState::Connection& conn) {
+    while (!conn.outq.empty()) {
+      const std::string& front = conn.outq.front();
+      const ssize_t n =
+          ::send(conn.fd, front.data() + conn.out_offset,
+                 front.size() - conn.out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        counters_.bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                      std::memory_order_relaxed);
+        conn.out_offset += static_cast<size_t>(n);
+        if (conn.out_offset == front.size()) {
+          conn.outq.pop_front();
+          conn.out_offset = 0;
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      drop_conn(conn);
+      return;
+    }
+  };
+
+  // Streams one completed result: schema, one rows frame per result page,
+  // then the terminal stats frame carrying the per-query counters.
+  auto respond_result = [&](LoopState::Connection& conn, uint32_t request_id,
+                            const QueryResult& result) {
+    send_frame(conn, EncodeSchemaFrame(request_id, result.schema()));
+    for (const PagePtr& page : result.pages()) {
+      if (page->num_tuples() == 0) continue;
+      RowsBatch batch;
+      batch.num_tuples = static_cast<uint32_t>(page->num_tuples());
+      batch.tuple_width = static_cast<uint32_t>(page->tuple_width());
+      batch.tuples.reserve(static_cast<size_t>(page->payload_bytes()));
+      for (int i = 0; i < page->num_tuples(); ++i) {
+        const Slice t = page->tuple(i);
+        batch.tuples.append(t.data(), t.size());
+      }
+      send_frame(conn, EncodeRowsFrame(request_id, batch));
+    }
+    StatsMessage stats;
+    stats.total_rows = result.num_tuples();
+    stats.seconds = result.stats().wall_seconds;
+    obs::MetricsRegistry registry;
+    RegisterMetrics(result.stats(), &registry);
+    stats.counters = registry.counters();
+    send_frame(conn, EncodeStatsFrame(request_id, stats));
+  };
+
+  // Sweeps in-flight requests: answer completions, fire deadlines.
+  auto sweep_inflight = [&] {
+    const auto now = SteadyClock::now();
+    for (size_t i = 0; i < state.inflight.size();) {
+      LoopState::InFlight& req = state.inflight[i];
+      if (req.handle.Done()) {
+        auto result = req.handle.Wait();
+        auto conn_it = state.conns.find(req.conn_id);
+        const bool deliverable = !req.orphaned &&
+                                 conn_it != state.conns.end() &&
+                                 !conn_it->second.dead;
+        if (!deliverable) {
+          counters_.orphaned_results.fetch_add(1, std::memory_order_relaxed);
+        } else if (result.ok()) {
+          respond_result(conn_it->second, req.request_id, *result);
+        } else {
+          send_error(conn_it->second, req.request_id,
+                     StatusToWireError(result.status()),
+                     result.status().ToString());
+        }
+        state.inflight.erase(state.inflight.begin() +
+                             static_cast<ptrdiff_t>(i));
+        inflight_now_.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (!req.orphaned && req.has_deadline && now >= req.deadline) {
+        counters_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        auto conn_it = state.conns.find(req.conn_id);
+        if (conn_it != state.conns.end() && !conn_it->second.dead) {
+          send_error(conn_it->second, req.request_id,
+                     WireError::kDeadlineExceeded,
+                     "deadline expired before the query completed");
+        }
+        // Keep the handle until Done() so the admission cap still counts
+        // the pool resources this query occupies.
+        req.orphaned = true;
+      }
+      ++i;
+    }
+  };
+
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> pfd_conn;  // conn id per pollfd (0 = listen/wake).
+
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+
+    // Reap dead connections no in-flight request references anymore.
+    for (auto it = state.conns.begin(); it != state.conns.end();) {
+      bool referenced = false;
+      if (it->second.dead) {
+        for (const auto& req : state.inflight) {
+          if (req.conn_id == it->first) {
+            referenced = true;
+            break;
+          }
+        }
+        if (!referenced) {
+          it = state.conns.erase(it);
+          continue;
+        }
+      }
+      ++it;
+    }
+
+    if (draining) {
+      // Drained when every request that still has a waiting client is
+      // answered and every response byte is on the wire.
+      bool pending = false;
+      for (const auto& req : state.inflight) {
+        if (!req.orphaned) pending = true;
+      }
+      for (const auto& [id, conn] : state.conns) {
+        if (!conn.dead && !conn.outq.empty()) pending = true;
+      }
+      if (!pending) break;
+    }
+
+    pfds.clear();
+    pfd_conn.clear();
+    if (!draining) {
+      pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+      pfd_conn.push_back(0);
+    }
+    pfds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    pfd_conn.push_back(0);
+    for (auto& [id, conn] : state.conns) {
+      if (conn.dead) continue;
+      short events = POLLIN;
+      if (!conn.outq.empty()) events |= POLLOUT;
+      pfds.push_back(pollfd{conn.fd, events, 0});
+      pfd_conn.push_back(id);
+    }
+
+    const bool busy = !state.inflight.empty();
+    const int timeout_ms = busy ? 1 : (draining ? 10 : 100);
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      DFDB_LOG(Error) << "server poll failed: " << std::strerror(errno);
+      break;
+    }
+
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      const pollfd& p = pfds[i];
+      if (p.revents == 0) continue;
+      if (p.fd == wake_fds_[0]) {
+        char drain[64];
+        while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (!draining && p.fd == listen_fd_) {
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          if (active_connections_.load(std::memory_order_relaxed) >=
+                  static_cast<uint64_t>(options_.max_connections) ||
+              !SetNonBlocking(fd)) {
+            counters_.connections_refused.fetch_add(
+                1, std::memory_order_relaxed);
+            ::close(fd);
+            continue;
+          }
+          const int one = 1;
+          (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          counters_.connections_accepted.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          active_connections_.fetch_add(1, std::memory_order_relaxed);
+          const uint64_t id = state.next_conn_id++;
+          auto [it, inserted] = state.conns.emplace(
+              id, LoopState::Connection(options_.max_frame_bytes));
+          it->second.id = id;
+          it->second.fd = fd;
+        }
+        continue;
+      }
+      auto it = state.conns.find(pfd_conn[i]);
+      if (it == state.conns.end() || it->second.dead) continue;
+      LoopState::Connection& conn = it->second;
+      if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (p.revents & POLLIN) == 0) {
+        drop_conn(conn);
+        continue;
+      }
+      if ((p.revents & POLLIN) != 0) read_conn(conn);
+      if (!conn.dead && (p.revents & POLLOUT) != 0) flush_conn(conn);
+    }
+
+    sweep_inflight();
+
+    // Try to push queued responses immediately instead of waiting one
+    // poll round for POLLOUT.
+    for (auto& [id, conn] : state.conns) {
+      if (!conn.dead && !conn.outq.empty()) flush_conn(conn);
+    }
+  }
+
+  // Loop exit (drain complete): close sockets; any still-running orphaned
+  // queries are owned by the scheduler, which Stop() shuts down next.
+  for (auto& [id, conn] : state.conns) {
+    if (!conn.dead) {
+      ::close(conn.fd);
+      conn.fd = -1;
+      conn.dead = true;
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  const uint64_t orphans = static_cast<uint64_t>(state.inflight.size());
+  if (orphans > 0) {
+    counters_.orphaned_results.fetch_add(orphans, std::memory_order_relaxed);
+    inflight_now_.fetch_sub(orphans, std::memory_order_relaxed);
+  }
+  state.inflight.clear();
+}
+
+}  // namespace net
+}  // namespace dfdb

@@ -29,6 +29,15 @@ void RunReport::ToJson(JsonWriter* w, bool include_timing) const {
     w->Key("bits_per_second");
     w->Double(bits_per_second());
   }
+  if (timing && !gauges.empty()) {
+    w->Key("gauges");
+    w->BeginObject();
+    for (const auto& [name, value] : gauges) {
+      w->Key(name);
+      w->Double(value);
+    }
+    w->EndObject();
+  }
   w->Key("counters");
   counters.ToJson(w);
   if (trace != nullptr) {

@@ -10,6 +10,7 @@
 #define DFDB_OBS_RUN_REPORT_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -38,6 +39,10 @@ struct RunReport {
   uint64_t faults = 0;
   /// Full named-counter snapshot.
   MetricsRegistry counters;
+  /// Wall-clock-derived measurements (latency percentiles, qps) keyed by
+  /// dotted name, e.g. "latency.p99_ms". Exported only when timing is
+  /// included, like `seconds`, so deterministic exports stay byte-identical.
+  std::map<std::string, double> gauges;
   /// Event trace, or nullptr when tracing was disabled.
   std::shared_ptr<const Trace> trace;
 

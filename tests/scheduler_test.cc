@@ -293,6 +293,53 @@ TEST_F(SchedulerTest, RunningShutdownDrainsActiveAndCancelsWaiting) {
   EXPECT_EQ(completed + cancelled, 8);
 }
 
+TEST_F(SchedulerTest, SubmitAfterShutdownReturnsCleanError) {
+  // The server path calls Submit() from connection handlers that can race
+  // with Stop(): a post-shutdown Submit must fail with Unavailable, never
+  // crash or hang.
+  Scheduler scheduler(storage_.get(), Options(2));
+  scheduler.Shutdown();
+  auto handle = scheduler.Submit(*MakeScan("beta"));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_TRUE(handle.status().IsUnavailable()) << handle.status();
+}
+
+TEST_F(SchedulerTest, ShutdownIsIdempotent) {
+  Scheduler scheduler(storage_.get(), Options(2));
+  ASSERT_OK_AND_ASSIGN(QueryHandle handle, scheduler.Submit(*MakeScan("beta")));
+  EXPECT_TRUE(handle.Wait().ok());
+  scheduler.Shutdown();
+  scheduler.Shutdown();
+  scheduler.Shutdown();
+  EXPECT_TRUE(scheduler.Submit(*MakeScan("beta")).status().IsUnavailable());
+}
+
+TEST_F(SchedulerTest, ConcurrentShutdownCallsAllJoin) {
+  // Several threads race Shutdown() while queries are in flight; every call
+  // must block until the pool is actually down (a caller may destroy the
+  // scheduler the moment its own Shutdown() returns).
+  for (int round = 0; round < 10; ++round) {
+    Scheduler scheduler(storage_.get(), Options(4));
+    std::vector<QueryHandle> handles;
+    for (int i = 0; i < 4; ++i) {
+      auto h = scheduler.Submit(
+          *MakeRestrict(MakeScan("alpha"), Lt(Col("k1000"), Lit(300))));
+      ASSERT_TRUE(h.ok());
+      handles.push_back(*std::move(h));
+    }
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&scheduler] { scheduler.Shutdown(); });
+    }
+    for (auto& t : stoppers) t.join();
+    // Every handle resolves: either the query drained or was cancelled.
+    for (auto& h : handles) {
+      auto result = h.Wait();
+      EXPECT_TRUE(result.ok() || result.status().IsCancelled());
+    }
+  }
+}
+
 TEST_F(SchedulerTest, SnapshotMetricsExposesPoolAndQueueGauges) {
   Scheduler scheduler(storage_.get(), Options(3));
   ASSERT_OK_AND_ASSIGN(QueryHandle h, scheduler.Submit(*MakeScan("alpha")));

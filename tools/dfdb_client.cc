@@ -1,0 +1,95 @@
+/// \file dfdb_client.cc
+/// \brief Command-line client for dfdb_server: runs RAQL queries remotely.
+///
+/// Queries come from the remaining command-line arguments (each non-flag
+/// argument is one query), or from stdin, one query per line, when no
+/// query arguments are given. Exits non-zero if any query fails.
+///
+///   dfdb_client --port=7437 'restrict(r01, k1000 < 100)'
+///   printf 'project(r05, [k100], dedup)\n' | dfdb_client --port=7437
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/client.h"
+
+namespace {
+
+void PrintResult(const dfdb::net::RemoteResult& result, bool quiet) {
+  using dfdb::TupleView;
+  if (!quiet) {
+    for (int c = 0; c < result.schema.num_columns(); ++c) {
+      std::printf("%s%s", c ? " | " : "",
+                  result.schema.column(c).name.c_str());
+    }
+    std::printf("\n");
+    uint64_t shown = 0;
+    result.ForEachTuple([&](const TupleView& t) {
+      if (shown < 20) std::printf("%s\n", t.ToString().c_str());
+      ++shown;
+    });
+    if (shown > 20) {
+      std::printf("... (%llu rows total)\n",
+                  static_cast<unsigned long long>(shown));
+    }
+  }
+  std::printf("(%llu rows, %.3f ms server, %d retries)\n",
+              static_cast<unsigned long long>(result.num_tuples),
+              result.server_seconds * 1e3, result.retries);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfdb;
+
+  const std::string host = bench::FlagString(argc, argv, "host", "127.0.0.1");
+  const uint16_t port =
+      static_cast<uint16_t>(bench::FlagInt(argc, argv, "port", 7437));
+  const uint32_t deadline_ms =
+      static_cast<uint32_t>(bench::FlagInt(argc, argv, "deadline-ms", 0));
+  bool quiet = false;
+  std::vector<std::string> queries;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strncmp(argv[i], "--", 2) != 0) {
+      queries.emplace_back(argv[i]);
+    }
+  }
+  if (queries.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) queries.push_back(line);
+    }
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "dfdb_client: no queries given\n");
+    return 2;
+  }
+
+  auto client = net::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "dfdb_client: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  for (const std::string& query : queries) {
+    if (!quiet) std::printf("dfdb> %s\n", query.c_str());
+    auto result = client->Execute(query, deadline_ms);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      ++failures;
+      if (!client->connected()) break;  // Connection lost; stop the batch.
+      continue;
+    }
+    PrintResult(*result, quiet);
+  }
+  return failures == 0 ? 0 : 1;
+}

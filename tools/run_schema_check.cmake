@@ -1,7 +1,10 @@
 # Runs a seeded bench with --json and validates the emitted report against
 # tools/report_schema.json. Driven by the `report_schema_check*` ctest
 # entries. BENCH_ARGS is an optional semicolon-separated list of extra
-# bench flags (each entry passed as its own argument).
+# bench flags (each entry passed as its own argument). REQUIRE_SUBSTRING is
+# an optional semicolon-separated list of strings that must appear verbatim
+# in the emitted JSON (e.g. specific counter names), for contracts the
+# generic schema cannot express.
 if(NOT DEFINED BENCH OR NOT DEFINED CHECKER OR NOT DEFINED SCHEMA
    OR NOT DEFINED OUT)
   message(FATAL_ERROR
@@ -24,4 +27,14 @@ execute_process(
   RESULT_VARIABLE check_result)
 if(NOT check_result EQUAL 0)
   message(FATAL_ERROR "report does not conform to ${SCHEMA}")
+endif()
+
+if(DEFINED REQUIRE_SUBSTRING)
+  file(READ ${OUT} report_contents)
+  foreach(needle IN LISTS REQUIRE_SUBSTRING)
+    string(FIND "${report_contents}" "${needle}" found)
+    if(found EQUAL -1)
+      message(FATAL_ERROR "report ${OUT} is missing \"${needle}\"")
+    endif()
+  endforeach()
 endif()

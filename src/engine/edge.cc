@@ -28,6 +28,28 @@ Status Edge::EmitTuple(Slice tuple) {
   return Status::OK();
 }
 
+Status Edge::EmitTupleParts(const Slice* parts, size_t n) {
+  PagePtr sealed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::FailedPrecondition("edge already closed");
+    if (current_ == nullptr) {
+      DFDB_ASSIGN_OR_RETURN(Page page,
+                            Page::Create(relation_, tuple_width_, unit_bytes_));
+      current_ = std::make_unique<Page>(std::move(page));
+    }
+    DFDB_RETURN_IF_ERROR(current_->AppendParts(parts, n));
+    ++tuples_emitted_;
+    if (current_->full()) {
+      sealed = SealPage(std::move(*current_));
+      current_.reset();
+      ++pages_delivered_;
+    }
+  }
+  if (sealed) on_page_(std::move(sealed));
+  return Status::OK();
+}
+
 Status Edge::EmitPage(const PagePtr& page) {
   if (page->tuple_width() != tuple_width_) {
     return Status::InvalidArgument("page tuple width does not match edge");

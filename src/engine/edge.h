@@ -51,6 +51,10 @@ class Edge {
   /// Adds one encoded tuple; seals and delivers a page when full.
   Status EmitTuple(Slice tuple);
 
+  /// Adds one tuple given as \p n byte ranges summing to the tuple width
+  /// (kernel scatter/gather emission; see PageSink::EmitParts).
+  Status EmitTupleParts(const Slice* parts, size_t n);
+
   /// Adds a whole produced page. Full pages of the right width pass through
   /// unchanged; partial pages are compressed tuple by tuple.
   Status EmitPage(const PagePtr& page);

@@ -33,6 +33,18 @@ std::string ExecStats::ToString() const {
         static_cast<unsigned long long>(redispatched_tasks),
         static_cast<unsigned long long>(poison_dropped));
   }
+  if (kernel.compiled_pages > 0 || kernel.interpreted_pages > 0 ||
+      kernel.hash_joins > 0 || kernel.nested_joins > 0) {
+    out += StrFormat(
+        " | kernel: compiled=%llu interpreted=%llu fallbacks=%llu "
+        "hash_joins=%llu nested_joins=%llu collisions=%llu",
+        static_cast<unsigned long long>(kernel.compiled_pages),
+        static_cast<unsigned long long>(kernel.interpreted_pages),
+        static_cast<unsigned long long>(kernel.compile_fallbacks),
+        static_cast<unsigned long long>(kernel.hash_joins),
+        static_cast<unsigned long long>(kernel.nested_joins),
+        static_cast<unsigned long long>(kernel.hash_build_collisions));
+  }
   return out;
 }
 
@@ -49,6 +61,15 @@ void RegisterMetrics(const ExecStats& stats, obs::MetricsRegistry* registry) {
   registry->Set("engine.sched.queued", stats.sched_queued);
   registry->Set("engine.sched.requeues", stats.sched_requeues);
   registry->Set("engine.sched.queue_wait_ns", stats.sched_queue_wait_ns);
+  registry->Set("engine.kernel.compiled_pages", stats.kernel.compiled_pages);
+  registry->Set("engine.kernel.interpreted_pages",
+                stats.kernel.interpreted_pages);
+  registry->Set("engine.kernel.compile_fallbacks",
+                stats.kernel.compile_fallbacks);
+  registry->Set("engine.kernel.hash_joins", stats.kernel.hash_joins);
+  registry->Set("engine.kernel.nested_joins", stats.kernel.nested_joins);
+  registry->Set("engine.kernel.hash_build_collisions",
+                stats.kernel.hash_build_collisions);
   registry->Set("engine.faults.injected", stats.faults_injected);
   registry->Set("engine.faults.workers_abandoned", stats.workers_abandoned);
   registry->Set("engine.faults.redispatched_tasks", stats.redispatched_tasks);

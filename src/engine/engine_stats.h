@@ -10,6 +10,7 @@
 #include <string>
 
 #include "obs/run_report.h"
+#include "operators/kernels.h"
 #include "storage/buffer_manager.h"
 
 namespace dfdb {
@@ -41,6 +42,8 @@ struct EngineCounters {
   std::atomic<uint64_t> redispatched_tasks{0};
   /// Poisoned packets detected and dropped by workers.
   std::atomic<uint64_t> poison_dropped{0};
+  /// Compiled-vs-interpreted kernel split (engine.kernel.*).
+  KernelStats kernel;
 };
 
 /// \brief Immutable snapshot of one query (or batch) execution.
@@ -72,6 +75,10 @@ struct ExecStats {
   uint64_t sched_queued = 0;        ///< Queries that waited in the MC queue.
   uint64_t sched_requeues = 0;      ///< Failed re-admission probes.
   uint64_t sched_queue_wait_ns = 0; ///< Time spent waiting for admission.
+  /// Kernel-compilation outcomes (engine.kernel.*): how many pages ran the
+  /// compiled program vs the interpreted Expr tree, how often compilation
+  /// was refused, and which join path page pairs took.
+  KernelStatsSnapshot kernel;
   BufferStats buffer;
   /// Event trace of the run this snapshot belongs to, when
   /// ExecOptions::enable_trace was set (shared across the batch; events

@@ -64,6 +64,11 @@ struct NodeState {
   int num_inputs = 0;
   std::vector<int> project_indices;  // kProject.
   HeapFile* target_file = nullptr;   // kAppend / kDelete.
+  /// Predicate program compiled once per query (kRestrict / kDelete);
+  /// empty when compilation was refused and the node interprets per tuple.
+  std::optional<CompiledPredicate> compiled_pred;
+  /// Join program with extracted equi-keys (kJoin).
+  std::optional<CompiledJoinPredicate> compiled_join;
 
   std::mutex mu;
   std::vector<bool> input_closed;
@@ -375,6 +380,9 @@ class EdgeSink final : public PageSink {
  public:
   explicit EdgeSink(Edge* edge) : edge_(edge) {}
   Status Emit(Slice tuple) override { return edge_->EmitTuple(tuple); }
+  Status EmitParts(const Slice* parts, size_t n) override {
+    return edge_->EmitTupleParts(parts, n);
+  }
 
  private:
   Edge* edge_;
@@ -614,7 +622,13 @@ void NodeState::RunUnaryTask(int slot, PendingPage p) {
                                     : node->output_schema;
       switch (node->op) {
         case PlanOp::kRestrict:
-          s = RestrictPage(in_schema, *node->predicate, page, &sink);
+          if (compiled_pred.has_value()) {
+            s = RestrictPage(*compiled_pred, page, &sink, &ctr.kernel);
+          } else {
+            ctr.kernel.interpreted_pages.fetch_add(1,
+                                                   std::memory_order_relaxed);
+            s = RestrictPage(in_schema, *node->predicate, page, &sink);
+          }
           break;
         case PlanOp::kProject: {
           if (!node->dedup) {
@@ -622,10 +636,12 @@ void NodeState::RunUnaryTask(int slot, PendingPage p) {
             break;
           }
           // Parallel duplicate elimination: hash-partitioned shards so
-          // concurrent tasks only contend on colliding partitions.
+          // concurrent tasks only contend on colliding partitions. One
+          // projection buffer serves the whole page.
+          std::string projected;
           for (int i = 0; i < page.num_tuples() && s.ok(); ++i) {
-            const std::string projected =
-                ProjectTuple(in_schema, page.tuple(i), project_indices);
+            ProjectTupleInto(in_schema, page.tuple(i), project_indices,
+                             &projected);
             DedupShard& shard = *dedup_shards[static_cast<size_t>(
                 DedupPartition(Slice(projected),
                                static_cast<int>(dedup_shards.size())))];
@@ -746,6 +762,7 @@ void NodeState::RunJoinOuter(OuterWork w) {
     if (!failed && outer_page != nullptr &&
         !query->failed.load(std::memory_order_relaxed)) {
       EdgeSink sink(out.get());
+      JoinScratch scratch;  // Reused across every inner page of this task.
       for (const PendingPage& inner : batch) {
         auto inner_fetched = impl->buffer()->Fetch(inner.id);
         if (!inner_fetched.ok()) {
@@ -764,8 +781,16 @@ void NodeState::RunJoinOuter(OuterWork w) {
             obs::TraceEventKind::kPacketDelivered, query, node->id, 1,
             static_cast<uint64_t>((*inner_fetched)->payload_bytes()),
             "broadcast");
-        Status s = JoinPages(outer_schema, inner_schema, *node->predicate,
-                             *outer_page, **inner_fetched, &sink);
+        Status s;
+        if (compiled_join.has_value()) {
+          s = JoinPages(*compiled_join, *outer_page, **inner_fetched, &scratch,
+                        &sink, &ctr.kernel);
+        } else {
+          ctr.kernel.interpreted_pages.fetch_add(1, std::memory_order_relaxed);
+          ctr.kernel.nested_joins.fetch_add(1, std::memory_order_relaxed);
+          s = JoinPages(outer_schema, inner_schema, *node->predicate,
+                        *outer_page, **inner_fetched, &sink);
+        }
         if (!s.ok()) {
           query->Fail(s.WithContext("join task"));
           break;
@@ -877,8 +902,11 @@ void SchedulerImpl::DeleteDriver(NodeState* node) {
   if (!q->failed.load(std::memory_order_relaxed)) {
     const Schema& schema = node->node->output_schema;
     const Expr* pred = node->node->predicate.get();
+    const CompiledPredicate* compiled =
+        node->compiled_pred.has_value() ? &*node->compiled_pred : nullptr;
     Status pred_error = Status::OK();
     auto matcher = [&](const TupleView& t) {
+      if (compiled != nullptr) return compiled->Matches(t.raw().data(), nullptr);
       auto r = pred->EvalBool(t, nullptr);
       if (!r.ok()) {
         if (pred_error.ok()) pred_error = r.status();
@@ -952,6 +980,32 @@ NodeState* SchedulerImpl::BuildNode(const PlanNode* n, NodeState* parent,
   // complete; leaves are always immediately executable.
   ns->launched =
       opts().granularity != Granularity::kRelation || ns->num_inputs == 0;
+
+  // Predicate compilation: once per query per node. A refusal (division,
+  // CHAR/numeric mixing, ...) is not an error — the node interprets the
+  // tree per tuple instead, preserving exact runtime-error semantics.
+  if (n->predicate != nullptr) {
+    if (n->op == PlanOp::kRestrict || n->op == PlanOp::kDelete) {
+      const Schema& in =
+          n->num_children() > 0 ? n->child(0).output_schema : n->output_schema;
+      auto compiled = CompiledPredicate::Compile(*n->predicate, in);
+      if (compiled.ok()) {
+        ns->compiled_pred.emplace(*std::move(compiled));
+      } else {
+        q->counters.kernel.compile_fallbacks.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    } else if (n->op == PlanOp::kJoin) {
+      auto compiled = CompiledJoinPredicate::Compile(
+          *n->predicate, n->child(0).output_schema, n->child(1).output_schema);
+      if (compiled.ok()) {
+        ns->compiled_join.emplace(*std::move(compiled));
+      } else {
+        q->counters.kernel.compile_fallbacks.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+  }
 
   // Op-specific static setup.
   Status setup = Status::OK();
@@ -1165,6 +1219,7 @@ void SchedulerImpl::FulfillLocked(QueryRuntime* q) {
   qs.overhead_bytes = q->counters.overhead_bytes.load();
   qs.pages_produced = q->counters.pages_produced.load();
   qs.tuples_produced = q->counters.tuples_produced.load();
+  qs.kernel = q->counters.kernel.Snapshot();
   qs.sched_admitted = q->was_queued ? 0 : 1;
   qs.sched_queued = q->was_queued ? 1 : 0;
   qs.sched_requeues = q->failed_probes;
@@ -1179,6 +1234,13 @@ void SchedulerImpl::FulfillLocked(QueryRuntime* q) {
   totals_.work.overhead_bytes += qs.overhead_bytes;
   totals_.work.pages_produced += qs.pages_produced;
   totals_.work.tuples_produced += qs.tuples_produced;
+  totals_.work.kernel.compiled_pages += qs.kernel.compiled_pages;
+  totals_.work.kernel.interpreted_pages += qs.kernel.interpreted_pages;
+  totals_.work.kernel.compile_fallbacks += qs.kernel.compile_fallbacks;
+  totals_.work.kernel.hash_joins += qs.kernel.hash_joins;
+  totals_.work.kernel.nested_joins += qs.kernel.nested_joins;
+  totals_.work.kernel.hash_build_collisions +=
+      qs.kernel.hash_build_collisions;
 
   QueryState* state = q->state.get();
   {

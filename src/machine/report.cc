@@ -22,6 +22,18 @@ std::string MachineReport::ToString() const {
     out += " | ";
     out += faults.ToString();
   }
+  if (kernel.compiled_pages > 0 || kernel.interpreted_pages > 0 ||
+      kernel.hash_joins > 0 || kernel.nested_joins > 0) {
+    out += StrFormat(
+        " | kernel: compiled=%llu interpreted=%llu fallbacks=%llu "
+        "hash_joins=%llu nested_joins=%llu collisions=%llu",
+        static_cast<unsigned long long>(kernel.compiled_pages),
+        static_cast<unsigned long long>(kernel.interpreted_pages),
+        static_cast<unsigned long long>(kernel.compile_fallbacks),
+        static_cast<unsigned long long>(kernel.hash_joins),
+        static_cast<unsigned long long>(kernel.nested_joins),
+        static_cast<unsigned long long>(kernel.hash_build_collisions));
+  }
   return out;
 }
 
@@ -68,6 +80,15 @@ obs::RunReport MachineReport::ToReport() const {
   report.counters.Set("machine.broadcasts", broadcasts);
   report.counters.Set("machine.direct_routes", direct_routes);
   report.counters.Set("machine.events", events);
+  report.counters.Set("machine.kernel.compiled_pages", kernel.compiled_pages);
+  report.counters.Set("machine.kernel.interpreted_pages",
+                      kernel.interpreted_pages);
+  report.counters.Set("machine.kernel.compile_fallbacks",
+                      kernel.compile_fallbacks);
+  report.counters.Set("machine.kernel.hash_joins", kernel.hash_joins);
+  report.counters.Set("machine.kernel.nested_joins", kernel.nested_joins);
+  report.counters.Set("machine.kernel.hash_build_collisions",
+                      kernel.hash_build_collisions);
   report.counters.Set("machine.num_ips", static_cast<uint64_t>(num_ips));
   report.counters.Set("machine.makespan_ns",
                       static_cast<uint64_t>(makespan.nanos()));

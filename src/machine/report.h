@@ -14,6 +14,7 @@
 #include "engine/query_result.h"
 #include "machine/fault_injector.h"
 #include "obs/run_report.h"
+#include "operators/kernels.h"
 #include "storage/device_model.h"
 
 namespace dfdb {
@@ -88,6 +89,8 @@ struct MachineReport {
   int num_ips = 0;
   /// Injected faults and the recovery work they caused.
   FaultStats faults;
+  /// Compiled-vs-interpreted kernel split at the IPs (machine.kernel.*).
+  KernelStatsSnapshot kernel;
   /// Root outputs with real tuples (the simulator is execution-driven).
   std::vector<QueryResult> results;
   /// Event trace, or nullptr unless MachineOptions::enable_trace was set.

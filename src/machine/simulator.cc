@@ -21,6 +21,7 @@
 #include "obs/trace.h"
 #include "operators/kernels.h"
 #include "operators/set_ops.h"
+#include "ra/expr_compile.h"
 #include "storage/tuple.h"
 
 namespace dfdb {
@@ -132,6 +133,14 @@ struct InstrRt {
   /// Aggregate barrier: Finish() ran somewhere (guards re-flush after the
   /// barrier IP dies mid-flush, and the empty-ips flush path).
   bool agg_finished = false;
+
+  /// Predicate compilation, done lazily at the first page this instruction
+  /// executes and cached for the rest of the run. A refusal (nullopt after
+  /// `compile_tried`) pins the instruction to the interpreted kernels.
+  bool compile_tried = false;
+  std::optional<CompiledPredicate> compiled_pred;
+  std::optional<CompiledJoinPredicate> compiled_join;
+  JoinScratch join_scratch;
 
   // Barrier-operator state.
   std::unique_ptr<Aggregator> agg;
@@ -454,6 +463,8 @@ class Sim {
                                             bool flush_partial);
   Status AppendResultTuple(InstrRt* ir, IpRt* ip, Slice tuple,
                            std::vector<PagePtr>* full);
+  Status AppendResultTupleParts(InstrRt* ir, IpRt* ip, const Slice* parts,
+                                size_t n, std::vector<PagePtr>* full);
 
   // ---- state -------------------------------------------------------------
   static constexpr SimTime kMcProcessing = SimTime::Micros(50);
@@ -483,6 +494,9 @@ class Sim {
   MachineReport report_;
   Status error_;
   uint64_t next_uid_ = 1ull << 40;
+  /// Compiled-vs-interpreted kernel outcomes across all IPs (single driver
+  /// thread; snapshotted into the report at the end of the run).
+  KernelStats kernel_stats_;
 
   // Fault machinery.
   FaultInjector injector_;
@@ -1575,10 +1589,16 @@ void Sim::FinishInstr(int instr_id) {
     auto file = storage_->GetHeapFile(ir.def->node->relation);
     if (file.ok()) {
       const Expr* pred = ir.def->node->predicate.get();
-      auto removed = (*file)->DeleteWhere([pred](const TupleView& t) {
-        auto r = pred->EvalBool(t, nullptr);
-        return r.ok() && *r;
-      });
+      const CompiledPredicate* compiled =
+          ir.compiled_pred.has_value() ? &*ir.compiled_pred : nullptr;
+      auto removed =
+          (*file)->DeleteWhere([pred, compiled](const TupleView& t) {
+            if (compiled != nullptr) {
+              return compiled->Matches(t.raw().data(), nullptr);
+            }
+            auto r = pred->EvalBool(t, nullptr);
+            return r.ok() && *r;
+          });
       if (!removed.ok()) Fail(removed.status());
       auto meta = storage_->catalog().GetRelation(ir.def->node->relation);
       if (meta.ok()) {
@@ -1946,6 +1966,12 @@ void Sim::InjectCacheStall(SimTime duration) {
 
 Status Sim::AppendResultTuple(InstrRt* ir, IpRt* ip, Slice tuple,
                               std::vector<PagePtr>* full) {
+  const Slice parts[1] = {tuple};
+  return AppendResultTupleParts(ir, ip, parts, 1, full);
+}
+
+Status Sim::AppendResultTupleParts(InstrRt* ir, IpRt* ip, const Slice* parts,
+                                   size_t n, std::vector<PagePtr>* full) {
   if (ip->result_buf == nullptr) {
     const int unit = MachineUnitBytes(ir->def->output_schema);
     DFDB_ASSIGN_OR_RETURN(
@@ -1954,7 +1980,7 @@ Status Sim::AppendResultTuple(InstrRt* ir, IpRt* ip, Slice tuple,
                      unit));
     ip->result_buf = std::make_unique<Page>(std::move(page));
   }
-  DFDB_RETURN_IF_ERROR(ip->result_buf->Append(tuple));
+  DFDB_RETURN_IF_ERROR(ip->result_buf->AppendParts(parts, n));
   if (ip->result_buf->full()) {
     full->push_back(SealPage(std::move(*ip->result_buf)));
     ip->result_buf.reset();
@@ -1987,6 +2013,12 @@ StatusOr<std::pair<std::vector<PagePtr>, int64_t>> Sim::RunKernel(
       bytes += static_cast<int64_t>(tuple.size());
       return sim->AppendResultTuple(ir, ip, tuple, full);
     }
+    Status EmitParts(const Slice* parts, size_t n) override {
+      for (size_t k = 0; k < n; ++k) {
+        bytes += static_cast<int64_t>(parts[k].size());
+      }
+      return sim->AppendResultTupleParts(ir, ip, parts, n, full);
+    }
   };
   Sink sink;
   sink.sim = this;
@@ -2000,7 +2032,23 @@ StatusOr<std::pair<std::vector<PagePtr>, int64_t>> Sim::RunKernel(
   Status s = Status::OK();
   switch (def.op) {
     case PlanOp::kRestrict:
-      s = RestrictPage(in_schema, *def.node->predicate, in, &sink);
+      if (!ir->compile_tried) {
+        ir->compile_tried = true;
+        auto compiled =
+            CompiledPredicate::Compile(*def.node->predicate, in_schema);
+        if (compiled.ok()) {
+          ir->compiled_pred.emplace(*std::move(compiled));
+        } else {
+          kernel_stats_.compile_fallbacks.fetch_add(1,
+                                                    std::memory_order_relaxed);
+        }
+      }
+      if (ir->compiled_pred.has_value()) {
+        s = RestrictPage(*ir->compiled_pred, in, &sink, &kernel_stats_);
+      } else {
+        kernel_stats_.interpreted_pages.fetch_add(1, std::memory_order_relaxed);
+        s = RestrictPage(in_schema, *def.node->predicate, in, &sink);
+      }
       break;
     case PlanOp::kProject: {
       std::vector<int> indices;
@@ -2024,18 +2072,18 @@ StatusOr<std::pair<std::vector<PagePtr>, int64_t>> Sim::RunKernel(
         }
         DuplicateEliminator& mine =
             ir->pp_partitions[static_cast<size_t>(partition)];
+        std::string projected;
         for (int i = 0; i < in.num_tuples() && s.ok(); ++i) {
-          const std::string projected =
-              ProjectTuple(in_schema, in.tuple(i), indices);
+          ProjectTupleInto(in_schema, in.tuple(i), indices, &projected);
           if (DedupPartition(Slice(projected), parts) != partition) continue;
           if (mine.Insert(Slice(projected))) {
             s = sink.Emit(Slice(projected));
           }
         }
       } else {
+        std::string projected;
         for (int i = 0; i < in.num_tuples() && s.ok(); ++i) {
-          const std::string projected =
-              ProjectTuple(in_schema, in.tuple(i), indices);
+          ProjectTupleInto(in_schema, in.tuple(i), indices, &projected);
           if (ir->dedup.Insert(Slice(projected))) {
             s = sink.Emit(Slice(projected));
           }
@@ -2044,8 +2092,27 @@ StatusOr<std::pair<std::vector<PagePtr>, int64_t>> Sim::RunKernel(
       break;
     }
     case PlanOp::kJoin:
-      s = JoinPages(def.operands[0].schema, def.operands[1].schema,
-                    *def.node->predicate, in, *inner, &sink);
+      if (!ir->compile_tried) {
+        ir->compile_tried = true;
+        auto compiled = CompiledJoinPredicate::Compile(
+            *def.node->predicate, def.operands[0].schema,
+            def.operands[1].schema);
+        if (compiled.ok()) {
+          ir->compiled_join.emplace(*std::move(compiled));
+        } else {
+          kernel_stats_.compile_fallbacks.fetch_add(1,
+                                                    std::memory_order_relaxed);
+        }
+      }
+      if (ir->compiled_join.has_value()) {
+        s = JoinPages(*ir->compiled_join, in, *inner, &ir->join_scratch, &sink,
+                      &kernel_stats_);
+      } else {
+        kernel_stats_.interpreted_pages.fetch_add(1, std::memory_order_relaxed);
+        kernel_stats_.nested_joins.fetch_add(1, std::memory_order_relaxed);
+        s = JoinPages(def.operands[0].schema, def.operands[1].schema,
+                      *def.node->predicate, in, *inner, &sink);
+      }
       break;
     case PlanOp::kUnion:
       if (def.node->bag_semantics) {
@@ -2078,11 +2145,23 @@ StatusOr<std::pair<std::vector<PagePtr>, int64_t>> Sim::RunKernel(
       break;
     }
     case PlanOp::kDelete: {
-      auto matched = CountMatches(in_schema, *def.node->predicate, in);
-      if (!matched.ok()) {
-        s = matched.status();
+      if (!ir->compile_tried) {
+        ir->compile_tried = true;
+        auto compiled =
+            CompiledPredicate::Compile(*def.node->predicate, in_schema);
+        if (compiled.ok()) ir->compiled_pred.emplace(*std::move(compiled));
+      }
+      if (ir->compiled_pred.has_value()) {
+        ir->delete_matches += CountMatches(*ir->compiled_pred, in,
+                                           &kernel_stats_);
       } else {
-        ir->delete_matches += *matched;
+        auto matched =
+            CountMatches(in_schema, *def.node->predicate, in, &kernel_stats_);
+        if (!matched.ok()) {
+          s = matched.status();
+        } else {
+          ir->delete_matches += *matched;
+        }
       }
       break;
     }
@@ -2120,6 +2199,7 @@ Status Sim::Run() {
   for (size_t qi = 0; qi < report_.results.size(); ++qi) {
     report_.results[qi].set_schema(prog_.plans[qi]->output_schema);
   }
+  report_.kernel = kernel_stats_.Snapshot();
   report_.trace = trace_.Finish();
   return Status::OK();
 }

@@ -5,33 +5,93 @@
 /// page(s) of one instruction packet. Both execution engines call them: the
 /// multithreaded engine directly, the machine simulator to derive result
 /// sizes for its timing model.
+///
+/// Each predicate-driven kernel comes in two flavours. The Expr flavour
+/// interprets the tree per tuple; it is the semantic reference (the
+/// differential-fuzz oracle, and reference.cc's path). The CompiledPredicate
+/// / CompiledJoinPredicate flavour runs the flat program from
+/// ra/expr_compile.h over all tuples of the page — this is what the engines
+/// use, falling back to the Expr flavour when compilation is rejected.
 
 #ifndef DFDB_OPERATORS_KERNELS_H_
 #define DFDB_OPERATORS_KERNELS_H_
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "operators/page_sink.h"
 #include "ra/expr.h"
+#include "ra/expr_compile.h"
 #include "storage/page.h"
 #include "storage/tuple.h"
 
 namespace dfdb {
 
+/// \brief Plain copy of KernelStats for reporting.
+struct KernelStatsSnapshot {
+  uint64_t compiled_pages = 0;
+  uint64_t interpreted_pages = 0;
+  uint64_t compile_fallbacks = 0;
+  uint64_t hash_joins = 0;
+  uint64_t nested_joins = 0;
+  uint64_t hash_build_collisions = 0;
+};
+
+/// \brief Counters for the compiled-vs-interpreted kernel split, updated
+/// with relaxed atomics from concurrent workers. Engines embed one and
+/// export it as the `engine.kernel.*` / `machine.kernel.*` counter family.
+struct KernelStats {
+  std::atomic<uint64_t> compiled_pages{0};     ///< Pages run via a program.
+  std::atomic<uint64_t> interpreted_pages{0};  ///< Pages run via Expr::Eval.
+  std::atomic<uint64_t> compile_fallbacks{0};  ///< Predicates that refused to compile.
+  std::atomic<uint64_t> hash_joins{0};         ///< Page-pair joins on the hash path.
+  std::atomic<uint64_t> nested_joins{0};       ///< Page-pair joins on nested loops.
+  std::atomic<uint64_t> hash_build_collisions{0};  ///< Build-side slot probes.
+
+  KernelStatsSnapshot Snapshot() const {
+    KernelStatsSnapshot s;
+    s.compiled_pages = compiled_pages.load(std::memory_order_relaxed);
+    s.interpreted_pages = interpreted_pages.load(std::memory_order_relaxed);
+    s.compile_fallbacks = compile_fallbacks.load(std::memory_order_relaxed);
+    s.hash_joins = hash_joins.load(std::memory_order_relaxed);
+    s.nested_joins = nested_joins.load(std::memory_order_relaxed);
+    s.hash_build_collisions =
+        hash_build_collisions.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+/// \brief Reusable hash-table scratch for the equijoin fast path. One per
+/// worker/kernel; JoinPages sizes it per inner page, so repeated calls do
+/// not reallocate once the vectors reach steady state.
+struct JoinScratch {
+  std::vector<uint64_t> slot_hash;  ///< Full hash of the slot's key.
+  std::vector<int32_t> head;        ///< Slot -> first inner tuple, -1 empty.
+  std::vector<int32_t> tail;        ///< Slot -> last inner tuple in chain.
+  std::vector<int32_t> next;        ///< Inner tuple -> next with equal key.
+};
+
 /// \brief Emits tuples of \p in satisfying \p pred (the `restrict` operator
-/// applied to one page).
+/// applied to one page). Interpreted reference flavour.
 Status RestrictPage(const Schema& schema, const Expr& pred, const Page& in,
                     PageSink* out);
 
+/// \brief Compiled restrict: runs the predicate program over every tuple.
+Status RestrictPage(const CompiledPredicate& pred, const Page& in,
+                    PageSink* out, KernelStats* stats = nullptr);
+
 /// \brief Emits the \p indices columns of every tuple of \p in (projection
 /// without duplicate elimination; see DuplicateEliminator for full project).
+/// Adjacent source columns are merged into runs and emitted via
+/// PageSink::EmitParts, so no per-tuple buffer is materialized.
 Status ProjectPage(const Schema& schema, const std::vector<int>& indices,
                    const Page& in, PageSink* out);
 
 /// \brief Joins one outer page against one inner page with the nested-loops
 /// method: every outer tuple against every inner tuple, emitting
-/// outer ++ inner whenever \p pred holds.
+/// outer ++ inner whenever \p pred holds. Interpreted reference flavour.
 ///
 /// This is the page-granularity unit of the paper's join: "each processor
 /// will join a distinct set of pages from the outer relation with all the
@@ -40,13 +100,28 @@ Status JoinPages(const Schema& outer_schema, const Schema& inner_schema,
                  const Expr& pred, const Page& outer, const Page& inner,
                  PageSink* out);
 
+/// \brief Compiled join. When \p pred carries equi-keys, builds an
+/// open-addressing hash table over the inner page in \p scratch and probes
+/// it with the outer page (O(n+m) instead of O(n*m)); otherwise runs
+/// program-driven nested loops. Output tuple order is identical to the
+/// nested-loops flavour in both cases: probes emit matches in ascending
+/// inner order, outer-major.
+Status JoinPages(const CompiledJoinPredicate& pred, const Page& outer,
+                 const Page& inner, JoinScratch* scratch, PageSink* out,
+                 KernelStats* stats = nullptr);
+
 /// \brief Copies every tuple of \p in to \p out (union branch plumbing).
 Status CopyPage(const Page& in, PageSink* out);
 
 /// \brief Counts tuples of \p in satisfying \p pred without emitting
-/// (selectivity probes in the workload generator).
+/// (selectivity probes in the workload generator). Compiles the predicate
+/// internally and falls back to interpretation when compilation fails.
 StatusOr<uint64_t> CountMatches(const Schema& schema, const Expr& pred,
-                                const Page& in);
+                                const Page& in, KernelStats* stats = nullptr);
+
+/// \brief Compiled count for callers that already hold a program.
+uint64_t CountMatches(const CompiledPredicate& pred, const Page& in,
+                      KernelStats* stats = nullptr);
 
 }  // namespace dfdb
 

@@ -19,6 +19,20 @@ class PageSink {
   virtual ~PageSink() = default;
   /// Accepts one encoded tuple of the sink's schema width.
   virtual Status Emit(Slice tuple) = 0;
+
+  /// Accepts one tuple given as \p n byte ranges (join: outer ++ inner;
+  /// project: column runs of the source tuple). Sinks that buffer pages
+  /// override this to copy the ranges straight into the page, so kernels
+  /// never materialize an intermediate tuple. The default assembles a
+  /// temporary and calls Emit(), keeping third-party sinks correct.
+  virtual Status EmitParts(const Slice* parts, size_t n) {
+    std::string buf;
+    size_t total = 0;
+    for (size_t i = 0; i < n; ++i) total += parts[i].size();
+    buf.reserve(total);
+    for (size_t i = 0; i < n; ++i) buf.append(parts[i].data(), parts[i].size());
+    return Emit(Slice(buf));
+  }
 };
 
 /// \brief PageSink that packs tuples into fixed-size pages and hands each
@@ -40,12 +54,16 @@ class PagedSink final : public PageSink {
   DFDB_DISALLOW_COPY(PagedSink);
 
   Status Emit(Slice tuple) override {
-    if (current_ == nullptr) {
-      DFDB_ASSIGN_OR_RETURN(Page page,
-                            Page::Create(relation_, tuple_width_, page_bytes_));
-      current_ = std::make_unique<Page>(std::move(page));
-    }
+    DFDB_RETURN_IF_ERROR(EnsurePage());
     DFDB_RETURN_IF_ERROR(current_->Append(tuple));
+    ++tuples_emitted_;
+    if (current_->full()) return FlushCurrent();
+    return Status::OK();
+  }
+
+  Status EmitParts(const Slice* parts, size_t n) override {
+    DFDB_RETURN_IF_ERROR(EnsurePage());
+    DFDB_RETURN_IF_ERROR(current_->AppendParts(parts, n));
     ++tuples_emitted_;
     if (current_->full()) return FlushCurrent();
     return Status::OK();
@@ -63,6 +81,15 @@ class PagedSink final : public PageSink {
   uint64_t pages_flushed() const { return pages_flushed_; }
 
  private:
+  Status EnsurePage() {
+    if (current_ == nullptr) {
+      DFDB_ASSIGN_OR_RETURN(Page page,
+                            Page::Create(relation_, tuple_width_, page_bytes_));
+      current_ = std::make_unique<Page>(std::move(page));
+    }
+    return Status::OK();
+  }
+
   Status FlushCurrent() {
     ++pages_flushed_;
     PagePtr page = SealPage(std::move(*current_));
@@ -84,6 +111,11 @@ class VectorSink final : public PageSink {
  public:
   Status Emit(Slice tuple) override {
     tuples_.push_back(tuple.ToString());
+    return Status::OK();
+  }
+  Status EmitParts(const Slice* parts, size_t n) override {
+    std::string& t = tuples_.emplace_back();
+    for (size_t i = 0; i < n; ++i) t.append(parts[i].data(), parts[i].size());
     return Status::OK();
   }
   const std::vector<std::string>& tuples() const { return tuples_; }

@@ -92,9 +92,8 @@ Status SortMergeJoin(const Schema& outer_schema,
       }
       for (size_t a = i; a < i_end; ++a) {
         for (size_t b = j; b < j_end; ++b) {
-          const std::string joined =
-              ConcatTuples(outer[a].tuple(), inner[b].tuple());
-          DFDB_RETURN_IF_ERROR(out->Emit(Slice(joined)));
+          const Slice parts[2] = {outer[a].tuple(), inner[b].tuple()};
+          DFDB_RETURN_IF_ERROR(out->EmitParts(parts, 2));
         }
       }
       i = i_end;

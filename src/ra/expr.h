@@ -235,6 +235,10 @@ class ArithExpr final : public Expr {
   }
   std::string ToString() const override;
 
+  ArithOp op() const { return op_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr& rhs() const { return *rhs_; }
+
  private:
   ArithOp op_;
   ExprPtr lhs_, rhs_;

@@ -1,0 +1,602 @@
+#include "ra/expr_compile.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dfdb {
+
+using namespace expr_detail;
+
+namespace {
+
+/// Evaluation stack budget for the generic program. Deep trees are rare
+/// (hand-written predicates nest a handful of levels); anything deeper
+/// falls back to the interpreter rather than growing the hot-loop stack.
+constexpr int kMaxStack = 32;
+
+/// Static type of a stack slot / subexpression. kBool is an int64 slot
+/// constrained to 0/1, which lets logic ops skip re-coercion.
+enum class Ty : uint8_t { kInt, kFloat, kStr, kBool };
+
+inline bool IsIntLike(Ty t) { return t == Ty::kInt || t == Ty::kBool; }
+
+CompareOp FlipCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+}  // namespace
+
+/// \brief Lowers one Expr tree into a CompiledPredicate::Instr program.
+///
+/// Every construct whose interpreted evaluation could fail per tuple is
+/// rejected here with an error Status, which the caller turns into an
+/// interpreted-path fallback.
+class ExprCompiler {
+ public:
+  using Instr = CompiledPredicate::Instr;
+  using Op = Instr::Op;
+
+  ExprCompiler(const Schema& left, const Schema* right,
+               CompiledPredicate* out)
+      : left_(left), right_(right), out_(out) {}
+
+  Status CompileRoot(const Expr& expr) {
+    Ty ty;
+    DFDB_ASSIGN_OR_RETURN(ty, Emit(expr));
+    // EvalBool: a CHAR root is an InvalidArgument at runtime; reject.
+    // Numeric roots coerce through AsNumeric() != 0.0.
+    switch (ty) {
+      case Ty::kStr:
+        return Status::InvalidArgument("CHAR-valued predicate root");
+      case Ty::kInt:
+        DFDB_RETURN_IF_ERROR(Push(Instr{.op = Op::kToBoolI}, 0));
+        break;
+      case Ty::kFloat:
+        DFDB_RETURN_IF_ERROR(Push(Instr{.op = Op::kToBoolF}, 0));
+        break;
+      case Ty::kBool:
+        break;
+    }
+    if (depth_ != 1) return Status::Internal("unbalanced predicate program");
+    return Status::OK();
+  }
+
+ private:
+  StatusOr<Ty> Emit(const Expr& expr) {
+    switch (expr.kind()) {
+      case Expr::Kind::kLiteral:
+        return EmitLiteral(static_cast<const LiteralExpr&>(expr));
+      case Expr::Kind::kColumnRef:
+        return EmitColumnRef(static_cast<const ColumnRefExpr&>(expr));
+      case Expr::Kind::kCompare:
+        return EmitCompare(static_cast<const CompareExpr&>(expr));
+      case Expr::Kind::kLogic:
+        return EmitLogic(static_cast<const LogicExpr&>(expr));
+      case Expr::Kind::kArith:
+        return EmitArith(static_cast<const ArithExpr&>(expr));
+    }
+    return Status::InvalidArgument("unknown expression kind");
+  }
+
+  StatusOr<Ty> EmitLiteral(const LiteralExpr& lit) {
+    const Value& v = lit.value();
+    switch (v.type()) {
+      case ColumnType::kInt32:
+        DFDB_RETURN_IF_ERROR(
+            Push(Instr{.op = Op::kConstI, .imm_i = v.as_int32()}, 1));
+        return Ty::kInt;
+      case ColumnType::kInt64:
+        DFDB_RETURN_IF_ERROR(
+            Push(Instr{.op = Op::kConstI, .imm_i = v.as_int64()}, 1));
+        return Ty::kInt;
+      case ColumnType::kDouble:
+        DFDB_RETURN_IF_ERROR(
+            Push(Instr{.op = Op::kConstF, .imm_f = v.as_double()}, 1));
+        return Ty::kFloat;
+      case ColumnType::kChar: {
+        // Literal CHARs keep their raw bytes: the interpreter compares the
+        // literal's std::string as-is (only *column* values are trimmed).
+        Instr in{.op = Op::kConstStr};
+        in.str_off = static_cast<uint32_t>(out_->pool_.size());
+        in.str_len = static_cast<uint32_t>(v.as_char().size());
+        out_->pool_.append(v.as_char());
+        DFDB_RETURN_IF_ERROR(Push(in, 1));
+        return Ty::kStr;
+      }
+    }
+    return Status::InvalidArgument("unknown literal type");
+  }
+
+  StatusOr<Ty> EmitColumnRef(const ColumnRefExpr& ref) {
+    const Schema* schema = ref.side() == Side::kLeft ? &left_ : right_;
+    if (schema == nullptr) {
+      return Status::InvalidArgument(
+          "right-side column in a single-input predicate: " + ref.name());
+    }
+    const int idx = ref.index();
+    if (idx < 0 || idx >= schema->num_columns()) {
+      return Status::InvalidArgument("unbound column reference: " + ref.name());
+    }
+    const Column& col = schema->column(idx);
+    Instr in{};
+    in.side = ref.side() == Side::kLeft ? 0 : 1;
+    in.offset = schema->offset(idx);
+    in.width = col.width;
+    switch (col.type) {
+      case ColumnType::kInt32:
+        in.op = Op::kLoadI32;
+        DFDB_RETURN_IF_ERROR(Push(in, 1));
+        return Ty::kInt;
+      case ColumnType::kInt64:
+        in.op = Op::kLoadI64;
+        DFDB_RETURN_IF_ERROR(Push(in, 1));
+        return Ty::kInt;
+      case ColumnType::kDouble:
+        in.op = Op::kLoadF64;
+        DFDB_RETURN_IF_ERROR(Push(in, 1));
+        return Ty::kFloat;
+      case ColumnType::kChar:
+        in.op = Op::kLoadStr;
+        DFDB_RETURN_IF_ERROR(Push(in, 1));
+        return Ty::kStr;
+    }
+    return Status::InvalidArgument("unknown column type");
+  }
+
+  StatusOr<Ty> EmitCompare(const CompareExpr& cmp) {
+    Ty a, b;
+    DFDB_ASSIGN_OR_RETURN(a, Emit(cmp.lhs()));
+    DFDB_ASSIGN_OR_RETURN(b, Emit(cmp.rhs()));
+    if ((a == Ty::kStr) != (b == Ty::kStr)) {
+      // Value::Compare rejects CHAR vs numeric per tuple; reject at
+      // compile time instead.
+      return Status::InvalidArgument("CHAR compared against numeric");
+    }
+    Instr in{};
+    in.cmp = cmp.op();
+    if (a == Ty::kStr) {
+      in.op = Op::kCmpS;
+    } else if (IsIntLike(a) && IsIntLike(b)) {
+      in.op = Op::kCmpI;  // Integer fast path, no double rounding.
+    } else {
+      DFDB_RETURN_IF_ERROR(PromoteToFloat(a, b));
+      in.op = Op::kCmpF;
+    }
+    DFDB_RETURN_IF_ERROR(Push(in, -1));
+    return Ty::kBool;
+  }
+
+  StatusOr<Ty> EmitLogic(const LogicExpr& logic) {
+    if (logic.op() == LogicOp::kNot) {
+      if (logic.rhs() != nullptr) {
+        return Status::InvalidArgument("NOT takes exactly one operand");
+      }
+      DFDB_RETURN_IF_ERROR(EmitAsBool(logic.lhs()));
+      DFDB_RETURN_IF_ERROR(Push(Instr{.op = Op::kNot}, 0));
+      return Ty::kBool;
+    }
+    if (logic.rhs() == nullptr) {
+      return Status::InvalidArgument("binary logic op missing right operand");
+    }
+    // The interpreter short-circuits AND/OR; evaluating both sides is
+    // observationally identical because every per-tuple error path was
+    // rejected at compile time, so full evaluation over 0/1 ints is safe.
+    DFDB_RETURN_IF_ERROR(EmitAsBool(logic.lhs()));
+    DFDB_RETURN_IF_ERROR(EmitAsBool(*logic.rhs()));
+    DFDB_RETURN_IF_ERROR(Push(
+        Instr{.op = logic.op() == LogicOp::kAnd ? Op::kAnd : Op::kOr}, -1));
+    return Ty::kBool;
+  }
+
+  StatusOr<Ty> EmitArith(const ArithExpr& arith) {
+    if (arith.op() == ArithOp::kDiv) {
+      // Division by zero is a per-tuple runtime error in the interpreter;
+      // a compiled program cannot reproduce it, so division never compiles.
+      return Status::InvalidArgument("division does not compile");
+    }
+    Ty a, b;
+    DFDB_ASSIGN_OR_RETURN(a, Emit(arith.lhs()));
+    DFDB_ASSIGN_OR_RETURN(b, Emit(arith.rhs()));
+    if (a == Ty::kStr || b == Ty::kStr) {
+      return Status::InvalidArgument("CHAR operand in arithmetic");
+    }
+    Instr in{};
+    if (IsIntLike(a) && IsIntLike(b)) {
+      switch (arith.op()) {
+        case ArithOp::kAdd:
+          in.op = Op::kAddI;
+          break;
+        case ArithOp::kSub:
+          in.op = Op::kSubI;
+          break;
+        case ArithOp::kMul:
+          in.op = Op::kMulI;
+          break;
+        case ArithOp::kDiv:
+          return Status::Internal("unreachable");
+      }
+      DFDB_RETURN_IF_ERROR(Push(in, -1));
+      return Ty::kInt;
+    }
+    DFDB_RETURN_IF_ERROR(PromoteToFloat(a, b));
+    switch (arith.op()) {
+      case ArithOp::kAdd:
+        in.op = Op::kAddF;
+        break;
+      case ArithOp::kSub:
+        in.op = Op::kSubF;
+        break;
+      case ArithOp::kMul:
+        in.op = Op::kMulF;
+        break;
+      case ArithOp::kDiv:
+        return Status::Internal("unreachable");
+    }
+    DFDB_RETURN_IF_ERROR(Push(in, -1));
+    return Ty::kFloat;
+  }
+
+  /// Emits \p expr then coerces the top of stack to 0/1, mirroring
+  /// Expr::EvalBool (CHAR is an error; numeric tests != 0).
+  Status EmitAsBool(const Expr& expr) {
+    Ty ty;
+    DFDB_ASSIGN_OR_RETURN(ty, Emit(expr));
+    switch (ty) {
+      case Ty::kStr:
+        return Status::InvalidArgument("CHAR value used as a predicate");
+      case Ty::kInt:
+        return Push(Instr{.op = Op::kToBoolI}, 0);
+      case Ty::kFloat:
+        return Push(Instr{.op = Op::kToBoolF}, 0);
+      case Ty::kBool:
+        return Status::OK();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// With [.., a, b] on the stack, converts whichever of the two numeric
+  /// operands is an integer to double (AsNumeric promotion of the
+  /// interpreter's mixed int/double paths).
+  Status PromoteToFloat(Ty a, Ty b) {
+    if (IsIntLike(b)) DFDB_RETURN_IF_ERROR(Push(Instr{.op = Op::kI2F}, 0));
+    if (IsIntLike(a)) DFDB_RETURN_IF_ERROR(Push(Instr{.op = Op::kI2FN}, 0));
+    return Status::OK();
+  }
+
+  Status Push(Instr in, int depth_delta) {
+    depth_ += depth_delta;
+    if (depth_ > kMaxStack) {
+      return Status::InvalidArgument("predicate too deep to compile");
+    }
+    out_->prog_.push_back(in);
+    return Status::OK();
+  }
+
+  const Schema& left_;
+  const Schema* right_;
+  CompiledPredicate* out_;
+  int depth_ = 0;
+};
+
+namespace {
+
+/// Recognizes `column <op> literal` (either order) over the left input.
+/// Returns false when the conjunct does not have that shape or mixes types
+/// in a way the specialized evaluator does not model.
+bool TryColCompare(const Expr& expr, const Schema& schema, ColCompare* out) {
+  if (expr.kind() != Expr::Kind::kCompare) return false;
+  const auto& cmp = static_cast<const CompareExpr&>(expr);
+  const Expr* col_side = &cmp.lhs();
+  const Expr* lit_side = &cmp.rhs();
+  CompareOp op = cmp.op();
+  if (col_side->kind() == Expr::Kind::kLiteral &&
+      lit_side->kind() == Expr::Kind::kColumnRef) {
+    std::swap(col_side, lit_side);
+    op = FlipCompare(op);  // `5 < k` evaluates as `k > 5`.
+  }
+  if (col_side->kind() != Expr::Kind::kColumnRef ||
+      lit_side->kind() != Expr::Kind::kLiteral) {
+    return false;
+  }
+  const auto& ref = static_cast<const ColumnRefExpr&>(*col_side);
+  const auto& lit = static_cast<const LiteralExpr&>(*lit_side);
+  if (ref.side() != Side::kLeft) return false;
+  const int idx = ref.index();
+  if (idx < 0 || idx >= schema.num_columns()) return false;
+  const Column& col = schema.column(idx);
+  const Value& v = lit.value();
+
+  out->op = op;
+  out->offset = schema.offset(idx);
+  out->width = col.width;
+  const bool lit_int =
+      v.type() == ColumnType::kInt32 || v.type() == ColumnType::kInt64;
+  const int64_t lit_i =
+      v.type() == ColumnType::kInt32
+          ? v.as_int32()
+          : (v.type() == ColumnType::kInt64 ? v.as_int64() : 0);
+  switch (col.type) {
+    case ColumnType::kInt32:
+      if (lit_int) {
+        out->kind = ColCompare::Kind::kI32I;
+        out->const_i = lit_i;
+        return true;
+      }
+      if (v.type() == ColumnType::kDouble) {
+        out->kind = ColCompare::Kind::kI32F;
+        out->const_f = v.as_double();
+        return true;
+      }
+      return false;
+    case ColumnType::kInt64:
+      if (lit_int) {
+        out->kind = ColCompare::Kind::kI64I;
+        out->const_i = lit_i;
+        return true;
+      }
+      if (v.type() == ColumnType::kDouble) {
+        out->kind = ColCompare::Kind::kI64F;
+        out->const_f = v.as_double();
+        return true;
+      }
+      return false;
+    case ColumnType::kDouble:
+      if (v.type() == ColumnType::kDouble) {
+        out->kind = ColCompare::Kind::kF64F;
+        out->const_f = v.as_double();
+        return true;
+      }
+      if (lit_int) {
+        // Mixed int literal vs double column: the interpreter promotes the
+        // literal through AsNumeric, which is exactly this cast.
+        out->kind = ColCompare::Kind::kF64F;
+        out->const_f = static_cast<double>(lit_i);
+        return true;
+      }
+      return false;
+    case ColumnType::kChar:
+      if (v.type() != ColumnType::kChar) return false;
+      out->kind = ColCompare::Kind::kStr;
+      out->const_s = v.as_char();
+      return true;
+  }
+  return false;
+}
+
+/// Flattens a left-side-only AND tree of column-vs-literal compares into
+/// ColCompare conjuncts. Returns false on any other shape.
+bool TryFlattenConjunction(const Expr& expr, const Schema& schema,
+                           std::vector<ColCompare>* out) {
+  if (expr.kind() == Expr::Kind::kLogic) {
+    const auto& logic = static_cast<const LogicExpr&>(expr);
+    if (logic.op() != LogicOp::kAnd || logic.rhs() == nullptr) return false;
+    return TryFlattenConjunction(logic.lhs(), schema, out) &&
+           TryFlattenConjunction(*logic.rhs(), schema, out);
+  }
+  ColCompare c;
+  if (!TryColCompare(expr, schema, &c)) return false;
+  out->push_back(std::move(c));
+  return true;
+}
+
+}  // namespace
+
+StatusOr<CompiledPredicate> CompiledPredicate::Compile(const Expr& expr,
+                                                       const Schema& left,
+                                                       const Schema* right) {
+  CompiledPredicate p;
+  ExprCompiler compiler(left, right, &p);
+  DFDB_RETURN_IF_ERROR(compiler.CompileRoot(expr));
+
+  // Shape specialization: the dominant predicates are a single
+  // column-vs-constant compare or a conjunction of them. Those skip the
+  // stack machine entirely.
+  std::vector<ColCompare> cmps;
+  if (TryFlattenConjunction(expr, left, &cmps)) {
+    p.cmps_ = std::move(cmps);
+    p.shape_ =
+        p.cmps_.size() == 1 ? Shape::kSingleCompare : Shape::kConjunction;
+  }
+  return p;
+}
+
+bool CompiledPredicate::RunProgram(const char* left, const char* right) const {
+  // One slot per operand: numerics in the union, CHARs as (ptr, len).
+  struct Slot {
+    union {
+      int64_t i;
+      double f;
+    };
+    const char* p;
+    uint32_t n;
+  };
+  Slot stack[kMaxStack];
+  int sp = 0;
+  for (const Instr& in : prog_) {
+    switch (in.op) {
+      case Instr::Op::kLoadI32:
+        stack[sp++].i = LoadI32(in.side == 0 ? left : right, in.offset);
+        break;
+      case Instr::Op::kLoadI64:
+        stack[sp++].i = LoadI64(in.side == 0 ? left : right, in.offset);
+        break;
+      case Instr::Op::kLoadF64:
+        stack[sp++].f = LoadF64(in.side == 0 ? left : right, in.offset);
+        break;
+      case Instr::Op::kLoadStr: {
+        const char* base = (in.side == 0 ? left : right) + in.offset;
+        stack[sp].p = base;
+        stack[sp].n = TrimmedLen(base, in.width);
+        ++sp;
+        break;
+      }
+      case Instr::Op::kConstI:
+        stack[sp++].i = in.imm_i;
+        break;
+      case Instr::Op::kConstF:
+        stack[sp++].f = in.imm_f;
+        break;
+      case Instr::Op::kConstStr:
+        stack[sp].p = pool_.data() + in.str_off;
+        stack[sp].n = in.str_len;
+        ++sp;
+        break;
+      case Instr::Op::kI2F:
+        stack[sp - 1].f = static_cast<double>(stack[sp - 1].i);
+        break;
+      case Instr::Op::kI2FN:
+        stack[sp - 2].f = static_cast<double>(stack[sp - 2].i);
+        break;
+      case Instr::Op::kCmpI:
+        --sp;
+        stack[sp - 1].i =
+            ApplyCmp(in.cmp, Cmp3I(stack[sp - 1].i, stack[sp].i)) ? 1 : 0;
+        break;
+      case Instr::Op::kCmpF:
+        --sp;
+        stack[sp - 1].i =
+            ApplyCmp(in.cmp, Cmp3F(stack[sp - 1].f, stack[sp].f)) ? 1 : 0;
+        break;
+      case Instr::Op::kCmpS:
+        --sp;
+        stack[sp - 1].i =
+            ApplyCmp(in.cmp, Cmp3S(stack[sp - 1].p, stack[sp - 1].n,
+                                   stack[sp].p, stack[sp].n))
+                ? 1
+                : 0;
+        break;
+      case Instr::Op::kToBoolI:
+        stack[sp - 1].i = stack[sp - 1].i != 0 ? 1 : 0;
+        break;
+      case Instr::Op::kToBoolF:
+        stack[sp - 1].i = stack[sp - 1].f != 0.0 ? 1 : 0;
+        break;
+      case Instr::Op::kAnd:
+        --sp;
+        stack[sp - 1].i &= stack[sp].i;
+        break;
+      case Instr::Op::kOr:
+        --sp;
+        stack[sp - 1].i |= stack[sp].i;
+        break;
+      case Instr::Op::kNot:
+        stack[sp - 1].i = 1 - stack[sp - 1].i;
+        break;
+      case Instr::Op::kAddI:
+        --sp;
+        stack[sp - 1].i += stack[sp].i;
+        break;
+      case Instr::Op::kSubI:
+        --sp;
+        stack[sp - 1].i -= stack[sp].i;
+        break;
+      case Instr::Op::kMulI:
+        --sp;
+        stack[sp - 1].i *= stack[sp].i;
+        break;
+      case Instr::Op::kAddF:
+        --sp;
+        stack[sp - 1].f += stack[sp].f;
+        break;
+      case Instr::Op::kSubF:
+        --sp;
+        stack[sp - 1].f -= stack[sp].f;
+        break;
+      case Instr::Op::kMulF:
+        --sp;
+        stack[sp - 1].f *= stack[sp].f;
+        break;
+    }
+  }
+  return stack[0].i != 0;
+}
+
+namespace {
+
+/// Recognizes `outer.col = inner.col` (either side order) as a hash key.
+/// Restricted to identical non-double types: for those, raw-byte (CHAR:
+/// right-trimmed) equality coincides exactly with Value::Compare == 0;
+/// doubles are excluded because -0.0 == 0.0 and NaN "equality" break the
+/// bytes-equal <=> values-equal correspondence.
+bool TryEquiKey(const Expr& expr, const Schema& outer, const Schema& inner,
+                EquiKey* out) {
+  if (expr.kind() != Expr::Kind::kCompare) return false;
+  const auto& cmp = static_cast<const CompareExpr&>(expr);
+  if (cmp.op() != CompareOp::kEq) return false;
+  if (cmp.lhs().kind() != Expr::Kind::kColumnRef ||
+      cmp.rhs().kind() != Expr::Kind::kColumnRef) {
+    return false;
+  }
+  const auto* a = static_cast<const ColumnRefExpr*>(&cmp.lhs());
+  const auto* b = static_cast<const ColumnRefExpr*>(&cmp.rhs());
+  if (a->side() == Side::kRight && b->side() == Side::kLeft) std::swap(a, b);
+  if (a->side() != Side::kLeft || b->side() != Side::kRight) return false;
+  if (a->index() < 0 || a->index() >= outer.num_columns()) return false;
+  if (b->index() < 0 || b->index() >= inner.num_columns()) return false;
+  const Column& oc = outer.column(a->index());
+  const Column& ic = inner.column(b->index());
+  if (oc.type != ic.type || oc.type == ColumnType::kDouble) return false;
+  out->type = oc.type;
+  out->outer_offset = outer.offset(a->index());
+  out->inner_offset = inner.offset(b->index());
+  out->outer_width = oc.width;
+  out->inner_width = ic.width;
+  return true;
+}
+
+/// Collects the AND-conjuncts of \p expr in evaluation order. Only
+/// top-level ANDs are flattened; anything else is one conjunct.
+void FlattenAnd(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind() == Expr::Kind::kLogic) {
+    const auto& logic = static_cast<const LogicExpr&>(expr);
+    if (logic.op() == LogicOp::kAnd && logic.rhs() != nullptr) {
+      FlattenAnd(logic.lhs(), out);
+      FlattenAnd(*logic.rhs(), out);
+      return;
+    }
+  }
+  out->push_back(&expr);
+}
+
+}  // namespace
+
+StatusOr<CompiledJoinPredicate> CompiledJoinPredicate::Compile(
+    const Expr& pred, const Schema& outer, const Schema& inner) {
+  CompiledJoinPredicate jp;
+  DFDB_ASSIGN_OR_RETURN(jp.full_,
+                        CompiledPredicate::Compile(pred, outer, &inner));
+
+  // AND-conjunct split: equi-keys drive the hash table, the rest becomes
+  // the residual. Conjunction over compiled (error-free) programs is
+  // order-insensitive, so evaluating keys before residuals is exact.
+  std::vector<const Expr*> conjuncts;
+  FlattenAnd(pred, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    EquiKey key;
+    if (TryEquiKey(*c, outer, inner, &key)) {
+      jp.keys_.push_back(key);
+      continue;
+    }
+    DFDB_ASSIGN_OR_RETURN(CompiledPredicate residual,
+                          CompiledPredicate::Compile(*c, outer, &inner));
+    jp.residuals_.push_back(std::move(residual));
+  }
+  return jp;
+}
+
+}  // namespace dfdb

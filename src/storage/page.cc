@@ -51,6 +51,24 @@ Status Page::Append(Slice tuple) {
   return Status::OK();
 }
 
+Status Page::AppendParts(const Slice* parts, size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += parts[i].size();
+  if (static_cast<int>(total) != tuple_width_) {
+    return Status::InvalidArgument(
+        StrFormat("tuple parts sum to %zu bytes, page expects %d", total,
+                  tuple_width_));
+  }
+  if (full()) {
+    return Status::ResourceExhausted("page is full");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    data_.insert(data_.end(), parts[i].data(), parts[i].data() + parts[i].size());
+  }
+  ++num_tuples_;
+  return Status::OK();
+}
+
 StatusOr<int> Page::FillFrom(const Page& other, int from_tuple) {
   if (other.tuple_width_ != tuple_width_) {
     return Status::InvalidArgument("tuple widths differ");

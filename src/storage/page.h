@@ -56,6 +56,12 @@ class Page {
   /// ResourceExhausted when full.
   Status Append(Slice tuple);
 
+  /// Appends one tuple given as \p n byte ranges whose sizes must sum to
+  /// tuple_width(). The kernels' scatter/gather emission path: join and
+  /// project outputs are assembled directly into the page, with no
+  /// intermediate tuple buffer.
+  Status AppendParts(const Slice* parts, size_t n);
+
   /// Borrowed view of tuple \p i; valid while the page is alive.
   Slice tuple(int i) const {
     return Slice(data_.data() + static_cast<size_t>(i) * tuple_width_,

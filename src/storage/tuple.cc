@@ -88,11 +88,8 @@ StatusOr<Value> TupleView::GetValue(int col) const {
       std::memcpy(&x, src, 8);
       return Value::Double(x);
     }
-    case ColumnType::kChar: {
-      size_t len = static_cast<size_t>(c.width);
-      while (len > 0 && src[len - 1] == ' ') --len;
-      return Value::Char(std::string(src, len));
-    }
+    case ColumnType::kChar:
+      return Value::Char(std::string(src, TrimmedCharLen(src, c.width)));
   }
   return Status::Internal("unreachable");
 }
@@ -158,11 +155,17 @@ std::string ConcatTuples(Slice left, Slice right) {
 std::string ProjectTuple(const Schema& schema, Slice src,
                          const std::vector<int>& indices) {
   std::string out;
+  ProjectTupleInto(schema, src, indices, &out);
+  return out;
+}
+
+void ProjectTupleInto(const Schema& schema, Slice src,
+                      const std::vector<int>& indices, std::string* out) {
+  out->clear();
   for (int i : indices) {
     const Column& c = schema.column(i);
-    out.append(src.data() + schema.offset(i), static_cast<size_t>(c.width));
+    out->append(src.data() + schema.offset(i), static_cast<size_t>(c.width));
   }
-  return out;
 }
 
 }  // namespace dfdb

@@ -58,6 +58,16 @@ class TupleView {
   Slice data_;
 };
 
+/// \brief Length of a CHAR column's value after right-trimming the blank
+/// padding — the string GetValue() materializes. Shared by the compiled
+/// predicate programs and the hash-join key logic so both agree with the
+/// interpreter byte for byte.
+inline size_t TrimmedCharLen(const char* p, int width) {
+  size_t n = static_cast<size_t>(width);
+  while (n > 0 && p[n - 1] == ' ') --n;
+  return n;
+}
+
 /// \brief Concatenates two encoded tuples (join output: outer ++ inner).
 std::string ConcatTuples(Slice left, Slice right);
 
@@ -65,6 +75,11 @@ std::string ConcatTuples(Slice left, Slice right);
 /// \p indices order into a new encoded tuple for the projected schema.
 std::string ProjectTuple(const Schema& schema, Slice src,
                          const std::vector<int>& indices);
+
+/// \brief ProjectTuple into a caller-owned buffer, so loops that project
+/// per tuple (duplicate elimination) can reuse one allocation.
+void ProjectTupleInto(const Schema& schema, Slice src,
+                      const std::vector<int>& indices, std::string* out);
 
 }  // namespace dfdb
 

@@ -48,6 +48,28 @@ TEST(PageTest, AppendUntilFull) {
   EXPECT_TRUE(p.Append(Slice("short")).IsInvalidArgument());
 }
 
+TEST(PageTest, AppendPartsMatchesAppend) {
+  Schema schema = TwoColSchema();
+  ASSERT_OK_AND_ASSIGN(Page whole, Page::Create(1, schema.tuple_width(), 35));
+  ASSERT_OK_AND_ASSIGN(Page parts, Page::Create(1, schema.tuple_width(), 35));
+  for (int i = 0; i < 3; ++i) {
+    const std::string t = Encode(schema, i, "abc");
+    ASSERT_OK(whole.Append(Slice(t)));
+    const Slice split[2] = {Slice(t.data(), 4), Slice(t.data() + 4, 6)};
+    ASSERT_OK(parts.AppendParts(split, 2));
+  }
+  ASSERT_EQ(parts.num_tuples(), whole.num_tuples());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(parts.tuple(i), whole.tuple(i));
+  }
+  // Wrong total width and full pages are rejected just like Append.
+  const std::string t = Encode(schema, 9, "xyz");
+  const Slice bad[1] = {Slice(t.data(), 4)};
+  EXPECT_TRUE(parts.AppendParts(bad, 1).IsInvalidArgument());
+  const Slice full[1] = {Slice(t)};
+  EXPECT_TRUE(parts.AppendParts(full, 1).IsResourceExhausted());
+}
+
 TEST(PageTest, TupleRoundTrip) {
   Schema schema = TwoColSchema();
   ASSERT_OK_AND_ASSIGN(Page p, Page::Create(1, schema.tuple_width(), 100));

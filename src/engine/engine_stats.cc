@@ -33,6 +33,16 @@ std::string ExecStats::ToString() const {
         static_cast<unsigned long long>(redispatched_tasks),
         static_cast<unsigned long long>(poison_dropped));
   }
+  if (pipeline_fused_edges > 0 || pipeline_runtime_fallbacks > 0) {
+    out += StrFormat(
+        " | pipeline: fused=%llu materialized=%llu elided=%llu "
+        "fused_pages=%llu fallbacks=%llu",
+        static_cast<unsigned long long>(pipeline_fused_edges),
+        static_cast<unsigned long long>(pipeline_materialized_edges),
+        static_cast<unsigned long long>(pipeline_pages_elided),
+        static_cast<unsigned long long>(pipeline_fused_pages),
+        static_cast<unsigned long long>(pipeline_runtime_fallbacks));
+  }
   if (kernel.compiled_pages > 0 || kernel.interpreted_pages > 0 ||
       kernel.hash_joins > 0 || kernel.nested_joins > 0) {
     out += StrFormat(
@@ -61,6 +71,13 @@ void RegisterMetrics(const ExecStats& stats, obs::MetricsRegistry* registry) {
   registry->Set("engine.sched.queued", stats.sched_queued);
   registry->Set("engine.sched.requeues", stats.sched_requeues);
   registry->Set("engine.sched.queue_wait_ns", stats.sched_queue_wait_ns);
+  registry->Set("engine.pipeline.fused_edges", stats.pipeline_fused_edges);
+  registry->Set("engine.pipeline.materialized_edges",
+                stats.pipeline_materialized_edges);
+  registry->Set("engine.pipeline.pages_elided", stats.pipeline_pages_elided);
+  registry->Set("engine.pipeline.fused_pages", stats.pipeline_fused_pages);
+  registry->Set("engine.pipeline.runtime_fallbacks",
+                stats.pipeline_runtime_fallbacks);
   registry->Set("engine.kernel.compiled_pages", stats.kernel.compiled_pages);
   registry->Set("engine.kernel.interpreted_pages",
                 stats.kernel.interpreted_pages);

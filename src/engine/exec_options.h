@@ -24,6 +24,21 @@ enum class Granularity {
 
 std::string_view GranularityToString(Granularity g);
 
+/// \brief How an engine treats the optimizer's per-edge pipeline marks
+/// (PlanNode::pipeline_fused; see DESIGN.md "Pipeline fusion").
+enum class PipelinePolicy {
+  /// Fuse exactly the edges the optimizer marked (default).
+  kHonorPlan,
+  /// Materialize every edge regardless of marks — the pre-fusion
+  /// behaviour, and the differential-testing baseline.
+  kForceMaterialize,
+  /// Fuse every edge that passes the safety conditions (PipelineEdgeSafe),
+  /// marked or not. Stats vetoes are ignored; safety is still enforced.
+  kForceFuse,
+};
+
+std::string_view PipelinePolicyToString(PipelinePolicy p);
+
 /// \brief Deterministic fault schedule for the threaded engine — the
 /// analogue of the machine simulator's FaultPlan. Workers abandon work at
 /// operator-packet boundaries, so a restarted task re-runs from scratch and
@@ -69,6 +84,9 @@ struct ExecOptions {
 
   /// Partition count for the parallel duplicate-elimination project.
   int dedup_partitions = 16;
+
+  /// Per-edge pipeline-vs-materialize execution policy.
+  PipelinePolicy pipeline = PipelinePolicy::kHonorPlan;
 
   /// Deterministic fault schedule (empty = healthy workers).
   EngineFaultPlan fault_plan;

@@ -30,12 +30,26 @@ std::string_view GranularityToString(Granularity g) {
   return "?";
 }
 
+std::string_view PipelinePolicyToString(PipelinePolicy p) {
+  switch (p) {
+    case PipelinePolicy::kHonorPlan:
+      return "plan";
+    case PipelinePolicy::kForceMaterialize:
+      return "materialize";
+    case PipelinePolicy::kForceFuse:
+      return "fuse";
+  }
+  return "?";
+}
+
 std::string ExecOptions::ToString() const {
   return StrFormat(
-      "granularity=%s procs=%d cells=%d page=%dB local=%dp cache=%dp",
+      "granularity=%s procs=%d cells=%d page=%dB local=%dp cache=%dp "
+      "pipeline=%s",
       std::string(GranularityToString(granularity)).c_str(), num_processors,
       memory_cells_per_processor, page_bytes, local_memory_pages,
-      disk_cache_pages);
+      disk_cache_pages,
+      std::string(PipelinePolicyToString(pipeline)).c_str());
 }
 
 Executor::Executor(StorageEngine* storage, ExecOptions options)

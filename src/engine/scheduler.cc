@@ -27,6 +27,7 @@
 #include "operators/kernels.h"
 #include "operators/set_ops.h"
 #include "ra/analyzer.h"
+#include "ra/optimizer.h"
 #include "storage/buffer_manager.h"
 
 namespace dfdb {
@@ -36,9 +37,12 @@ class SchedulerImpl;
 
 /// A page travelling between nodes: the live pointer plus its id in the
 /// buffer hierarchy (fetching by id is what generates storage traffic).
+/// Pages on fused edges are delivered `direct`: they never enter the
+/// hierarchy, so the consumer uses the live pointer and skips the fetch.
 struct PendingPage {
   PagePtr page;
   PageId id;
+  bool direct = false;
 };
 
 /// One outer page's join progress: the paper's IRC vector collapses to a
@@ -69,6 +73,12 @@ struct NodeState {
   std::optional<CompiledPredicate> compiled_pred;
   /// Join program with extracted equi-keys (kJoin).
   std::optional<CompiledJoinPredicate> compiled_join;
+  /// Pipeline fusion (unary-chain collapse): the steps of every absorbed
+  /// fused producer below this node plus this node's own operation, run as
+  /// one pass per input page. The absorbed nodes have no NodeState — their
+  /// input wires directly to this node.
+  std::optional<FusedPipeline> fused;
+  int fused_chain_len = 0;  ///< Absorbed producers (elision accounting).
 
   std::mutex mu;
   std::vector<bool> input_closed;
@@ -317,8 +327,22 @@ class SchedulerImpl {
  private:
   StatusOr<std::unique_ptr<QueryRuntime>> Prepare(const PlanNode& plan,
                                                   size_t batch_index);
+  /// \p plan_parent is the node's consumer in the *plan* (distinct from the
+  /// runtime \p parent when a fused chain was absorbed in between); it is
+  /// what the per-edge pipeline decision is evaluated against.
   NodeState* BuildNode(const PlanNode* n, NodeState* parent, int slot,
-                       QueryRuntime* q);
+                       QueryRuntime* q, const PlanNode* plan_parent);
+  /// True when the edge \p producer -> \p consumer runs fused under the
+  /// session policy. With \p count_fallback set, a plan-marked edge the
+  /// safety conditions reject is recorded as a runtime fallback (the
+  /// absorption chain walk passes false; the edge is classified — and
+  /// counted — once, when its producer node is built).
+  bool EdgeFused(const PlanNode& producer, const PlanNode& consumer,
+                 QueryRuntime* q, bool count_fallback = true);
+  /// Compiles the absorbed producer chain (nearest-first) plus \p ns's own
+  /// operation into ns->fused.
+  Status BuildFusedChain(NodeState* ns,
+                         const std::vector<const PlanNode*>& chain);
   /// Enqueues every source-driver task of \p q as one atomic batch. The
   /// caller must hold an `in_flight` reference on \p q (see MaybeReap).
   void LaunchQuery(QueryRuntime* q);
@@ -598,29 +622,53 @@ void NodeState::RunUnaryTask(int slot, PendingPage p) {
                     0, nullptr);
   if (!query->failed.load(std::memory_order_relaxed)) {
     // Fetch through the hierarchy: this is the operand delivery that the
-    // arbitration path carries in the paper's model.
-    auto fetched = impl->buffer()->Fetch(p.id);
-    if (!fetched.ok()) {
-      query->Fail(fetched.status().WithContext("operand fetch"));
+    // arbitration path carries in the paper's model. Pages on fused edges
+    // arrive live — no fetch, and no packet/arbitration traffic (that is
+    // the saving the engine.pipeline.* counters record instead).
+    PagePtr operand;
+    if (p.direct) {
+      operand = p.page;
     } else {
-      const Page& page = **fetched;
-      ctr.packets.fetch_add(1, std::memory_order_relaxed);
-      ctr.arbitration_bytes.fetch_add(
-          static_cast<uint64_t>(page.payload_bytes()),
-          std::memory_order_relaxed);
-      ctr.overhead_bytes.fetch_add(
-          static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
-          std::memory_order_relaxed);
+      auto fetched = impl->buffer()->Fetch(p.id);
+      if (!fetched.ok()) {
+        query->Fail(fetched.status().WithContext("operand fetch"));
+      } else {
+        operand = *fetched;
+      }
+    }
+    if (operand != nullptr) {
+      const Page& page = *operand;
+      if (!p.direct) {
+        ctr.packets.fetch_add(1, std::memory_order_relaxed);
+        ctr.arbitration_bytes.fetch_add(
+            static_cast<uint64_t>(page.payload_bytes()),
+            std::memory_order_relaxed);
+        ctr.overhead_bytes.fetch_add(
+            static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
+            std::memory_order_relaxed);
+      }
       impl->RecordTrace(obs::TraceEventKind::kPacketDelivered, query,
                         node->id, slot,
-                        static_cast<uint64_t>(page.payload_bytes()), nullptr);
+                        static_cast<uint64_t>(page.payload_bytes()),
+                        p.direct ? "fused-direct" : nullptr);
 
       EdgeSink sink(out.get());
       Status s = Status::OK();
       const Schema& in_schema = node->num_children() > 0
                                     ? node->child(slot).output_schema
                                     : node->output_schema;
-      switch (node->op) {
+      if (fused.has_value()) {
+        // Unary-chain collapse: one pass over the raw input page runs
+        // every absorbed step plus this node's own operation, emitting
+        // straight into the output edge. The absorbed producers' pages
+        // never exist (one elision per absorbed edge per input page).
+        ctr.pipeline_fused_pages.fetch_add(1, std::memory_order_relaxed);
+        ctr.pipeline_pages_elided.fetch_add(
+            static_cast<uint64_t>(fused_chain_len),
+            std::memory_order_relaxed);
+        s = RunFusedPipeline(*fused, page, &sink, &ctr.kernel);
+      } else {
+        switch (node->op) {
         case PlanOp::kRestrict:
           if (compiled_pred.has_value()) {
             s = RestrictPage(*compiled_pred, page, &sink, &ctr.kernel);
@@ -688,6 +736,7 @@ void NodeState::RunUnaryTask(int slot, PendingPage p) {
           break;
         default:
           s = Status::Internal("unary task on non-unary node");
+        }
       }
       if (!s.ok()) query->Fail(s.WithContext("operator task"));
     }
@@ -713,19 +762,24 @@ void NodeState::RunJoinOuter(OuterWork w) {
 
   PagePtr outer_page;
   if (!failed) {
-    auto fetched = impl->buffer()->Fetch(w.outer.id);
-    if (!fetched.ok()) {
-      query->Fail(fetched.status().WithContext("join outer fetch"));
+    if (w.outer.direct) {
+      // Fused outer edge: the live page skips the fetch and its traffic.
+      outer_page = w.outer.page;
     } else {
-      outer_page = *fetched;
-      if (w.first) {
-        ctr.packets.fetch_add(1, std::memory_order_relaxed);
-        ctr.arbitration_bytes.fetch_add(
-            static_cast<uint64_t>(outer_page->payload_bytes()),
-            std::memory_order_relaxed);
-        ctr.overhead_bytes.fetch_add(
-            static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
-            std::memory_order_relaxed);
+      auto fetched = impl->buffer()->Fetch(w.outer.id);
+      if (!fetched.ok()) {
+        query->Fail(fetched.status().WithContext("join outer fetch"));
+      } else {
+        outer_page = *fetched;
+        if (w.first) {
+          ctr.packets.fetch_add(1, std::memory_order_relaxed);
+          ctr.arbitration_bytes.fetch_add(
+              static_cast<uint64_t>(outer_page->payload_bytes()),
+              std::memory_order_relaxed);
+          ctr.overhead_bytes.fetch_add(
+              static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
+              std::memory_order_relaxed);
+        }
       }
     }
   }
@@ -764,32 +818,41 @@ void NodeState::RunJoinOuter(OuterWork w) {
       EdgeSink sink(out.get());
       JoinScratch scratch;  // Reused across every inner page of this task.
       for (const PendingPage& inner : batch) {
-        auto inner_fetched = impl->buffer()->Fetch(inner.id);
-        if (!inner_fetched.ok()) {
-          query->Fail(inner_fetched.status().WithContext("join inner fetch"));
-          break;
+        PagePtr inner_page;
+        if (inner.direct) {
+          // Fused inner edge: every broadcast re-delivery of this page is
+          // a fetch (and a packet) that never happens.
+          inner_page = inner.page;
+        } else {
+          auto inner_fetched = impl->buffer()->Fetch(inner.id);
+          if (!inner_fetched.ok()) {
+            query->Fail(
+                inner_fetched.status().WithContext("join inner fetch"));
+            break;
+          }
+          inner_page = *inner_fetched;
+          // Each inner-page delivery is one broadcast packet (Section 4.2).
+          ctr.packets.fetch_add(1, std::memory_order_relaxed);
+          ctr.arbitration_bytes.fetch_add(
+              static_cast<uint64_t>(inner_page->payload_bytes()),
+              std::memory_order_relaxed);
+          ctr.overhead_bytes.fetch_add(
+              static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
+              std::memory_order_relaxed);
+          impl->RecordTrace(obs::TraceEventKind::kPacketDelivered, query,
+                            node->id, 1,
+                            static_cast<uint64_t>(inner_page->payload_bytes()),
+                            "broadcast");
         }
-        // Each inner-page delivery is one broadcast packet (Section 4.2).
-        ctr.packets.fetch_add(1, std::memory_order_relaxed);
-        ctr.arbitration_bytes.fetch_add(
-            static_cast<uint64_t>((*inner_fetched)->payload_bytes()),
-            std::memory_order_relaxed);
-        ctr.overhead_bytes.fetch_add(
-            static_cast<uint64_t>(impl->opts().packet_overhead_bytes),
-            std::memory_order_relaxed);
-        impl->RecordTrace(
-            obs::TraceEventKind::kPacketDelivered, query, node->id, 1,
-            static_cast<uint64_t>((*inner_fetched)->payload_bytes()),
-            "broadcast");
         Status s;
         if (compiled_join.has_value()) {
-          s = JoinPages(*compiled_join, *outer_page, **inner_fetched, &scratch,
+          s = JoinPages(*compiled_join, *outer_page, *inner_page, &scratch,
                         &sink, &ctr.kernel);
         } else {
           ctr.kernel.interpreted_pages.fetch_add(1, std::memory_order_relaxed);
           ctr.kernel.nested_joins.fetch_add(1, std::memory_order_relaxed);
           s = JoinPages(outer_schema, inner_schema, *node->predicate,
-                        *outer_page, **inner_fetched, &sink);
+                        *outer_page, *inner_page, &sink);
         }
         if (!s.ok()) {
           query->Fail(s.WithContext("join task"));
@@ -954,7 +1017,7 @@ StatusOr<std::unique_ptr<QueryRuntime>> SchedulerImpl::Prepare(
   q->plan = plan.Clone();
   Analyzer analyzer(&storage_->catalog());
   DFDB_ASSIGN_OR_RETURN(q->analysis, analyzer.Resolve(q->plan.get()));
-  NodeState* root = BuildNode(q->plan.get(), nullptr, 0, q.get());
+  NodeState* root = BuildNode(q->plan.get(), nullptr, 0, q.get(), nullptr);
   if (root == nullptr) {
     return Status::Internal("failed to build node graph");
   }
@@ -963,8 +1026,66 @@ StatusOr<std::unique_ptr<QueryRuntime>> SchedulerImpl::Prepare(
   return q;
 }
 
+bool SchedulerImpl::EdgeFused(const PlanNode& producer,
+                              const PlanNode& consumer, QueryRuntime* q,
+                              bool count_fallback) {
+  if (producer.op == PlanOp::kScan) return false;
+  switch (opts().pipeline) {
+    case PipelinePolicy::kForceMaterialize:
+      return false;
+    case PipelinePolicy::kForceFuse:
+      return PipelineEdgeSafe(producer, consumer);
+    case PipelinePolicy::kHonorPlan:
+      if (!producer.pipeline_fused) return false;
+      if (!PipelineEdgeSafe(producer, consumer)) {
+        // The plan asked for fusion the engine cannot prove safe (e.g. a
+        // hand-marked plan): fall back to materialization.
+        if (count_fallback) {
+          q->counters.pipeline_runtime_fallbacks.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+Status SchedulerImpl::BuildFusedChain(
+    NodeState* ns, const std::vector<const PlanNode*>& chain) {
+  const PlanNode* n = ns->node;
+  ns->fused.emplace(chain.back()->child(0).output_schema.tuple_width());
+  // Deepest absorbed producer first, then up the chain, then this node's
+  // own operation as the final step.
+  std::vector<const PlanNode*> steps(chain.rbegin(), chain.rend());
+  steps.push_back(n);
+  for (const PlanNode* a : steps) {
+    const Schema& in = a->child(0).output_schema;
+    if (a->op == PlanOp::kRestrict) {
+      DFDB_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                            CompiledPredicate::Compile(*a->predicate, in));
+      ns->fused->AddFilter(std::move(pred));
+    } else if (a->op == PlanOp::kProject) {
+      std::vector<int> indices;
+      for (const std::string& name : a->columns) {
+        DFDB_ASSIGN_OR_RETURN(int idx, in.ColumnIndex(name));
+        indices.push_back(idx);
+      }
+      ns->fused->AddProject(in, indices);
+    } else {
+      return Status::Internal("unexpected op in fused chain");
+    }
+  }
+  if (ns->fused->output_width() != n->output_schema.tuple_width()) {
+    return Status::Internal("fused chain width mismatch");
+  }
+  ns->fused_chain_len = static_cast<int>(chain.size());
+  return Status::OK();
+}
+
 NodeState* SchedulerImpl::BuildNode(const PlanNode* n, NodeState* parent,
-                                    int slot, QueryRuntime* q) {
+                                    int slot, QueryRuntime* q,
+                                    const PlanNode* plan_parent) {
   auto state = std::make_unique<NodeState>();
   NodeState* ns = state.get();
   ns->impl = this;
@@ -1055,6 +1176,23 @@ NodeState* SchedulerImpl::BuildNode(const PlanNode* n, NodeState* parent,
     q->Fail(setup.WithContext("node setup"));
   }
 
+  // Per-edge pipeline decision for the edge to this node's plan consumer.
+  // A fused edge whose consumer could have absorbed this node never gets
+  // here (the consumer skipped BuildNode for it), so a fused edge at this
+  // point delivers `direct`: its pages keep their Edge packing (join output
+  // order depends on operand page boundaries) but skip the buffer-hierarchy
+  // round trip, and the consumer uses the live pointer without a fetch.
+  bool direct = false;
+  if (plan_parent != nullptr && n->op != PlanOp::kScan) {
+    if (EdgeFused(*n, *plan_parent, q)) {
+      direct = true;
+      q->counters.pipeline_fused_edges.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      q->counters.pipeline_materialized_edges.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+
   // Output edge: unit is the configured page size, or one tuple under
   // tuple granularity.
   const int tuple_width = std::max(1, n->output_schema.tuple_width());
@@ -1087,8 +1225,9 @@ NodeState* SchedulerImpl::BuildNode(const PlanNode* n, NodeState* parent,
   } else {
     ns->out = std::make_unique<Edge>(
         pseudo, tuple_width, unit,
-        [this, q, node_id, parent, slot, count_distribution](PagePtr page) {
-          if (count_distribution) {
+        [this, q, node_id, parent, slot, count_distribution,
+         direct](PagePtr page) {
+          if (count_distribution && !direct) {
             q->counters.distribution_bytes.fetch_add(
                 static_cast<uint64_t>(page->payload_bytes()),
                 std::memory_order_relaxed);
@@ -1098,7 +1237,17 @@ NodeState* SchedulerImpl::BuildNode(const PlanNode* n, NodeState* parent,
               static_cast<uint64_t>(page->num_tuples()),
               std::memory_order_relaxed);
           RecordTrace(obs::TraceEventKind::kPageProduced, q, node_id, -1,
-                      static_cast<uint64_t>(page->payload_bytes()), nullptr);
+                      static_cast<uint64_t>(page->payload_bytes()),
+                      direct ? "fused-direct" : nullptr);
+          if (direct) {
+            // Fused edge: the page is handed to the consumer live — the
+            // PutNew/Fetch round trip (and its distribution/arbitration
+            // traffic) is elided.
+            q->counters.pipeline_pages_elided.fetch_add(
+                1, std::memory_order_relaxed);
+            parent->OnPage(slot, PendingPage{std::move(page), PageId{}, true});
+            return;
+          }
           const PageId id = buffer_.PutNew(page);
           q->RecordIntermediate(id);
           parent->OnPage(slot, PendingPage{std::move(page), id});
@@ -1107,9 +1256,42 @@ NodeState* SchedulerImpl::BuildNode(const PlanNode* n, NodeState* parent,
   }
 
   // Children are wired after this node exists so their edges can reference
-  // it.
+  // it. A fusable unary consumer first absorbs the chain of fused
+  // producers below it: those nodes get no NodeState — the chain compiles
+  // into ns->fused and the chain's input wires directly to this node.
+  const bool absorbs =
+      (n->op == PlanOp::kRestrict && ns->compiled_pred.has_value()) ||
+      (n->op == PlanOp::kProject && !n->dedup);
   for (int i = 0; i < n->num_children(); ++i) {
-    BuildNode(&n->child(i), ns, i, q);
+    const PlanNode* child = &n->child(i);
+    if (i == 0 && absorbs) {
+      std::vector<const PlanNode*> chain;  // Nearest producer first.
+      const PlanNode* consumer = n;
+      const PlanNode* cur = child;
+      while ((cur->op == PlanOp::kRestrict || cur->op == PlanOp::kProject) &&
+             EdgeFused(*cur, *consumer, q, /*count_fallback=*/false)) {
+        chain.push_back(cur);
+        consumer = cur;
+        cur = &cur->child(0);
+      }
+      if (!chain.empty()) {
+        Status fs = BuildFusedChain(ns, chain);
+        if (fs.ok()) {
+          q->counters.pipeline_fused_edges.fetch_add(
+              chain.size(), std::memory_order_relaxed);
+          BuildNode(cur, ns, i, q, /*plan_parent=*/chain.back());
+          continue;
+        }
+        // Cannot happen when the safety conditions held (same deterministic
+        // compile); the chain is wired normally below (its edges then run
+        // direct rather than collapsed).
+        ns->fused.reset();
+        ns->fused_chain_len = 0;
+        q->counters.pipeline_runtime_fallbacks.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+    BuildNode(child, ns, i, q, n);
   }
 
   q->nodes.push_back(std::move(state));
@@ -1219,6 +1401,13 @@ void SchedulerImpl::FulfillLocked(QueryRuntime* q) {
   qs.overhead_bytes = q->counters.overhead_bytes.load();
   qs.pages_produced = q->counters.pages_produced.load();
   qs.tuples_produced = q->counters.tuples_produced.load();
+  qs.pipeline_fused_edges = q->counters.pipeline_fused_edges.load();
+  qs.pipeline_materialized_edges =
+      q->counters.pipeline_materialized_edges.load();
+  qs.pipeline_pages_elided = q->counters.pipeline_pages_elided.load();
+  qs.pipeline_fused_pages = q->counters.pipeline_fused_pages.load();
+  qs.pipeline_runtime_fallbacks =
+      q->counters.pipeline_runtime_fallbacks.load();
   qs.kernel = q->counters.kernel.Snapshot();
   qs.sched_admitted = q->was_queued ? 0 : 1;
   qs.sched_queued = q->was_queued ? 1 : 0;
@@ -1234,6 +1423,11 @@ void SchedulerImpl::FulfillLocked(QueryRuntime* q) {
   totals_.work.overhead_bytes += qs.overhead_bytes;
   totals_.work.pages_produced += qs.pages_produced;
   totals_.work.tuples_produced += qs.tuples_produced;
+  totals_.work.pipeline_fused_edges += qs.pipeline_fused_edges;
+  totals_.work.pipeline_materialized_edges += qs.pipeline_materialized_edges;
+  totals_.work.pipeline_pages_elided += qs.pipeline_pages_elided;
+  totals_.work.pipeline_fused_pages += qs.pipeline_fused_pages;
+  totals_.work.pipeline_runtime_fallbacks += qs.pipeline_runtime_fallbacks;
   totals_.work.kernel.compiled_pages += qs.kernel.compiled_pages;
   totals_.work.kernel.interpreted_pages += qs.kernel.interpreted_pages;
   totals_.work.kernel.compile_fallbacks += qs.kernel.compile_fallbacks;

@@ -1,6 +1,7 @@
 #include "machine/instruction.h"
 
 #include "common/macros.h"
+#include "ra/expr_compile.h"
 
 namespace dfdb {
 
@@ -20,10 +21,24 @@ bool IsBarrierOp(const PlanNode& n) {
   }
 }
 
+/// True if the fused edge below \p child can be folded into a consumer
+/// operand: a restrict directly over a base relation whose predicate the
+/// compiler accepts. The IC then filters during staging compaction and the
+/// restrict needs no instruction at all.
+bool Foldable(const PlanNode& child) {
+  if (child.op != PlanOp::kRestrict || child.predicate == nullptr) return false;
+  if (child.num_children() != 1 || child.child(0).op != PlanOp::kScan) {
+    return false;
+  }
+  return CompiledPredicate::Compile(*child.predicate,
+                                    child.child(0).output_schema)
+      .ok();
+}
+
 /// Compiles the subtree rooted at \p n; returns the producing instruction
 /// id. \p n must not be a scan.
 int CompileNode(const PlanNode* n, uint64_t query_id, size_t query_index,
-                MachineProgram* prog) {
+                PipelinePolicy pipeline, MachineProgram* prog) {
   MachineInstruction instr;
   instr.query_id = query_id;
   instr.query_index = query_index;
@@ -39,7 +54,21 @@ int CompileNode(const PlanNode* n, uint64_t query_id, size_t query_index,
       operand.is_base = true;
       operand.base_relation = child.relation;
     } else {
-      operand.producer = CompileNode(&child, query_id, query_index, prog);
+      const bool wants_fuse =
+          pipeline == PipelinePolicy::kForceFuse ||
+          (pipeline == PipelinePolicy::kHonorPlan && child.pipeline_fused);
+      if (wants_fuse && Foldable(child)) {
+        operand.is_base = true;
+        operand.base_relation = child.child(0).relation;
+        operand.filter = &child;
+        prog->pipeline.fused_edges++;
+        instr.operands.push_back(std::move(operand));
+        continue;
+      }
+      if (wants_fuse) prog->pipeline.fallbacks++;
+      prog->pipeline.materialized_edges++;
+      operand.producer =
+          CompileNode(&child, query_id, query_index, pipeline, prog);
       prog->instructions[static_cast<size_t>(operand.producer)].consumer_slot =
           i;
     }
@@ -71,7 +100,8 @@ int CompileNode(const PlanNode* n, uint64_t query_id, size_t query_index,
 }  // namespace
 
 StatusOr<MachineProgram> CompileProgram(
-    const Catalog& catalog, const std::vector<const PlanNode*>& queries) {
+    const Catalog& catalog, const std::vector<const PlanNode*>& queries,
+    PipelinePolicy pipeline) {
   MachineProgram prog;
   Analyzer analyzer(&catalog);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -88,7 +118,7 @@ StatusOr<MachineProgram> CompileProgram(
                           analyzer.Resolve(plan.get()));
     prog.analyses.push_back(std::move(analysis));
     const uint64_t query_id = static_cast<uint64_t>(qi) + 1;
-    const int root = CompileNode(plan.get(), query_id, qi, &prog);
+    const int root = CompileNode(plan.get(), query_id, qi, pipeline, &prog);
     prog.roots.push_back(root);
     prog.plans.push_back(std::move(plan));
   }

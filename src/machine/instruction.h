@@ -17,6 +17,7 @@
 
 #include "catalog/catalog.h"
 #include "common/statusor.h"
+#include "engine/exec_options.h"
 #include "ra/analyzer.h"
 #include "ra/plan.h"
 
@@ -31,6 +32,11 @@ struct MachineOperand {
   int producer = -1;
   /// Operand tuple schema.
   Schema schema;
+  /// Pipeline fusion: a restrict folded into this operand. The IC applies
+  /// the predicate while compacting staged pages into machine units, so the
+  /// restrict never occupies an IP and its result pages never ride the ring.
+  /// Points into the program's plan clones; null = unfiltered operand.
+  const PlanNode* filter = nullptr;
 };
 
 /// \brief One relational-algebra instruction as the machine executes it.
@@ -56,6 +62,16 @@ struct MachineInstruction {
   bool barrier = false;
 };
 
+/// \brief Per-edge pipeline decisions taken at compile time
+/// (machine.pipeline.*).
+struct PipelineCompileStats {
+  uint64_t fused_edges = 0;         ///< Producers folded into an operand.
+  uint64_t materialized_edges = 0;  ///< Edges left as instructions.
+  /// Edges the plan marked fused but the compiler could not fold (producer
+  /// not a restrict-over-base, or the predicate refused compilation).
+  uint64_t fallbacks = 0;
+};
+
 /// \brief A compiled batch of queries.
 struct MachineProgram {
   std::vector<std::unique_ptr<PlanNode>> plans;  ///< Resolved clones (owned).
@@ -63,14 +79,21 @@ struct MachineProgram {
   std::vector<MachineInstruction> instructions;
   /// Root instruction id per query (results to host).
   std::vector<int> roots;
+  PipelineCompileStats pipeline;
 };
 
 /// \brief Compiles \p queries (cloned and resolved against \p catalog).
 ///
 /// A bare-scan query is wrapped in an always-true restrict so that it is an
 /// instruction. Queries are numbered by position.
+///
+/// \p pipeline controls per-edge fusion: a kRestrict producer over a base
+/// relation whose predicate compiles is folded into the consumer's operand
+/// (MachineOperand::filter) when the plan marks the edge (kHonorPlan) or
+/// unconditionally (kForceFuse); kForceMaterialize folds nothing.
 StatusOr<MachineProgram> CompileProgram(
-    const Catalog& catalog, const std::vector<const PlanNode*>& queries);
+    const Catalog& catalog, const std::vector<const PlanNode*>& queries,
+    PipelinePolicy pipeline = PipelinePolicy::kHonorPlan);
 
 }  // namespace dfdb
 

@@ -22,6 +22,16 @@ std::string MachineReport::ToString() const {
     out += " | ";
     out += faults.ToString();
   }
+  if (pipeline_fused_edges > 0 || pipeline_runtime_fallbacks > 0) {
+    out += StrFormat(
+        " | pipeline: fused=%llu materialized=%llu elided=%llu "
+        "fused_pages=%llu fallbacks=%llu",
+        static_cast<unsigned long long>(pipeline_fused_edges),
+        static_cast<unsigned long long>(pipeline_materialized_edges),
+        static_cast<unsigned long long>(pipeline_pages_elided),
+        static_cast<unsigned long long>(pipeline_fused_pages),
+        static_cast<unsigned long long>(pipeline_runtime_fallbacks));
+  }
   if (kernel.compiled_pages > 0 || kernel.interpreted_pages > 0 ||
       kernel.hash_joins > 0 || kernel.nested_joins > 0) {
     out += StrFormat(
@@ -80,6 +90,13 @@ obs::RunReport MachineReport::ToReport() const {
   report.counters.Set("machine.broadcasts", broadcasts);
   report.counters.Set("machine.direct_routes", direct_routes);
   report.counters.Set("machine.events", events);
+  report.counters.Set("machine.pipeline.fused_edges", pipeline_fused_edges);
+  report.counters.Set("machine.pipeline.materialized_edges",
+                      pipeline_materialized_edges);
+  report.counters.Set("machine.pipeline.pages_elided", pipeline_pages_elided);
+  report.counters.Set("machine.pipeline.fused_pages", pipeline_fused_pages);
+  report.counters.Set("machine.pipeline.runtime_fallbacks",
+                      pipeline_runtime_fallbacks);
   report.counters.Set("machine.kernel.compiled_pages", kernel.compiled_pages);
   report.counters.Set("machine.kernel.interpreted_pages",
                       kernel.interpreted_pages);

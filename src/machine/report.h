@@ -49,6 +49,10 @@ struct MachineOptions {
   /// Partition count for parallel project (also its maximum IP
   /// parallelism).
   int project_partitions = 8;
+  /// Per-edge pipeline-vs-materialize policy (see CompileProgram): folded
+  /// restricts filter at the IC during staging compaction instead of
+  /// occupying IPs as separate instructions.
+  PipelinePolicy pipeline = PipelinePolicy::kHonorPlan;
   /// Safety valve against runaway simulations.
   uint64_t max_events = 500000000;
   /// Deterministic fault schedule (empty = perfect hardware). With a
@@ -89,6 +93,17 @@ struct MachineReport {
   int num_ips = 0;
   /// Injected faults and the recovery work they caused.
   FaultStats faults;
+  /// Pipeline-fusion outcomes (machine.pipeline.*): edges folded at compile
+  /// time plus the staging-side filtering work they caused.
+  uint64_t pipeline_fused_edges = 0;
+  uint64_t pipeline_materialized_edges = 0;
+  /// Operand machine units delivered pre-filtered — units the folded
+  /// restrict would otherwise have produced, shipped, and repacked.
+  uint64_t pipeline_pages_elided = 0;
+  /// Raw pages filtered during staging compaction.
+  uint64_t pipeline_fused_pages = 0;
+  /// Marked edges the compiler could not fold.
+  uint64_t pipeline_runtime_fallbacks = 0;
   /// Compiled-vs-interpreted kernel split at the IPs (machine.kernel.*).
   KernelStatsSnapshot kernel;
   /// Root outputs with real tuples (the simulator is execution-driven).

@@ -70,6 +70,10 @@ struct OperandRt {
   /// Compressor for repacking partial/mismatched pages into machine units.
   std::unique_ptr<Page> partial;
   uint64_t total_tuples = 0;
+  /// Lazy compilation of a folded restrict (MachineOperand::filter), done
+  /// at the first staged page like RunKernel's per-instruction cache.
+  bool filter_tried = false;
+  std::optional<CompiledPredicate> filter_pred;
 };
 
 struct IpRt {
@@ -172,6 +176,9 @@ class Sim {
         injector_(options.fault_plan),
         trace_(options.enable_trace) {
     report_.num_ips = cfg_.num_instruction_processors;
+    report_.pipeline_fused_edges = prog_.pipeline.fused_edges;
+    report_.pipeline_materialized_edges = prog_.pipeline.materialized_edges;
+    report_.pipeline_runtime_fallbacks = prog_.pipeline.fallbacks;
     live_ips_ = cfg_.num_instruction_processors;
     live_ics_ = cfg_.num_instruction_controllers;
     ic_alive_.assign(static_cast<size_t>(cfg_.num_instruction_controllers), 1);
@@ -640,9 +647,36 @@ void Sim::StageNextRawPage(int instr_id, int slot,
 void Sim::RepackInto(int instr_id, int slot, const Page& raw) {
   InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
   OperandRt& op = ir.operands[static_cast<size_t>(slot)];
-  const Schema& schema = ir.def->operands[static_cast<size_t>(slot)].schema;
+  const MachineOperand& mop = ir.def->operands[static_cast<size_t>(slot)];
+  const Schema& schema = mop.schema;
   const int unit = MachineUnitBytes(schema);
+  // A folded restrict filters here, while the IC compacts staged tuples
+  // into machine units: the consumer sees the same filtered operand stream
+  // it would get from a restrict instruction, minus that instruction's IP
+  // occupancy and ring crossings.
+  if (mop.filter != nullptr) {
+    if (!op.filter_tried) {
+      op.filter_tried = true;
+      auto compiled =
+          CompiledPredicate::Compile(*mop.filter->predicate, schema);
+      if (compiled.ok()) op.filter_pred.emplace(*std::move(compiled));
+    }
+    report_.pipeline_fused_pages++;
+  }
   for (int i = 0; i < raw.num_tuples(); ++i) {
+    if (mop.filter != nullptr) {
+      if (op.filter_pred.has_value()) {
+        if (!op.filter_pred->Matches(raw.tuple(i).data(), nullptr)) continue;
+      } else {
+        TupleView view(&schema, raw.tuple(i));
+        auto keep = mop.filter->predicate->EvalBool(view, nullptr);
+        if (!keep.ok()) {
+          Fail(keep.status());
+          return;
+        }
+        if (!*keep) continue;
+      }
+    }
     if (op.partial == nullptr) {
       auto page = Page::Create(0, schema.tuple_width(), unit);
       if (!page.ok()) {
@@ -679,6 +713,11 @@ void Sim::FlushPartialOperand(int instr_id, int slot) {
 void Sim::DeliverOperandPage(int instr_id, int slot, StagedPage staged) {
   InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
   OperandRt& op = ir.operands[static_cast<size_t>(slot)];
+  if (ir.def->operands[static_cast<size_t>(slot)].filter != nullptr) {
+    // This unit arrived pre-filtered: the folded restrict would have built,
+    // shipped, and repacked an equivalent intermediate page.
+    report_.pipeline_pages_elided++;
+  }
   InsertLocal(&ics_[static_cast<size_t>(ir.ic)], staged.uid,
               staged.page->payload_bytes());
   op.pages.push_back(std::move(staged));
@@ -2219,7 +2258,8 @@ MachineSimulator::MachineSimulator(StorageEngine* storage,
 StatusOr<MachineReport> MachineSimulator::Run(
     const std::vector<const PlanNode*>& queries) {
   DFDB_ASSIGN_OR_RETURN(MachineProgram program,
-                        CompileProgram(storage_->catalog(), queries));
+                        CompileProgram(storage_->catalog(), queries,
+                                       options_.pipeline));
   Sim sim(storage_, options_, std::move(program), queries.size());
   DFDB_RETURN_IF_ERROR(sim.Run());
   return sim.TakeReport();

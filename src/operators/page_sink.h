@@ -33,6 +33,17 @@ class PageSink {
     for (size_t i = 0; i < n; ++i) buf.append(parts[i].data(), parts[i].size());
     return Emit(Slice(buf));
   }
+
+  /// Accepts a whole produced page (pass-through kernels and fused
+  /// pipelines with nothing to do). The default emits tuple by tuple;
+  /// page-packing sinks override it to forward full pages of the right
+  /// width without re-copying, mirroring Edge::EmitPage.
+  virtual Status EmitPage(const PagePtr& page) {
+    for (int i = 0; i < page->num_tuples(); ++i) {
+      DFDB_RETURN_IF_ERROR(Emit(page->tuple(i)));
+    }
+    return Status::OK();
+  }
 };
 
 /// \brief PageSink that packs tuples into fixed-size pages and hands each
@@ -66,6 +77,21 @@ class PagedSink final : public PageSink {
     DFDB_RETURN_IF_ERROR(current_->AppendParts(parts, n));
     ++tuples_emitted_;
     if (current_->full()) return FlushCurrent();
+    return Status::OK();
+  }
+
+  Status EmitPage(const PagePtr& page) override {
+    // A full page of the right width passes straight to the flush callback
+    // when nothing is buffered ahead of it (order would break otherwise).
+    if ((current_ == nullptr || current_->empty()) && page->full() &&
+        page->tuple_width() == tuple_width_) {
+      tuples_emitted_ += static_cast<uint64_t>(page->num_tuples());
+      ++pages_flushed_;
+      return flush_(page);
+    }
+    for (int i = 0; i < page->num_tuples(); ++i) {
+      DFDB_RETURN_IF_ERROR(Emit(page->tuple(i)));
+    }
     return Status::OK();
   }
 

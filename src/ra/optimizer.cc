@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "ra/expr_compile.h"
 
 namespace dfdb {
 
@@ -74,8 +75,9 @@ bool UniformDomain(const std::string& name, double* domain) {
 }  // namespace
 
 std::string OptimizerReport::ToString() const {
-  return StrFormat("merged=%d pushed=%d swapped=%d", restricts_merged,
-                   predicates_pushed, joins_swapped);
+  return StrFormat("merged=%d pushed=%d swapped=%d fused=%d materialized=%d",
+                   restricts_merged, predicates_pushed, joins_swapped,
+                   edges_fused, edges_materialized);
 }
 
 double Optimizer::EstimateSelectivity(const Expr& pred,
@@ -347,7 +349,107 @@ class Rewriter {
   OptimizerReport* report_;
 };
 
+/// Why an edge cannot fuse (safety conditions only; stats come later).
+enum class FuseVeto {
+  kNone,
+  kUnsupportedProducer,
+  kUnsupportedConsumer,
+  kPredicateNotCompiled,
+};
+
+/// The safety half of the per-edge decision. Mirrors the compile-or-
+/// interpret contract: whenever any link of the chain cannot be *proven*
+/// safe to stream, the edge materializes.
+FuseVeto ClassifyEdgeSafety(const PlanNode& producer,
+                            const PlanNode& consumer) {
+  if (!producer.resolved || producer.num_children() < 1) {
+    return FuseVeto::kUnsupportedProducer;
+  }
+  switch (producer.op) {
+    case PlanOp::kRestrict:
+      if (producer.predicate == nullptr ||
+          !CompiledPredicate::Compile(*producer.predicate,
+                                      producer.child(0).output_schema)
+               .ok()) {
+        return FuseVeto::kPredicateNotCompiled;
+      }
+      break;
+    case PlanOp::kProject:
+      // Duplicate elimination needs the whole input before any output row
+      // is final — not streamable.
+      if (producer.dedup) return FuseVeto::kUnsupportedProducer;
+      break;
+    default:
+      return FuseVeto::kUnsupportedProducer;
+  }
+  switch (consumer.op) {
+    case PlanOp::kJoin:
+      return FuseVeto::kNone;
+    case PlanOp::kRestrict:
+      // The consumer's own predicate becomes the last step of the fused
+      // program, so it must compile too.
+      if (consumer.predicate == nullptr || !consumer.resolved ||
+          !CompiledPredicate::Compile(*consumer.predicate,
+                                      consumer.child(0).output_schema)
+               .ok()) {
+        return FuseVeto::kPredicateNotCompiled;
+      }
+      return FuseVeto::kNone;
+    case PlanOp::kProject:
+      return consumer.dedup ? FuseVeto::kUnsupportedConsumer
+                            : FuseVeto::kNone;
+    default:
+      return FuseVeto::kUnsupportedConsumer;
+  }
+}
+
 }  // namespace
+
+bool PipelineEdgeSafe(const PlanNode& producer, const PlanNode& consumer) {
+  return ClassifyEdgeSafety(producer, consumer) == FuseVeto::kNone;
+}
+
+void Optimizer::DecidePipelining(PlanNode* root,
+                                 OptimizerReport* report) const {
+  for (auto& child : root->children) {
+    DecidePipelining(child.get(), report);
+    PlanNode& producer = *child;
+    // Scan edges are storage reads: the staging path already streams them,
+    // so they are not materialize-vs-pipeline decisions.
+    if (producer.op == PlanOp::kScan) continue;
+    producer.pipeline_fused = false;
+    switch (ClassifyEdgeSafety(producer, *root)) {
+      case FuseVeto::kUnsupportedProducer:
+        report->fallback_unsupported_producer++;
+        report->edges_materialized++;
+        continue;
+      case FuseVeto::kUnsupportedConsumer:
+        report->fallback_unsupported_consumer++;
+        report->edges_materialized++;
+        continue;
+      case FuseVeto::kPredicateNotCompiled:
+        report->fallback_predicate_not_compiled++;
+        report->edges_materialized++;
+        continue;
+      case FuseVeto::kNone:
+        break;
+    }
+    // Stats veto: an edge into a join that multiplies each streamed row
+    // beyond the fanout limit materializes, so the buffer hierarchy (not a
+    // live pipeline) absorbs the expansion.
+    if (root->op == PlanOp::kJoin) {
+      const double in = std::max(1.0, EstimateRows(producer));
+      const double out = EstimateRows(*root);
+      if (out / in > kPipelineFanoutLimit) {
+        report->fallback_high_fanout++;
+        report->edges_materialized++;
+        continue;
+      }
+    }
+    producer.pipeline_fused = true;
+    report->edges_fused++;
+  }
+}
 
 StatusOr<PlanNodePtr> Optimizer::Optimize(const PlanNode& plan,
                                           OptimizerReport* report) const {
@@ -376,9 +478,12 @@ StatusOr<PlanNodePtr> Optimizer::Optimize(const PlanNode& plan,
   // Safety: a rewrite must re-resolve; if not, keep the original.
   auto reresolved = analyzer.Resolve(optimized.get());
   if (!reresolved.ok()) {
-    if (report != nullptr) *report = OptimizerReport{};
+    OptimizerReport fallback;  // Zero rewrites, but edges still decided.
+    DecidePipelining(original.get(), &fallback);
+    if (report != nullptr) *report = fallback;
     return original;
   }
+  DecidePipelining(optimized.get(), &local);
   if (report != nullptr) *report = local;
   return optimized;
 }

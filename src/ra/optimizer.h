@@ -34,6 +34,18 @@ struct OptimizerReport {
   int restricts_merged = 0;
   int predicates_pushed = 0;
   int joins_swapped = 0;
+
+  /// Per-edge pipeline decision (DecidePipelining). Every operator→consumer
+  /// edge is either fused or materialized; materialized edges additionally
+  /// record *why* fusion was refused, mirroring the compile-or-interpret
+  /// contract of the kernel layer.
+  int edges_fused = 0;
+  int edges_materialized = 0;
+  int fallback_unsupported_producer = 0;  ///< Producer op cannot stream.
+  int fallback_unsupported_consumer = 0;  ///< Consumer cannot take a stream.
+  int fallback_predicate_not_compiled = 0;  ///< Predicate refused to compile.
+  int fallback_high_fanout = 0;  ///< Join fanout estimate over threshold.
+
   std::string ToString() const;
 };
 
@@ -56,9 +68,36 @@ class Optimizer {
   /// Estimated selectivity in [0,1] of \p pred against \p schema.
   double EstimateSelectivity(const Expr& pred, const Schema& schema) const;
 
+  /// Marks each edge of a *resolved* tree pipeline-fused or materialized
+  /// (PlanNode::pipeline_fused on the producer) and counts the decisions in
+  /// \p report. An edge fuses when it passes the safety conditions of
+  /// PipelineEdgeSafe() *and* the catalog stats do not veto it: an edge
+  /// into a join whose estimated fanout (output rows per producer row)
+  /// exceeds kPipelineFanoutLimit materializes, so a fused stream never
+  /// feeds a multiplying consumer that would hold its pages live while
+  /// re-expanding them. Run automatically by Optimize(); exposed for
+  /// hand-shaped plans and tests.
+  void DecidePipelining(PlanNode* root, OptimizerReport* report) const;
+
+  /// Join-fanout threshold above which DecidePipelining falls back to
+  /// materialization (output rows per fused input row).
+  static constexpr double kPipelineFanoutLimit = 16.0;
+
  private:
   const Catalog* catalog_;
 };
+
+/// \brief Safety-only half of the per-edge decision, shared with the
+/// backends' PipelinePolicy::kForceFuse path (stats are not consulted).
+///
+/// True when streaming \p producer's output straight into \p consumer
+/// provably preserves results: the producer is a restrict whose predicate
+/// compiles (see expr_compile.h) or a projection without duplicate
+/// elimination, and the consumer is a join, a restrict whose own predicate
+/// compiles, or a non-dedup projection. Everything else — aggregates,
+/// unions, differences, writes, interpreted predicates — materializes, the
+/// conservative fallback.
+bool PipelineEdgeSafe(const PlanNode& producer, const PlanNode& consumer);
 
 }  // namespace dfdb
 

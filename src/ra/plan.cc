@@ -66,6 +66,7 @@ std::string PlanNode::ToString(int indent) const {
     }
     out += " aggs={" + JoinStrings(parts, ",") + "}";
   }
+  if (pipeline_fused) out += " pipelined";
   if (id >= 0) out += StrFormat("  #%d", id);
   out += "\n";
   for (const auto& c : children) out += c->ToString(indent + 1);
@@ -90,6 +91,7 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   copy->dedup = dedup;
   copy->bag_semantics = bag_semantics;
   copy->aggregates = aggregates;
+  copy->pipeline_fused = pipeline_fused;
   for (const auto& c : children) copy->children.push_back(c->Clone());
   return copy;
 }

@@ -77,6 +77,16 @@ struct PlanNode {
   /// kAggregate only.
   std::vector<AggregateSpec> aggregates;
 
+  /// Optimizer decision for the *edge* from this node to its consumer:
+  /// when true, the backends may stream this node's output into the
+  /// consumer in one pass — the threads engine skips the buffer-hierarchy
+  /// round trip (and collapses unary chains into one fused program), the
+  /// simulator folds the operator into the consumer's operand staging.
+  /// Set by Optimizer::DecidePipelining; false (materialize) is always
+  /// safe, and ExecOptions::pipeline / MachineOptions::pipeline can
+  /// override the marks at execution time.
+  bool pipeline_fused = false;
+
   /// Filled by the analyzer.
   Schema output_schema;
   bool resolved = false;

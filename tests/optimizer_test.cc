@@ -241,7 +241,84 @@ TEST_F(OptimizerTest, ReportToString) {
   r.restricts_merged = 1;
   r.predicates_pushed = 2;
   r.joins_swapped = 3;
-  EXPECT_EQ(r.ToString(), "merged=1 pushed=2 swapped=3");
+  r.edges_fused = 4;
+  r.edges_materialized = 5;
+  EXPECT_EQ(r.ToString(),
+            "merged=1 pushed=2 swapped=3 fused=4 materialized=5");
+}
+
+// ---------------------------------------------------------------------------
+// Per-edge pipeline decisions (DecidePipelining)
+// ---------------------------------------------------------------------------
+
+TEST_F(OptimizerTest, MarksSelectiveRestrictIntoJoinFused) {
+  // restrict(big) -> join: low selectivity, modest join fanout -> fuse.
+  auto plan = MakeJoin(
+      MakeRestrict(MakeScan("big"), Lt(Col("k1000"), Lit(100))),
+      MakeScan("small"), Eq(Col("k100"), RightCol("k100")));
+  OptimizerReport report;
+  PlanNodePtr optimized = OptimizeChecked(plan, &report);
+  EXPECT_GE(report.edges_fused, 1) << report.ToString();
+  // The restrict feeding the join carries the mark.
+  const PlanNode* join = optimized.get();
+  while (join->op != PlanOp::kJoin) join = &join->child(0);
+  bool any_marked = false;
+  for (int i = 0; i < join->num_children(); ++i) {
+    if (join->child(i).op == PlanOp::kRestrict &&
+        join->child(i).pipeline_fused) {
+      any_marked = true;
+    }
+  }
+  EXPECT_TRUE(any_marked);
+}
+
+TEST_F(OptimizerTest, HighFanoutJoinInputStaysMaterialized) {
+  // Joining big with itself on k2 has fanout rows/2 = 400, far above
+  // kPipelineFanoutLimit: the stats veto must keep the edge materialized.
+  auto plan = MakeJoin(
+      MakeRestrict(MakeScan("big"), Lt(Col("k1000"), Lit(900))),
+      MakeScan("big"), Eq(Col("k2"), RightCol("k2")));
+  Optimizer optimizer(&storage_->catalog());
+  OptimizerReport report;
+  ASSERT_OK_AND_ASSIGN(PlanNodePtr optimized,
+                       optimizer.Optimize(*plan, &report));
+  EXPECT_EQ(report.edges_fused, 0) << report.ToString();
+  EXPECT_GE(report.fallback_high_fanout, 1) << report.ToString();
+  const PlanNode* join = optimized.get();
+  while (join->op != PlanOp::kJoin) join = &join->child(0);
+  for (int i = 0; i < join->num_children(); ++i) {
+    EXPECT_FALSE(join->child(i).pipeline_fused);
+  }
+}
+
+TEST_F(OptimizerTest, DedupProjectConsumerIsNotFusable) {
+  // restrict -> dedup project: the project is a barrier (hash state), so
+  // the edge below it must stay materialized with an unsupported-consumer
+  // fallback.
+  auto plan = MakeProject(
+      MakeRestrict(MakeScan("big"), Lt(Col("k1000"), Lit(100))), {"k100"});
+  plan->dedup = true;
+  Optimizer optimizer(&storage_->catalog());
+  OptimizerReport report;
+  ASSERT_OK_AND_ASSIGN(PlanNodePtr optimized,
+                       optimizer.Optimize(*plan, &report));
+  (void)optimized;
+  EXPECT_EQ(report.edges_fused, 0) << report.ToString();
+  EXPECT_GE(report.fallback_unsupported_consumer, 1) << report.ToString();
+}
+
+TEST_F(OptimizerTest, RestrictChainIntoJoinFusesEveryEdge) {
+  // restrict(restrict(big)) -> join: with merging disabled by distinct
+  // columns... the merge rule will collapse them first, so build the chain
+  // as restrict -> project -> join instead: both unary edges can fuse.
+  auto plan = MakeJoin(
+      MakeProject(MakeRestrict(MakeScan("big"), Lt(Col("k1000"), Lit(50))),
+                  {"k100", "k1000"}),
+      MakeScan("small"), Eq(Col("k100"), RightCol("k100")));
+  OptimizerReport report;
+  PlanNodePtr optimized = OptimizeChecked(plan, &report);
+  EXPECT_GE(report.edges_fused, 2) << report.ToString();
+  (void)optimized;
 }
 
 }  // namespace

@@ -1,0 +1,493 @@
+/// \file pipeline_fusion_test.cc
+/// \brief Differential tests locking down pipelined operator fusion.
+///
+/// Three layers, mirroring expr_compile_test's compiled-vs-interpreted
+/// contract one level up:
+///
+///  1. kernel — a FusedPipeline program over raw tuple bytes must be
+///     byte-identical to an independent per-step oracle (interpreted
+///     predicates + manual byte-range projection);
+///  2. engine — seeded random plans executed with PipelinePolicy::kForceFuse
+///     must produce byte-identical pages, boundaries and order as
+///     kForceMaterialize (the pre-fusion baseline) on a single worker;
+///  3. simulator — folded restricts must leave every query's result bag
+///     unchanged while eliding instruction traffic, and the ten-query mix's
+///     pipeline counters must export byte-identical JSON across runs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/executor.h"
+#include "machine/simulator.h"
+#include "operators/kernels.h"
+#include "ra/expr_compile.h"
+#include "ra/optimizer.h"
+#include "storage/tuple.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+#include "workload/paper_benchmark.h"
+
+namespace dfdb {
+namespace {
+
+using ::dfdb::testing::ExpectSameResult;
+using ::dfdb::testing::ResultMultiset;
+
+// ---------------------------------------------------------------------------
+// Kernel level: FusedPipeline vs an independent per-step oracle
+// ---------------------------------------------------------------------------
+
+Schema RandomSchema(Random* rng) {
+  const int n = 2 + static_cast<int>(rng->Uniform(4));
+  std::vector<Column> cols;
+  for (int i = 0; i < n; ++i) {
+    const std::string name = "c" + std::to_string(i);
+    switch (rng->Uniform(3)) {
+      case 0:
+        cols.push_back(Column::Int32(name));
+        break;
+      case 1:
+        cols.push_back(Column::Int64(name));
+        break;
+      default:
+        cols.push_back(
+            Column::Char(name, 1 + static_cast<int>(rng->Uniform(6))));
+        break;
+    }
+  }
+  return Schema::CreateOrDie(cols);
+}
+
+PagePtr RandomPage(const Schema& schema, Random* rng, int n) {
+  auto page = Page::Create(0, schema.tuple_width(), schema.tuple_width() * n);
+  EXPECT_TRUE(page.ok());
+  for (int i = 0; i < n; ++i) {
+    std::vector<Value> values;
+    for (const Column& col : schema.columns()) {
+      switch (col.type) {
+        case ColumnType::kInt32:
+          values.push_back(
+              Value::Int32(static_cast<int32_t>(rng->Uniform(8)) - 2));
+          break;
+        case ColumnType::kInt64:
+          values.push_back(
+              Value::Int64(static_cast<int64_t>(rng->Uniform(8)) - 2));
+          break;
+        default: {
+          std::string s;
+          const int len = static_cast<int>(
+              rng->Uniform(static_cast<uint64_t>(col.width) + 1));
+          for (int k = 0; k < len; ++k) {
+            s.push_back(static_cast<char>('a' + rng->Uniform(3)));
+          }
+          values.push_back(Value::Char(s));
+          break;
+        }
+      }
+    }
+    auto tuple = EncodeTuple(schema, values);
+    EXPECT_TRUE(tuple.ok()) << tuple.status();
+    EXPECT_TRUE(page->Append(Slice(*tuple)).ok());
+  }
+  return SealPage(std::move(*page));
+}
+
+/// A compilable single compare over a random integer column (falls back to
+/// the first column if none is integer — then compilation may refuse and
+/// the caller skips the step).
+ExprPtr RandomIntCompare(const Schema& schema, Random* rng) {
+  std::vector<int> int_cols;
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    if (schema.column(i).type != ColumnType::kChar) int_cols.push_back(i);
+  }
+  const int col = int_cols.empty()
+                      ? 0
+                      : int_cols[rng->Uniform(int_cols.size())];
+  ExprPtr lhs = Col(schema.column(col).name);
+  ExprPtr rhs = Lit(static_cast<int32_t>(rng->Uniform(8)) - 2);
+  switch (rng->Uniform(4)) {
+    case 0:
+      return Eq(std::move(lhs), std::move(rhs));
+    case 1:
+      return Ne(std::move(lhs), std::move(rhs));
+    case 2:
+      return Lt(std::move(lhs), std::move(rhs));
+    default:
+      return Ge(std::move(lhs), std::move(rhs));
+  }
+}
+
+TEST(FusedPipelineKernel, MatchesPerStepOracleByteForByte) {
+  Random rng(29);
+  int chains = 0;
+  int nontrivial = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    Schema schema = RandomSchema(&rng);
+    const PagePtr page = RandomPage(schema, &rng, 40);
+
+    // Oracle state: the surviving tuples, re-projected step by step.
+    std::vector<std::string> oracle;
+    for (int i = 0; i < page->num_tuples(); ++i) {
+      oracle.push_back(page->tuple(i).ToString());
+    }
+
+    FusedPipeline fp(schema.tuple_width());
+    Schema cur = schema;
+    const int steps = 1 + static_cast<int>(rng.Uniform(4));
+    bool ok = true;
+    for (int s = 0; s < steps && ok; ++s) {
+      if (rng.Uniform(2) == 0) {
+        ExprPtr pred = RandomIntCompare(cur, &rng);
+        if (!pred->Bind(cur, nullptr).ok()) continue;
+        auto compiled = CompiledPredicate::Compile(*pred, cur);
+        if (!compiled.ok()) continue;  // CHAR-only schema: skip the step.
+        fp.AddFilter(*compiled);
+        std::vector<std::string> kept;
+        for (const std::string& t : oracle) {
+          TupleView view(&cur, Slice(t));
+          auto want = pred->EvalBool(view, nullptr);
+          ASSERT_TRUE(want.ok()) << want.status();
+          if (*want) kept.push_back(t);
+        }
+        oracle = std::move(kept);
+      } else {
+        // Random non-empty ordered subset of the current columns.
+        std::vector<int> indices;
+        for (int c = 0; c < cur.num_columns(); ++c) {
+          if (rng.Uniform(2) == 0) indices.push_back(c);
+        }
+        if (indices.empty()) {
+          indices.push_back(static_cast<int>(rng.Uniform(
+              static_cast<uint64_t>(cur.num_columns()))));
+        }
+        fp.AddProject(cur, indices);
+        std::vector<std::string> projected;
+        for (const std::string& t : oracle) {
+          std::string out;
+          for (int c : indices) {
+            out.append(t.data() + cur.offset(c),
+                       static_cast<size_t>(cur.column(c).width));
+          }
+          projected.push_back(std::move(out));
+        }
+        oracle = std::move(projected);
+        std::vector<Column> cols;
+        for (int c : indices) cols.push_back(cur.column(c));
+        cur = Schema::CreateOrDie(cols);
+      }
+    }
+    if (fp.empty()) continue;
+    ++chains;
+    if (fp.num_steps() >= 2) ++nontrivial;
+    ASSERT_EQ(fp.output_width(), cur.tuple_width());
+
+    VectorSink sink;
+    KernelStats stats;
+    ASSERT_OK(RunFusedPipeline(fp, *page, &sink, &stats));
+    EXPECT_EQ(sink.tuples(), oracle) << "chain of " << fp.num_steps()
+                                     << " steps, iter " << iter;
+    EXPECT_EQ(stats.compiled_pages.load(), 1u);
+  }
+  EXPECT_GT(chains, 150);
+  EXPECT_GT(nontrivial, 60);
+}
+
+// ---------------------------------------------------------------------------
+// Engine level: kForceFuse vs kForceMaterialize, byte-identical
+// ---------------------------------------------------------------------------
+
+/// Serializes a result preserving page boundaries and order: fusion must
+/// not only keep the tuple bag, it must keep the exact page packing.
+std::vector<std::string> PagesExact(const QueryResult& result) {
+  std::vector<std::string> pages;
+  for (const PagePtr& page : result.pages()) {
+    std::string p;
+    for (int i = 0; i < page->num_tuples(); ++i) {
+      p += page->tuple(i).ToString();
+    }
+    pages.push_back(std::move(p));
+  }
+  return pages;
+}
+
+class PipelineFusionEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_unique<StorageEngine>(2000);
+    ASSERT_OK_AND_ASSIGN(auto big,
+                         GenerateRelation(storage_.get(), "big", 800, 1));
+    ASSERT_OK_AND_ASSIGN(auto small,
+                         GenerateRelation(storage_.get(), "small", 100, 2));
+    (void)big;
+    (void)small;
+  }
+
+  /// Executes \p plan under \p policy on one worker (deterministic task
+  /// order, so fused and materialized runs are comparable byte for byte).
+  QueryResult Run(const PlanNode& plan, PipelinePolicy policy,
+                  ExecStats* stats) {
+    ExecOptions opts;
+    opts.num_processors = 1;
+    opts.page_bytes = 1000;
+    opts.pipeline = policy;
+    Executor engine(storage_.get(), opts);
+    auto result = engine.Execute(plan, stats);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? *std::move(result) : QueryResult{};
+  }
+
+  std::unique_ptr<StorageEngine> storage_;
+};
+
+/// Random restrict/project/join plans over the benchmark schema. Predicates
+/// are k-column compares, always compilable, so fusion opportunities are
+/// dense; dedup projects are mixed in to exercise the refuse path.
+PlanNodePtr RandomChain(const char* relation, Random* rng, int depth) {
+  PlanNodePtr plan = MakeScan(relation);
+  static const char* kCols[] = {"k10", "k25", "k100", "k1000"};
+  static const int kDomains[] = {10, 25, 100, 1000};
+  for (int d = 0; d < depth; ++d) {
+    const size_t c = rng->Uniform(4);
+    // Keep selectivities loose so joins above still see rows.
+    const int32_t lit =
+        static_cast<int32_t>(rng->Uniform(static_cast<uint64_t>(kDomains[c])));
+    ExprPtr pred = rng->Uniform(2) == 0 ? Lt(Col(kCols[c]), Lit(lit))
+                                        : Ge(Col(kCols[c]), Lit(lit));
+    plan = MakeRestrict(std::move(plan), std::move(pred));
+  }
+  return plan;
+}
+
+TEST_F(PipelineFusionEngineTest, DifferentialFuzzFusedEqualsMaterialized) {
+  Random rng(17);
+  uint64_t total_fused_edges = 0;
+  uint64_t total_fused_pages = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    PlanNodePtr plan;
+    // Unary chains are order-preserving, so fused and materialized runs
+    // must agree byte for byte including page boundaries. Join outputs
+    // depend on the order probe pages reach the join task, which fusion
+    // legitimately changes; those compare as multisets.
+    bool order_preserving = false;
+    switch (rng.Uniform(4)) {
+      case 0:
+        order_preserving = true;
+        // Pure unary chain (collapses into one fused program).
+        plan = RandomChain(rng.Uniform(2) == 0 ? "big" : "small", &rng,
+                           1 + static_cast<int>(rng.Uniform(3)));
+        if (rng.Uniform(2) == 0) {
+          plan = MakeProject(std::move(plan), {"id", "k100", "k1000"});
+        }
+        break;
+      case 1:
+        // Restrict chains feeding a join (direct-delivery edges).
+        plan = MakeJoin(RandomChain("big", &rng, 1 + rng.Uniform(2)),
+                        RandomChain("small", &rng, 1),
+                        Eq(Col("k100"), RightCol("k100")));
+        break;
+      case 2:
+        // Join with a unary chain above it.
+        plan = MakeRestrict(
+            MakeJoin(RandomChain("big", &rng, 1),
+                     RandomChain("small", &rng, 1),
+                     Eq(Col("k10"), RightCol("k10"))),
+            Lt(Col("k1000"), Lit(500)));
+        break;
+      default:
+        // Dedup project consumer: fusion must refuse, results must agree.
+        order_preserving = true;
+        plan = MakeProject(RandomChain("big", &rng, 2), {"k10", "k25"});
+        plan->dedup = true;
+        break;
+    }
+
+    ExecStats mat_stats, fuse_stats;
+    QueryResult materialized =
+        Run(*plan, PipelinePolicy::kForceMaterialize, &mat_stats);
+    QueryResult fused = Run(*plan, PipelinePolicy::kForceFuse, &fuse_stats);
+
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    EXPECT_EQ(materialized.num_tuples(), fused.num_tuples());
+    if (order_preserving) {
+      EXPECT_EQ(PagesExact(materialized), PagesExact(fused));
+    } else {
+      EXPECT_EQ(ResultMultiset(materialized), ResultMultiset(fused));
+    }
+    EXPECT_EQ(mat_stats.pipeline_fused_edges, 0u);
+    total_fused_edges += fuse_stats.pipeline_fused_edges;
+    total_fused_pages += fuse_stats.pipeline_fused_pages;
+  }
+  // The fuzz must have actually exercised fusion, heavily.
+  EXPECT_GT(total_fused_edges, 20u);
+  EXPECT_GT(total_fused_pages, 40u);
+}
+
+TEST_F(PipelineFusionEngineTest, HonorsOptimizerMarks) {
+  // kHonorPlan fuses exactly the edges DecidePipelining marked.
+  auto plan = MakeJoin(
+      MakeRestrict(MakeScan("big"), Lt(Col("k1000"), Lit(200))),
+      MakeRestrict(MakeScan("small"), Ge(Col("k10"), Lit(2))),
+      Eq(Col("k100"), RightCol("k100")));
+  Optimizer optimizer(&storage_->catalog());
+  OptimizerReport report;
+  ASSERT_OK_AND_ASSIGN(PlanNodePtr optimized,
+                       optimizer.Optimize(*plan, &report));
+  ASSERT_GE(report.edges_fused, 1) << report.ToString();
+
+  ExecStats honor_stats, mat_stats;
+  QueryResult honored =
+      Run(*optimized, PipelinePolicy::kHonorPlan, &honor_stats);
+  QueryResult materialized =
+      Run(*optimized, PipelinePolicy::kForceMaterialize, &mat_stats);
+  EXPECT_EQ(ResultMultiset(honored), ResultMultiset(materialized));
+  EXPECT_EQ(honor_stats.pipeline_fused_edges,
+            static_cast<uint64_t>(report.edges_fused));
+  EXPECT_GT(honor_stats.pipeline_pages_elided, 0u);
+  EXPECT_EQ(mat_stats.pipeline_fused_edges, 0u);
+}
+
+TEST_F(PipelineFusionEngineTest, UnmarkedPlanRunsFullyMaterialized) {
+  // kHonorPlan on a plan nobody marked must not fuse anything.
+  auto plan = MakeJoin(
+      MakeRestrict(MakeScan("big"), Lt(Col("k1000"), Lit(300))),
+      MakeScan("small"), Eq(Col("k100"), RightCol("k100")));
+  ExecStats stats;
+  QueryResult result = Run(*plan, PipelinePolicy::kHonorPlan, &stats);
+  EXPECT_GT(result.num_tuples(), 0u);
+  EXPECT_EQ(stats.pipeline_fused_edges, 0u);
+  EXPECT_GT(stats.pipeline_materialized_edges, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator level: folded restricts keep results, elide traffic
+// ---------------------------------------------------------------------------
+
+TEST(PipelineFusionSimulator, FusedEqualsMaterializedAndElidesTraffic) {
+  StorageEngine storage(2000);
+  ASSERT_OK_AND_ASSIGN(auto big, GenerateRelation(&storage, "big", 600, 1));
+  ASSERT_OK_AND_ASSIGN(auto small,
+                       GenerateRelation(&storage, "small", 120, 2));
+  (void)big;
+  (void)small;
+
+  auto q0 = MakeJoin(MakeRestrict(MakeScan("big"), Lt(Col("k1000"), Lit(250))),
+                     MakeRestrict(MakeScan("small"), Ge(Col("k10"), Lit(3))),
+                     Eq(Col("k100"), RightCol("k100")));
+  auto q1 = MakeProject(
+      MakeRestrict(MakeScan("big"), Lt(Col("k100"), Lit(40))),
+      {"id", "k100"});
+  auto q2 = MakeRestrict(MakeScan("small"), Lt(Col("k1000"), Lit(700)));
+  std::vector<const PlanNode*> queries{q0.get(), q1.get(), q2.get()};
+
+  MachineOptions materialize;
+  materialize.pipeline = PipelinePolicy::kForceMaterialize;
+  MachineSimulator mat_sim(&storage, materialize);
+  ASSERT_OK_AND_ASSIGN(MachineReport mat, mat_sim.Run(queries));
+
+  MachineOptions fuse;
+  fuse.pipeline = PipelinePolicy::kForceFuse;
+  MachineSimulator fuse_sim(&storage, fuse);
+  ASSERT_OK_AND_ASSIGN(MachineReport fused, fuse_sim.Run(queries));
+
+  ASSERT_EQ(mat.results.size(), fused.results.size());
+  for (size_t qi = 0; qi < mat.results.size(); ++qi) {
+    SCOPED_TRACE("query " + std::to_string(qi));
+    ExpectSameResult(mat.results[qi], fused.results[qi]);
+  }
+  EXPECT_EQ(mat.pipeline_fused_edges, 0u);
+  // q0 folds both restricts; q1 folds one. q2's restrict is the root, so it
+  // stays an instruction even under kForceFuse.
+  EXPECT_EQ(fused.pipeline_fused_edges, 3u);
+  EXPECT_GT(fused.pipeline_fused_pages, 0u);
+  EXPECT_GT(fused.pipeline_pages_elided, 0u);
+  // The folded restricts' instruction packets and result transfers are
+  // gone, so the fused machine strictly does less ring work and finishes
+  // no later.
+  EXPECT_LT(fused.instruction_packets + fused.result_packets,
+            mat.instruction_packets + mat.result_packets);
+  EXPECT_LE(fused.makespan.nanos(), mat.makespan.nanos());
+}
+
+TEST(PipelineFusionSimulator, MarkedProjectEdgeFallsBack) {
+  // The simulator only folds restrict-over-base producers; a marked project
+  // edge must materialize and count a fallback rather than misexecute.
+  StorageEngine storage(2000);
+  ASSERT_OK_AND_ASSIGN(auto big, GenerateRelation(&storage, "big", 200, 1));
+  (void)big;
+  auto plan = MakeRestrict(
+      MakeProject(MakeScan("big"), {"id", "k100", "k1000"}),
+      Lt(Col("k1000"), Lit(500)));
+  ASSERT_EQ(plan->child(0).op, PlanOp::kProject);
+  plan->children[0]->pipeline_fused = true;
+
+  MachineOptions opts;  // kHonorPlan.
+  MachineSimulator sim(&storage, opts);
+  std::vector<const PlanNode*> queries{plan.get()};
+  ASSERT_OK_AND_ASSIGN(MachineReport report, sim.Run(queries));
+  EXPECT_EQ(report.pipeline_fused_edges, 0u);
+  EXPECT_EQ(report.pipeline_runtime_fallbacks, 1u);
+  EXPECT_GT(report.results[0].num_tuples(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism golden: ten-query mix, byte-identical pipeline counters
+// ---------------------------------------------------------------------------
+
+TEST(PipelineFusionDeterminism, TenQueryCountersExportIdentically) {
+  StorageEngine storage(4096);
+  ASSERT_OK_AND_ASSIGN(int64_t bytes, BuildPaperDatabase(&storage, 0.05, 42));
+  (void)bytes;
+  Optimizer optimizer(&storage.catalog());
+  std::vector<Query> queries = MakePaperBenchmarkQueries();
+  std::vector<PlanNodePtr> optimized;
+  int marked_edges = 0;
+  for (const Query& q : queries) {
+    OptimizerReport report;
+    ASSERT_OK_AND_ASSIGN(PlanNodePtr plan, optimizer.Optimize(*q.root, &report));
+    marked_edges += report.edges_fused;
+    optimized.push_back(std::move(plan));
+  }
+  // The paper mix has restrict->join edges in Q3..Q10; the optimizer must
+  // find fusion work in it.
+  EXPECT_GT(marked_edges, 0);
+  std::vector<const PlanNode*> plans;
+  for (const PlanNodePtr& p : optimized) plans.push_back(p.get());
+
+  // Simulator: two runs, whole reports byte-identical including the
+  // machine.pipeline.* family.
+  MachineOptions mopts;
+  std::string sim_json[2];
+  for (int run = 0; run < 2; ++run) {
+    MachineSimulator sim(&storage, mopts);
+    ASSERT_OK_AND_ASSIGN(MachineReport report, sim.Run(plans));
+    EXPECT_GT(report.pipeline_fused_edges, 0u);
+    sim_json[run] = report.ToReport().ToJson(/*include_timing=*/false);
+  }
+  EXPECT_EQ(sim_json[0], sim_json[1]);
+  EXPECT_NE(sim_json[0].find("machine.pipeline.fused_edges"),
+            std::string::npos);
+
+  // Engine: one worker for a deterministic task order; two runs export
+  // byte-identical counters including engine.pipeline.*.
+  ExecOptions eopts;
+  eopts.num_processors = 1;
+  std::string engine_json[2];
+  for (int run = 0; run < 2; ++run) {
+    Executor engine(&storage, eopts);
+    ExecStats stats;
+    auto results = engine.ExecuteBatch(plans, &stats);
+    ASSERT_TRUE(results.ok()) << results.status();
+    EXPECT_GT(stats.pipeline_fused_edges, 0u);
+    engine_json[run] = stats.ToReport().ToJson(/*include_timing=*/false);
+  }
+  EXPECT_EQ(engine_json[0], engine_json[1]);
+  EXPECT_NE(engine_json[0].find("engine.pipeline.fused_edges"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfdb

@@ -12,7 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "common/string_util.h"
-#include "engine/executor.h"
+#include "engine/run.h"
 
 namespace dfdb {
 namespace {
@@ -36,13 +36,12 @@ int Main(int argc, char** argv) {
     opts.page_bytes = 16384;
     opts.local_memory_pages = 8 * 8;  // 8 ICs' worth of local memory.
     opts.disk_cache_pages = 64;
-    Executor engine(&storage, opts);
     // Median of three runs to stabilize wall clock.
     double best = 1e30;
     ExecStats stats;
     for (int run = 0; run < 3; ++run) {
       ExecStats run_stats;
-      auto results = engine.ExecuteBatch(plans, &run_stats);
+      auto results = RunBatch(&storage, plans, opts, &run_stats);
       DFDB_CHECK(results.ok()) << results.status();
       if (run_stats.wall_seconds < best) {
         best = run_stats.wall_seconds;

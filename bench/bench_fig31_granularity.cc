@@ -16,7 +16,7 @@
 
 #include "bench/bench_util.h"
 #include "common/string_util.h"
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "machine/simulator.h"
 
 namespace dfdb {
@@ -71,9 +71,8 @@ int Main(int argc, char** argv) {
       opts.page_bytes = 16384;
       opts.local_memory_pages = 64;
       opts.disk_cache_pages = 512;
-      Executor engine(&storage, opts);
       ExecStats stats;
-      auto results = engine.ExecuteBatch(plans, &stats);
+      auto results = RunBatch(&storage, plans, opts, &stats);
       DFDB_CHECK(results.ok()) << results.status();
       times[g] = stats.wall_seconds;
       obs::RunReport run = stats.ToReport();

@@ -19,7 +19,7 @@
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "operators/aggregator.h"
 #include "operators/dedup.h"
 #include "operators/kernels.h"
@@ -233,8 +233,7 @@ obs::RunReport EngineCounterRun() {
   auto analysis = analyzer.Resolve(plan.get());
   DFDB_CHECK(analysis.ok()) << analysis.status();
   ExecStats stats;
-  Executor executor(&d.storage, ExecOptions{});
-  auto result = executor.Execute(*plan, &stats);
+  auto result = RunQuery(&d.storage, *plan, ExecOptions{}, &stats);
   DFDB_CHECK(result.ok()) << result.status();
   DFDB_CHECK(stats.kernel.compiled_pages > 0);
   DFDB_CHECK(stats.kernel.hash_joins > 0);

@@ -18,7 +18,7 @@
 
 #include "bench/bench_util.h"
 #include "common/string_util.h"
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "machine/simulator.h"
 #include "ra/optimizer.h"
 
@@ -120,9 +120,8 @@ int Main(int argc, char** argv) {
     ExecOptions eopts;
     eopts.pipeline = mode == 0 ? PipelinePolicy::kForceMaterialize
                                : PipelinePolicy::kHonorPlan;
-    Executor engine(&storage, eopts);
     ExecStats stats;
-    auto results = engine.ExecuteBatch(plans, &stats);
+    auto results = RunBatch(&storage, plans, eopts, &stats);
     DFDB_CHECK(results.ok()) << results.status();
     obs::RunReport run = stats.ToReport();
     run.label = mode == 0 ? "engine materialized" : "engine fused";

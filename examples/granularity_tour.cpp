@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "machine/simulator.h"
 #include "storage/storage_engine.h"
 #include "workload/generator.h"
@@ -54,8 +54,7 @@ int main() {
     eopts.granularity = g;
     eopts.num_processors = 8;
     eopts.page_bytes = 1000;
-    Executor engine(&storage, eopts);
-    auto result = engine.Execute(*plan);
+    auto result = RunQuery(&storage, *plan, eopts);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;

@@ -16,7 +16,7 @@
 
 #include <cstdio>
 
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "ra/plan.h"
 #include "storage/storage_engine.h"
 #include "workload/generator.h"
@@ -53,9 +53,7 @@ int main() {
   options.granularity = Granularity::kPage;
   options.num_processors = 4;
   options.page_bytes = 4096;
-  Executor engine(&storage, options);
-
-  auto result = engine.Execute(*tree);
+  auto result = RunQuery(&storage, *tree, options);
   if (!result.ok()) {
     std::fprintf(stderr, "execute: %s\n", result.status().ToString().c_str());
     return 1;

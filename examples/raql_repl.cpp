@@ -25,7 +25,7 @@
 #include <iostream>
 #include <string>
 
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "net/client.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -255,9 +255,8 @@ int RunLocal() {
                   report.ToString().c_str());
       continue;
     }
-    // A fresh Executor per query picks up the current \trace setting.
-    Executor engine(&storage, options);
-    auto result = engine.Execute(**optimized);
+    // A one-shot run per query picks up the current \trace setting.
+    auto result = RunQuery(&storage, **optimized, options);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;

@@ -117,7 +117,8 @@ std::vector<AdmissionQueue::ReAdmitted> AdmissionQueue::Release(
       for (auto jt = waiting_.begin(); jt != it; ++jt) {
         if (Conflicts(*jt, it->reads, it->writes)) ++jt->skips;
       }
-      admitted.push_back(ReAdmitted{it->qid, it->failed_probes});
+      admitted.push_back(ReAdmitted{it->qid, it->failed_probes, it->skips});
+      total_skips_ += it->skips;
       it = waiting_.erase(it);
     } else {
       ++requeue_failures_;
@@ -133,6 +134,7 @@ std::vector<AdmissionQueue::ReAdmitted> AdmissionQueue::Release(
 bool AdmissionQueue::Cancel(uint64_t query_id) {
   for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
     if (it->qid == query_id) {
+      total_skips_ += it->skips;
       waiting_.erase(it);
       return true;
     }
@@ -143,7 +145,10 @@ bool AdmissionQueue::Cancel(uint64_t query_id) {
 std::vector<uint64_t> AdmissionQueue::CancelAll() {
   std::vector<uint64_t> out;
   out.reserve(waiting_.size());
-  for (const Waiting& w : waiting_) out.push_back(w.qid);
+  for (const Waiting& w : waiting_) {
+    total_skips_ += w.skips;
+    out.push_back(w.qid);
+  }
   waiting_.clear();
   return out;
 }

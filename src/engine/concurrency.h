@@ -84,6 +84,9 @@ class AdmissionQueue {
     uint64_t qid = 0;
     /// Failed re-admission probes this query experienced while queued.
     uint64_t failed_probes = 0;
+    /// Conflicting later admissions that bypassed this query while it
+    /// waited (the anti-starvation counter at admission time).
+    uint64_t skips = 0;
   };
 
   /// Admits \p query_id now (true) or appends it to the wait queue (false).
@@ -113,6 +116,10 @@ class AdmissionQueue {
   /// Total failed re-admission probes across all Release() scans.
   uint64_t requeue_failures() const { return requeue_failures_; }
 
+  /// Total bypasses suffered by all queries over the queue's lifetime
+  /// (accumulated when a waiting query is finally admitted or cancelled).
+  uint64_t total_skips() const { return total_skips_; }
+
  private:
   struct Waiting {
     uint64_t qid = 0;
@@ -130,6 +137,7 @@ class AdmissionQueue {
   std::deque<Waiting> waiting_;
   const int max_skips_;
   uint64_t requeue_failures_ = 0;
+  uint64_t total_skips_ = 0;
 };
 
 }  // namespace dfdb

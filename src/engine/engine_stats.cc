@@ -71,6 +71,14 @@ void RegisterMetrics(const ExecStats& stats, obs::MetricsRegistry* registry) {
   registry->Set("engine.sched.queued", stats.sched_queued);
   registry->Set("engine.sched.requeues", stats.sched_requeues);
   registry->Set("engine.sched.queue_wait_ns", stats.sched_queue_wait_ns);
+  registry->Set("engine.sched.skips", stats.sched_skips);
+  registry->Set("engine.mvcc.snapshots_open", stats.mvcc_snapshots_open);
+  registry->Set("engine.mvcc.snapshots_captured",
+                stats.mvcc_snapshots_captured);
+  registry->Set("engine.mvcc.versions_live", stats.mvcc_versions_live);
+  registry->Set("engine.mvcc.pages_copied", stats.mvcc_pages_copied);
+  registry->Set("engine.mvcc.gc_reclaimed", stats.mvcc_gc_reclaimed);
+  registry->Set("engine.mvcc.commits", stats.mvcc_commits);
   registry->Set("engine.pipeline.fused_edges", stats.pipeline_fused_edges);
   registry->Set("engine.pipeline.materialized_edges",
                 stats.pipeline_materialized_edges);

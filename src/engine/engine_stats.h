@@ -92,6 +92,16 @@ struct ExecStats {
   uint64_t sched_queued = 0;        ///< Queries that waited in the MC queue.
   uint64_t sched_requeues = 0;      ///< Failed re-admission probes.
   uint64_t sched_queue_wait_ns = 0; ///< Time spent waiting for admission.
+  uint64_t sched_skips = 0;         ///< Conflicting bypasses while waiting.
+  // MVCC snapshot-read outcomes (engine.mvcc.*). Per-query snapshots carry
+  // the storage-wide counter values observed at completion; scheduler
+  // aggregates carry the live storage-wide values.
+  uint64_t mvcc_snapshots_open = 0;     ///< Live snapshots right now.
+  uint64_t mvcc_snapshots_captured = 0; ///< Snapshots ever captured.
+  uint64_t mvcc_versions_live = 0;      ///< Version records across files.
+  uint64_t mvcc_pages_copied = 0;       ///< Pages rewritten copy-on-write.
+  uint64_t mvcc_gc_reclaimed = 0;       ///< Retired pages freed by GC.
+  uint64_t mvcc_commits = 0;            ///< Versions installed (commits).
   /// Kernel-compilation outcomes (engine.kernel.*): how many pages ran the
   /// compiled program vs the interpreted Expr tree, how often compilation
   /// was refused, and which join path page pairs took.

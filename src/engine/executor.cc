@@ -1,20 +1,19 @@
 /// \file executor.cc
-/// \brief Compatibility wrappers over the resident Scheduler.
+/// \brief Deprecated compatibility wrappers over RunQuery/RunBatch.
 ///
 /// The dataflow execution core (node graphs, worker pool, drivers) lives in
-/// scheduler.cc; Execute/ExecuteBatch stand up a private one-shot Scheduler
-/// per call so existing callers keep their self-contained wall-clock
-/// semantics while multi-user callers migrate to Scheduler::Submit.
+/// scheduler.cc and the one-shot entry points in run.cc; Execute and
+/// ExecuteBatch forward there so legacy callers keep working while they
+/// migrate.
 
 #include "engine/executor.h"
 
-#include <chrono>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
-#include "engine/scheduler.h"
+#include "engine/run.h"
 
 namespace dfdb {
 
@@ -63,81 +62,12 @@ Executor::~Executor() = default;
 
 StatusOr<QueryResult> Executor::Execute(const PlanNode& plan,
                                         ExecStats* batch_stats) {
-  std::vector<const PlanNode*> plans{&plan};
-  DFDB_ASSIGN_OR_RETURN(std::vector<QueryResult> results,
-                        ExecuteBatch(plans, batch_stats));
-  return std::move(results[0]);
+  return RunQuery(storage_, plan, options_, batch_stats);
 }
 
 StatusOr<std::vector<QueryResult>> Executor::ExecuteBatch(
     const std::vector<const PlanNode*>& plans, ExecStats* batch_stats) {
-  std::vector<QueryResult> results;
-  if (plans.empty()) {
-    if (batch_stats != nullptr) *batch_stats = ExecStats{};
-    return results;
-  }
-
-  // Deferred start keeps the batch deterministic: every query's initial
-  // tasks are enqueued before any worker runs, exactly like the historical
-  // one-pool-per-batch executor.
-  SchedulerOptions sched_options;
-  sched_options.exec = options_;
-  sched_options.defer_worker_start = true;
-  Scheduler scheduler(storage_, std::move(sched_options));
-
-  std::vector<QueryHandle> handles;
-  handles.reserve(plans.size());
-  for (const PlanNode* plan : plans) {
-    if (plan == nullptr) {
-      if (batch_stats != nullptr) *batch_stats = ExecStats{};
-      return Status::InvalidArgument("null plan");
-    }
-    auto handle = scheduler.Submit(*plan);
-    if (!handle.ok()) {
-      // Analysis failed before anything executed; the never-started
-      // scheduler cancels the earlier submissions without side effects.
-      if (batch_stats != nullptr) *batch_stats = ExecStats{};
-      return handle.status();
-    }
-    handles.push_back(*std::move(handle));
-  }
-
-  const auto start = std::chrono::steady_clock::now();
-  scheduler.Start();
-
-  Status first_error = Status::OK();
-  results.resize(handles.size());
-  for (size_t i = 0; i < handles.size(); ++i) {
-    auto result = handles[i].Wait();
-    if (!result.ok()) {
-      if (first_error.ok()) first_error = result.status();
-      continue;
-    }
-    results[i] = *std::move(result);
-  }
-  scheduler.Shutdown();
-  const auto end = std::chrono::steady_clock::now();
-
-  // Workers have quiesced: merge the trace once and share it across the
-  // batch aggregate and every per-query snapshot.
-  std::shared_ptr<const obs::Trace> trace = scheduler.FinishTrace();
-  if (trace != nullptr) {
-    for (QueryResult& result : results) {
-      ExecStats qs = result.stats();
-      qs.trace = trace;
-      result.set_stats(std::move(qs));
-    }
-  }
-
-  if (batch_stats != nullptr) {
-    *batch_stats = scheduler.AggregateStats();
-    // The batch wall clock is this call's own span, not the scheduler's
-    // lifetime (construction and preparation are excluded, as before).
-    batch_stats->wall_seconds =
-        std::chrono::duration<double>(end - start).count();
-  }
-  if (!first_error.ok()) return first_error;
-  return results;
+  return RunBatch(storage_, plans, options_, batch_stats);
 }
 
 }  // namespace dfdb

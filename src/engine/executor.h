@@ -38,16 +38,12 @@
 
 namespace dfdb {
 
-/// \brief Executes resolved or unresolved query trees against a
-/// StorageEngine with data-flow scheduling.
+/// \brief Deprecated compatibility facade over RunQuery/RunBatch (run.h).
 ///
-/// An Executor owns its worker pool configuration and a BufferManager
-/// modelling the IC-local-memory / disk-cache / mass-storage hierarchy.
-/// Execute() and ExecuteBatch() may be called repeatedly; each call stands
-/// up a private one-shot Scheduler (see scheduler.h) — workers run to
-/// completion and tear down so that wall-clock measurements are
-/// self-contained. Long-lived multi-user services should hold a resident
-/// Scheduler instead and call Submit().
+/// An Executor carries nothing but a storage pointer and an ExecOptions
+/// value; each Execute/ExecuteBatch call stands up a private one-shot
+/// Scheduler (see scheduler.h). New code should call RunQuery/RunBatch
+/// directly, or hold a resident Scheduler and Submit() for multi-user work.
 class Executor {
  public:
   Executor(StorageEngine* storage, ExecOptions options);
@@ -56,21 +52,13 @@ class Executor {
 
   const ExecOptions& options() const { return options_; }
 
-  /// Runs one query. The plan is cloned and analyzed internally, so \p plan
-  /// may be reused across runs and engines.
-  ///
-  /// Statistics ride on the result: `result.stats()` holds the per-query
-  /// snapshot (and the trace when ExecOptions::enable_trace is set). When
-  /// \p batch_stats is non-null it receives the whole-run aggregate,
-  /// including pool-wide fault counters and buffer-hierarchy traffic.
+  /// \deprecated Use RunQuery (run.h) or Scheduler::Submit.
+  [[deprecated("use RunQuery (run.h) or Scheduler::Submit")]]
   StatusOr<QueryResult> Execute(const PlanNode& plan,
                                 ExecStats* batch_stats = nullptr);
 
-  /// Runs a batch of queries concurrently under MC-style admission control:
-  /// conflicting queries (write/write or read/write on a base relation) are
-  /// serialized, everything else shares the processor pool. Results are
-  /// returned in input order, each carrying its own per-query ExecStats;
-  /// \p batch_stats (optional) receives the batch aggregate.
+  /// \deprecated Use RunBatch (run.h) or Scheduler::Submit.
+  [[deprecated("use RunBatch (run.h) or Scheduler::Submit")]]
   StatusOr<std::vector<QueryResult>> ExecuteBatch(
       const std::vector<const PlanNode*>& plans,
       ExecStats* batch_stats = nullptr);

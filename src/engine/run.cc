@@ -1,0 +1,94 @@
+#include "engine/run.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+#include "engine/scheduler.h"
+
+namespace dfdb {
+
+StatusOr<QueryResult> RunQuery(StorageEngine* storage, const PlanNode& plan,
+                               const ExecOptions& options,
+                               ExecStats* batch_stats) {
+  std::vector<const PlanNode*> plans{&plan};
+  DFDB_ASSIGN_OR_RETURN(std::vector<QueryResult> results,
+                        RunBatch(storage, plans, options, batch_stats));
+  return std::move(results[0]);
+}
+
+StatusOr<std::vector<QueryResult>> RunBatch(
+    StorageEngine* storage, const std::vector<const PlanNode*>& plans,
+    const ExecOptions& options, ExecStats* batch_stats) {
+  std::vector<QueryResult> results;
+  if (plans.empty()) {
+    if (batch_stats != nullptr) *batch_stats = ExecStats{};
+    return results;
+  }
+
+  // Deferred start keeps the batch deterministic: every query's initial
+  // tasks are enqueued (and its snapshot stamped, in submission order)
+  // before any worker runs, exactly like the historical one-pool-per-batch
+  // executor.
+  SchedulerOptions sched_options;
+  sched_options.exec = options;
+  sched_options.defer_worker_start = true;
+  Scheduler scheduler(storage, std::move(sched_options));
+
+  std::vector<QueryHandle> handles;
+  handles.reserve(plans.size());
+  for (const PlanNode* plan : plans) {
+    if (plan == nullptr) {
+      if (batch_stats != nullptr) *batch_stats = ExecStats{};
+      return Status::InvalidArgument("null plan");
+    }
+    auto handle = scheduler.Submit(*plan);
+    if (!handle.ok()) {
+      // Analysis failed before anything executed; the never-started
+      // scheduler cancels the earlier submissions without side effects.
+      if (batch_stats != nullptr) *batch_stats = ExecStats{};
+      return handle.status();
+    }
+    handles.push_back(*std::move(handle));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  scheduler.Start();
+
+  Status first_error = Status::OK();
+  results.resize(handles.size());
+  for (size_t i = 0; i < handles.size(); ++i) {
+    auto result = handles[i].Wait();
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
+    results[i] = *std::move(result);
+  }
+  scheduler.Shutdown();
+  const auto end = std::chrono::steady_clock::now();
+
+  // Workers have quiesced: merge the trace once and share it across the
+  // batch aggregate and every per-query snapshot.
+  std::shared_ptr<const obs::Trace> trace = scheduler.FinishTrace();
+  if (trace != nullptr) {
+    for (QueryResult& result : results) {
+      ExecStats qs = result.stats();
+      qs.trace = trace;
+      result.set_stats(std::move(qs));
+    }
+  }
+
+  if (batch_stats != nullptr) {
+    *batch_stats = scheduler.AggregateStats();
+    // The batch wall clock is this call's own span, not the scheduler's
+    // lifetime (construction and preparation are excluded, as before).
+    batch_stats->wall_seconds =
+        std::chrono::duration<double>(end - start).count();
+  }
+  if (!first_error.ok()) return first_error;
+  return results;
+}
+
+}  // namespace dfdb

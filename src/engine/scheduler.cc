@@ -170,7 +170,17 @@ struct QueryRuntime {
   std::chrono::steady_clock::time_point completed_at{};
   uint64_t queue_wait_ns = 0;     ///< Set at admission (0 = immediate).
   uint64_t failed_probes = 0;     ///< Failed re-admission probes while queued.
+  uint64_t sched_skips = 0;       ///< Conflicting bypasses while queued.
   bool was_queued = false;
+  /// Read-only query admitted around the MC queue (snapshot mode): it holds
+  /// no locks, so completion must not probe the admission queue.
+  bool bypassed_admission = false;
+
+  /// The immutable point-in-time view this query's scans execute against,
+  /// stamped at admission (invalid in barrier mode). Released when the
+  /// runtime is reaped — outside admit_mu_ — which is what lets version GC
+  /// key off "no live snapshot can see it".
+  Snapshot snapshot;
 
   /// Completion/reaping protocol: `in_flight` counts the frames that may
   /// still touch this runtime, plus one "completion reference" held from
@@ -222,6 +232,7 @@ class SchedulerImpl {
     DFDB_CHECK(options_.exec.num_processors >= 1);
     DFDB_CHECK(options_.exec.memory_cells_per_processor >= 1);
     run_start_ = std::chrono::steady_clock::now();
+    mvcc_baseline_ = storage->mvcc_stats();
     // Poisoned packets (corrupted on the wire) are injected once, ahead of
     // any query's tasks: workers detect the bad checksum and drop them.
     for (int i = 0; i < std::max(0, options_.exec.fault_plan.poison_packets);
@@ -346,6 +357,27 @@ class SchedulerImpl {
   /// Enqueues every source-driver task of \p q as one atomic batch. The
   /// caller must hold an `in_flight` reference on \p q (see MaybeReap).
   void LaunchQuery(QueryRuntime* q);
+  /// Snapshot mode, at admission (admit_mu_ held): publishes committed
+  /// state the query is entitled to see, captures its snapshot, and
+  /// registers its write ownership. Because admissions are serialized under
+  /// admit_mu_, snapshot timestamps derive from admission order — the
+  /// deterministic-replay property.
+  void StampSnapshotLocked(QueryRuntime* q);
+  bool snapshot_mode() const {
+    return options_.concurrency == ConcurrencyMode::kSnapshot;
+  }
+  /// Storage-wide MVCC stats attributed to this scheduler: monotone
+  /// counters are reported as deltas since construction (so re-running an
+  /// identical batch on warm storage exports identical counters), gauges
+  /// (snapshots_open, versions_live, last_commit_ts) stay absolute.
+  MvccStats MvccDelta() const {
+    MvccStats mv = storage_->mvcc_stats();
+    mv.snapshots_captured -= mvcc_baseline_.snapshots_captured;
+    mv.pages_copied -= mvcc_baseline_.pages_copied;
+    mv.gc_reclaimed -= mvcc_baseline_.gc_reclaimed;
+    mv.commits -= mvcc_baseline_.commits;
+    return mv;
+  }
   /// Builds the per-query ExecStats snapshot and fulfills the handle.
   void FulfillLocked(QueryRuntime* q);
   /// Destroys a completed query's runtime once no worker frame can still
@@ -380,6 +412,13 @@ class SchedulerImpl {
   uint64_t next_qid_ = 1;
   uint64_t next_batch_index_ = 0;
   int active_queries_ = 0;
+  /// Snapshot mode: relation -> qid of the admitted writer mutating it
+  /// (under admit_mu_). StampSnapshotLocked must not commit a relation
+  /// another writer still owns — its uncommitted head is private until that
+  /// writer completes.
+  std::map<std::string, uint64_t> writing_relations_;
+  /// Storage MVCC counters at construction (see MvccDelta).
+  MvccStats mvcc_baseline_;
   bool started_ = false;
   bool shutting_down_ = false;
   bool shutdown_complete_ = false;
@@ -1307,16 +1346,33 @@ void SchedulerImpl::LaunchQuery(QueryRuntime* q) {
   for (auto& node : q->nodes) {
     NodeState* ns = node.get();
     if (ns->node->op == PlanOp::kScan) {
-      auto file = storage_->GetHeapFile(ns->node->relation);
-      if (!file.ok()) {
-        q->Fail(file.status());
-        std::lock_guard<std::mutex> lock(ns->mu);
-        ns->source_done = true;
-        continue;
+      std::shared_ptr<std::vector<PageId>> ids;
+      if (q->snapshot.valid()) {
+        // Snapshot mode: scan the immutable version this query's snapshot
+        // resolves to. The pages are sealed and committed, so no flush and
+        // no coordination with concurrent writers is needed.
+        auto view = q->snapshot.View(ns->node->relation);
+        if (!view.ok()) {
+          q->Fail(view.status().WithContext("snapshot view"));
+          std::lock_guard<std::mutex> lock(ns->mu);
+          ns->source_done = true;
+          continue;
+        }
+        ids = std::make_shared<std::vector<PageId>>(std::move(view->pages));
+      } else {
+        // Barrier mode: admission already excluded writers of this
+        // relation, so the live head is stable for the query's duration.
+        auto file = storage_->GetHeapFile(ns->node->relation);
+        if (!file.ok()) {
+          q->Fail(file.status());
+          std::lock_guard<std::mutex> lock(ns->mu);
+          ns->source_done = true;
+          continue;
+        }
+        Status flushed = (*file)->Flush();
+        if (!flushed.ok()) q->Fail(flushed);
+        ids = std::make_shared<std::vector<PageId>>((*file)->PageIds());
       }
-      Status flushed = (*file)->Flush();
-      if (!flushed.ok()) q->Fail(flushed);
-      auto ids = std::make_shared<std::vector<PageId>>((*file)->PageIds());
       {
         std::lock_guard<std::mutex> lock(ns->mu);
         ++ns->pending;
@@ -1340,6 +1396,29 @@ void SchedulerImpl::LaunchQuery(QueryRuntime* q) {
 // ---------------------------------------------------------------------------
 // SchedulerImpl: admission, completion, reaping
 // ---------------------------------------------------------------------------
+
+void SchedulerImpl::StampSnapshotLocked(QueryRuntime* q) {
+  // Publish any committed-state debt first: a relation in this query's
+  // read/write sets may carry uncommitted head mutations made outside the
+  // scheduler (direct HeapFile appends by the host program). Those belong
+  // to no active writer, so this query is entitled to see them — commit
+  // them now so the captured snapshot includes them. A relation owned by a
+  // still-running writer keeps its uncommitted head private.
+  auto publish = [&](const std::set<std::string>& rels) {
+    for (const std::string& rel : rels) {
+      if (writing_relations_.count(rel) > 0) continue;
+      // No-op when clean; a failure here means the relation vanished since
+      // analysis, which the scan driver reports properly.
+      (void)storage_->CommitRelation(rel);
+    }
+  };
+  publish(q->analysis.read_set);
+  publish(q->analysis.write_set);
+  q->snapshot = storage_->CaptureSnapshot();
+  for (const std::string& rel : q->analysis.write_set) {
+    writing_relations_[rel] = q->qid;
+  }
+}
 
 StatusOr<QueryHandle> SchedulerImpl::Submit(const PlanNode& plan) {
   uint64_t qid = 0;
@@ -1369,11 +1448,25 @@ StatusOr<QueryHandle> SchedulerImpl::Submit(const PlanNode& plan) {
     }
     runtimes_[qid] = std::move(owned);
     ++totals_.submitted;
-    admitted = admission_.Submit(qid, q->analysis.read_set,
-                                 q->analysis.write_set);
+    if (snapshot_mode() && q->analysis.write_set.empty()) {
+      // Read-only query: it executes against an immutable snapshot, so it
+      // cannot conflict with anything. Admit around the MC queue entirely —
+      // it never queues and never skips.
+      q->bypassed_admission = true;
+      admitted = true;
+    } else if (snapshot_mode()) {
+      // Writer: its reads come from its snapshot, so the lock table only
+      // arbitrates writer–writer conflicts.
+      admitted = admission_.Submit(qid, /*read_set=*/{},
+                                   q->analysis.write_set);
+    } else {
+      admitted = admission_.Submit(qid, q->analysis.read_set,
+                                   q->analysis.write_set);
+    }
     if (admitted) {
       ++totals_.admitted_immediately;
       ++active_queries_;
+      if (snapshot_mode()) StampSnapshotLocked(q);
     } else {
       ++totals_.queued;
       q->was_queued = true;
@@ -1413,6 +1506,15 @@ void SchedulerImpl::FulfillLocked(QueryRuntime* q) {
   qs.sched_queued = q->was_queued ? 1 : 0;
   qs.sched_requeues = q->failed_probes;
   qs.sched_queue_wait_ns = q->queue_wait_ns;
+  qs.sched_skips = q->sched_skips;
+  // Storage-wide MVCC stats observed at this query's completion.
+  const MvccStats mv = MvccDelta();
+  qs.mvcc_snapshots_open = mv.snapshots_open;
+  qs.mvcc_snapshots_captured = mv.snapshots_captured;
+  qs.mvcc_versions_live = mv.versions_live;
+  qs.mvcc_pages_copied = mv.pages_copied;
+  qs.mvcc_gc_reclaimed = mv.gc_reclaimed;
+  qs.mvcc_commits = mv.commits;
 
   ++totals_.completed;
   totals_.queue_wait_ns += q->queue_wait_ns;
@@ -1464,20 +1566,49 @@ void SchedulerImpl::OnQueryDone(QueryRuntime* q) {
     }
     q->intermediates.clear();
   }
+  // Snapshot mode, writer epilogue: a failed writer's uncommitted head
+  // mutations are rolled back to the last committed version; a successful
+  // writer's are committed (usually a no-op — the execution paths publish
+  // through SyncStats — but it guarantees the next admission's snapshot
+  // sees this writer's effects). Safe outside admit_mu_: this query still
+  // owns its write relations in writing_relations_, so no concurrent
+  // admission will commit or publish them meanwhile.
+  if (snapshot_mode() && !q->analysis.write_set.empty()) {
+    const bool failed = q->failed.load(std::memory_order_relaxed);
+    for (const std::string& rel : q->analysis.write_set) {
+      if (failed) {
+        (void)storage_->RollbackRelation(rel);
+      } else {
+        (void)storage_->CommitRelation(rel);
+      }
+    }
+  }
   std::vector<QueryRuntime*> to_launch;
   {
     std::lock_guard<std::mutex> lock(admit_mu_);
     const auto now = std::chrono::steady_clock::now();
-    for (const AdmissionQueue::ReAdmitted& adm : admission_.Release(q->qid)) {
+    for (const std::string& rel : q->analysis.write_set) {
+      auto it = writing_relations_.find(rel);
+      if (it != writing_relations_.end() && it->second == q->qid) {
+        writing_relations_.erase(it);
+      }
+    }
+    std::vector<AdmissionQueue::ReAdmitted> readmitted;
+    // Bypassed readers hold no admission locks; probing the queue for them
+    // would only inflate requeue-failure counts.
+    if (!q->bypassed_admission) readmitted = admission_.Release(q->qid);
+    for (const AdmissionQueue::ReAdmitted& adm : readmitted) {
       auto it = runtimes_.find(adm.qid);
       if (it == runtimes_.end()) continue;  // Cancelled meanwhile.
       QueryRuntime* cand = it->second.get();
       cand->failed_probes = adm.failed_probes;
+      cand->sched_skips = adm.skips;
       cand->queue_wait_ns = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               now - cand->submitted_at)
               .count());
       ++active_queries_;
+      if (snapshot_mode()) StampSnapshotLocked(cand);
       to_launch.push_back(cand);
     }
     --active_queries_;
@@ -1601,6 +1732,7 @@ void SchedulerImpl::Shutdown() {
           cancelled.push_back(rt->state);
         }
         runtimes_.clear();
+        writing_relations_.clear();
         active_queries_ = 0;
         queue_.Close();
         shutdown_complete_ = true;
@@ -1656,6 +1788,14 @@ ExecStats SchedulerImpl::AggregateStats() const {
   stats.sched_queued = totals_.queued;
   stats.sched_requeues = admission_.requeue_failures();
   stats.sched_queue_wait_ns = totals_.queue_wait_ns;
+  stats.sched_skips = admission_.total_skips();
+  const MvccStats mv = MvccDelta();
+  stats.mvcc_snapshots_open = mv.snapshots_open;
+  stats.mvcc_snapshots_captured = mv.snapshots_captured;
+  stats.mvcc_versions_live = mv.versions_live;
+  stats.mvcc_pages_copied = mv.pages_copied;
+  stats.mvcc_gc_reclaimed = mv.gc_reclaimed;
+  stats.mvcc_commits = mv.commits;
   stats.buffer = buffer_.stats();
   stats.trace = finished_trace_;
   return stats;
@@ -1669,6 +1809,8 @@ void SchedulerImpl::SnapshotMetrics(obs::MetricsRegistry* registry) const {
   registry->Set("engine.sched.completed", totals_.completed);
   registry->Set("engine.sched.cancelled", totals_.cancelled);
   registry->Set("engine.sched.requeues", admission_.requeue_failures());
+  registry->Set("engine.sched.requeue_failures", admission_.requeue_failures());
+  registry->Set("engine.sched.skips", admission_.total_skips());
   registry->Set("engine.sched.queue_wait_ns", totals_.queue_wait_ns);
   registry->Set("engine.sched.active_queries",
                 static_cast<uint64_t>(active_queries_));
@@ -1680,6 +1822,14 @@ void SchedulerImpl::SnapshotMetrics(obs::MetricsRegistry* registry) const {
                                               0, busy_workers_.load())));
   registry->Set("engine.sched.pool.peak_busy",
                 static_cast<uint64_t>(std::max(0, peak_busy_workers_.load())));
+  const MvccStats mv = MvccDelta();
+  registry->Set("engine.mvcc.snapshots_open", mv.snapshots_open);
+  registry->Set("engine.mvcc.snapshots_captured", mv.snapshots_captured);
+  registry->Set("engine.mvcc.versions_live", mv.versions_live);
+  registry->Set("engine.mvcc.pages_copied", mv.pages_copied);
+  registry->Set("engine.mvcc.gc_reclaimed", mv.gc_reclaimed);
+  registry->Set("engine.mvcc.commits", mv.commits);
+  registry->Set("engine.mvcc.last_commit_ts", mv.last_commit_ts);
 }
 
 }  // namespace internal

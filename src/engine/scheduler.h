@@ -41,6 +41,21 @@ class SchedulerImpl;
 struct QueryState;
 }  // namespace internal
 
+/// \brief Concurrency-control regime of one scheduler.
+enum class ConcurrencyMode {
+  /// MVCC snapshot reads (the default): every query executes against an
+  /// immutable Snapshot stamped at admission, read-only queries are
+  /// admitted immediately (they never queue and never skip), and the
+  /// admission queue arbitrates writer–writer conflicts only. Snapshot
+  /// timestamps derive from admission order, not wall clock, so deferred
+  /// single-worker replay stays deterministic.
+  kSnapshot,
+  /// Legacy barrier mode: relation-granularity S/X admission — every
+  /// reader queues behind every writer of a shared relation. Kept for the
+  /// reader/writer bench comparison and as a semantics reference.
+  kBarrier,
+};
+
 /// \brief Configuration of one resident scheduler.
 struct SchedulerOptions {
   /// Engine knobs: pool size, granularity, buffer hierarchy, fault plan,
@@ -59,6 +74,9 @@ struct SchedulerOptions {
   /// the byte-identical trace-export tests (and the Executor compatibility
   /// wrappers) rely on.
   bool defer_worker_start = false;
+
+  /// Snapshot reads vs legacy barrier admission (see ConcurrencyMode).
+  ConcurrencyMode concurrency = ConcurrencyMode::kSnapshot;
 };
 
 /// \brief Future-like handle to one submitted query.

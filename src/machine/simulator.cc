@@ -184,6 +184,7 @@ class Sim {
     ic_alive_.assign(static_cast<size_t>(cfg_.num_instruction_controllers), 1);
     report_.query_completion.assign(num_queries, SimTime::Zero());
     report_.results.resize(num_queries);
+    query_snapshots_.resize(num_queries);
     drives_.resize(static_cast<size_t>(std::max(1, cfg_.num_disk_drives)));
     for (int i = 0; i < cfg_.num_instruction_controllers; ++i) {
       ics_.emplace_back(i, static_cast<size_t>(cfg_.ic_local_memory_pages));
@@ -493,6 +494,10 @@ class Sim {
   std::deque<int> pending_requests_;
   ConflictManager conflicts_;
   std::deque<size_t> waiting_queries_;
+  /// One storage snapshot per query, captured at admission and released at
+  /// completion: base-operand staging reads the same immutable page set the
+  /// threads engine would, regardless of concurrent writers.
+  std::vector<Snapshot> query_snapshots_;
   size_t active_queries_ = 0;
   bool in_reclaim_ = false;
   /// Byte size per page uid (raw PageIds and staged uids share the space).
@@ -551,6 +556,17 @@ void Sim::TryAdmitWaiting() {
     if (conflicts_.TryAdmit(qi + 1, analysis.read_set, analysis.write_set)) {
       ++active_queries_;
       it = waiting_queries_.erase(it);
+      // Publish any committed-state debt (direct host appends) on the
+      // relations this query touches, then stamp its snapshot. Safe to
+      // commit here: the ConflictManager just granted this query exclusive
+      // access against writers of everything in its sets.
+      for (const std::string& rel : analysis.read_set) {
+        (void)storage_->CommitRelation(rel);
+      }
+      for (const std::string& rel : analysis.write_set) {
+        (void)storage_->CommitRelation(rel);
+      }
+      query_snapshots_[qi] = storage_->CaptureSnapshot();
       StartQuery(qi);
     } else {
       ++it;
@@ -586,6 +602,19 @@ void Sim::StartStaging(int instr_id, int slot) {
   InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
   const std::string& rel =
       ir.def->operands[static_cast<size_t>(slot)].base_relation;
+  const Snapshot& snap = query_snapshots_[ir.def->query_index];
+  if (snap.valid()) {
+    auto view = snap.View(rel);
+    if (!view.ok()) {
+      Fail(view.status().WithContext("staging snapshot view " + rel));
+      CompleteOperand(instr_id, slot);
+      return;
+    }
+    auto ids = std::make_shared<std::vector<PageId>>(std::move(view->pages));
+    StageNextRawPage(instr_id, slot, ids, 0);
+    return;
+  }
+  // Fallback (no snapshot stamped): read the live head.
   auto file = storage_->GetHeapFile(rel);
   if (!file.ok()) {
     Fail(file.status().WithContext("staging " + rel));
@@ -1684,6 +1713,7 @@ void Sim::FinishInstr(int instr_id) {
     const SimTime arrival = SendOuter(kControlBytes);
     eq_.ScheduleAt(arrival, [this, qi] {
       report_.query_completion[qi] = eq_.now();
+      query_snapshots_[qi].Release();
       conflicts_.Release(qi + 1);
       --active_queries_;
       TryAdmitWaiting();

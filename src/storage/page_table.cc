@@ -32,7 +32,7 @@ std::optional<PageId> PageTable::At(size_t index) const {
   return ids_[index];
 }
 
-std::vector<PageId> PageTable::Snapshot() const {
+std::vector<PageId> PageTable::Ids() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ids_;
 }

@@ -38,8 +38,8 @@ class PageTable {
   /// Page id at position \p index if already produced.
   std::optional<PageId> At(size_t index) const;
 
-  /// Snapshot of all ids appended so far.
-  std::vector<PageId> Snapshot() const;
+  /// Copy of all ids appended so far.
+  std::vector<PageId> Ids() const;
 
   /// True once complete() and the consumer has seen all size() pages.
   bool Exhausted(size_t consumed) const;

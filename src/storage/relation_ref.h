@@ -1,0 +1,42 @@
+/// \file relation_ref.h
+/// \brief Lightweight relation designator: by id or by name.
+
+#ifndef DFDB_STORAGE_RELATION_REF_H_
+#define DFDB_STORAGE_RELATION_REF_H_
+
+#include <string>
+#include <string_view>
+
+#include "catalog/catalog.h"
+
+namespace dfdb {
+
+/// \brief Names a relation either by catalog id or by name.
+///
+/// A transient parameter type (like std::string_view: it does not own the
+/// name), letting StorageEngine expose one signature per operation instead
+/// of an id/name overload pair. Implicitly constructible from both spellings
+/// so call sites read naturally: `GetHeapFile(id)`, `GetHeapFile("r10")`.
+class RelationRef {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  RelationRef(RelationId id) : id_(id) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  RelationRef(std::string_view name) : name_(name) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  RelationRef(const std::string& name) : name_(name) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  RelationRef(const char* name) : name_(name) {}
+
+  bool by_name() const { return !name_.empty(); }
+  RelationId id() const { return id_; }
+  std::string_view name() const { return name_; }
+
+ private:
+  RelationId id_ = kInvalidRelationId;
+  std::string_view name_;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_STORAGE_RELATION_REF_H_

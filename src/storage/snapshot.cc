@@ -1,0 +1,31 @@
+#include "storage/snapshot.h"
+
+#include "storage/storage_engine.h"
+
+namespace dfdb {
+
+Snapshot::State::~State() {
+  if (engine != nullptr && !released.load(std::memory_order_acquire)) {
+    engine->ReleaseSnapshot(ts);
+  }
+}
+
+uint64_t Snapshot::ts() const { return state_ != nullptr ? state_->ts : 0; }
+
+StatusOr<SnapshotView> Snapshot::View(RelationRef rel) const {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("invalid snapshot handle");
+  }
+  return state_->engine->ViewAtSnapshot(rel, state_->ts);
+}
+
+void Snapshot::Release() {
+  if (state_ == nullptr) return;
+  bool expected = false;
+  if (state_->released.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+    state_->engine->ReleaseSnapshot(state_->ts);
+  }
+}
+
+}  // namespace dfdb

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -13,11 +14,26 @@
 #include "common/macros.h"
 #include "storage/heap_file.h"
 #include "storage/page_store.h"
+#include "storage/relation_ref.h"
+#include "storage/snapshot.h"
 
 namespace dfdb {
 
+/// \brief Options for StorageEngine::CreateRelation.
+struct CreateRelationOptions {
+  /// Page size for the relation's heap file; 0 uses the engine default.
+  int page_bytes = 0;
+};
+
 /// \brief The database substrate the engines execute against: one catalog,
-/// one mass-storage page store, one heap file per relation.
+/// one mass-storage page store, one heap file per relation — plus the MVCC
+/// commit clock and snapshot registry.
+///
+/// Two read paths exist by design: CaptureSnapshot() hands out immutable
+/// point-in-time views (what concurrent queries scan), while GetHeapFile()
+/// remains the borrowed *writer* path — mutations act on the working head
+/// and become visible to new snapshots when CommitRelation()/SyncStats()
+/// installs a version under the engine's monotone commit clock.
 class StorageEngine {
  public:
   /// \p default_page_bytes is the page size for newly created relations
@@ -33,29 +49,77 @@ class StorageEngine {
   int default_page_bytes() const { return default_page_bytes_; }
 
   /// Creates relation + heap file; returns the new id.
-  StatusOr<RelationId> CreateRelation(std::string name, Schema schema);
   StatusOr<RelationId> CreateRelation(std::string name, Schema schema,
-                                      int page_bytes);
+                                      CreateRelationOptions opts = {});
 
-  /// Drops the relation, freeing its pages.
+  /// Drops the relation, freeing every page of every version. Dropping a
+  /// relation out from under an open snapshot fails that snapshot's later
+  /// View() calls (same contract the borrowed HeapFile pointer always had).
   Status DropRelation(std::string_view name);
 
-  /// Borrowed pointer; valid until the relation is dropped.
-  StatusOr<HeapFile*> GetHeapFile(RelationId id);
-  StatusOr<HeapFile*> GetHeapFile(std::string_view name);
+  /// Borrowed mutable pointer (the writer path); valid until the relation
+  /// is dropped. Readers under concurrency should use CaptureSnapshot().
+  StatusOr<HeapFile*> GetHeapFile(RelationRef rel);
 
-  /// Flushes the heap file and refreshes catalog statistics.
-  Status SyncStats(RelationId id);
+  /// Commits the heap file (if dirty) and refreshes catalog statistics.
+  Status SyncStats(RelationRef rel);
 
-  /// Flushes and refreshes statistics for every relation.
+  /// Commits and refreshes statistics for every relation.
   Status SyncAllStats();
 
+  // --- MVCC: commit clock, snapshots, version GC ---
+
+  /// Captures an immutable view at the current commit timestamp. Uncommitted
+  /// working-head mutations are *not* visible; call CommitRelation() first
+  /// to publish them.
+  Snapshot CaptureSnapshot();
+
+  /// Installs the relation's working head as a new committed version under
+  /// the next commit timestamp (no-op when clean), then garbage-collects
+  /// versions no live snapshot can see.
+  Status CommitRelation(RelationRef rel);
+
+  /// Discards the relation's uncommitted head mutations (failed writer).
+  Status RollbackRelation(RelationRef rel);
+
+  /// Current commit clock (timestamp of the newest commit; 0 initially).
+  uint64_t last_commit_ts() const;
+
+  /// Storage-wide MVCC counters (the engine.mvcc.* family).
+  MvccStats mvcc_stats() const;
+
  private:
+  friend class Snapshot;
+  friend struct Snapshot::State;
+
+  /// Resolves the newest version of \p rel visible at \p ts.
+  StatusOr<SnapshotView> ViewAtSnapshot(RelationRef rel, uint64_t ts);
+
+  /// Drops one open-snapshot registration and GCs newly dead versions.
+  void ReleaseSnapshot(uint64_t ts);
+
+  /// Frees retired pages invisible at \p min_live_ts across every file.
+  void GcAllFiles(uint64_t min_live_ts);
+
+  /// min over open snapshots, or the commit clock when none are open.
+  uint64_t MinLiveSnapshotLocked() const;
+
   const int default_page_bytes_;
   Catalog catalog_;
   PageStore store_;
   mutable std::mutex mu_;
   std::unordered_map<RelationId, std::unique_ptr<HeapFile>> files_;
+
+  /// Guards the commit clock and the open-snapshot registry. Commits
+  /// happen under this mutex so a concurrent capture sees either the old
+  /// clock (and keeps reading the old version) or the new clock with the
+  /// new version already installed — never a timestamp whose version is
+  /// still in flight.
+  mutable std::mutex snap_mu_;
+  uint64_t last_commit_ts_ = 0;
+  std::multiset<uint64_t> open_snapshots_;
+  uint64_t snapshots_captured_ = 0;
+  MvccCounters mvcc_;
 };
 
 }  // namespace dfdb

@@ -1,8 +1,13 @@
 /// \file executor_test.cc
 /// \brief End-to-end tests of the data-flow engine against the serial
 /// reference executor, across granularities and processor counts.
+///
+/// Deliberately exercises the deprecated Executor compatibility facade —
+/// it must keep behaving like RunQuery/RunBatch until it is removed.
 
 #include "engine/executor.h"
+
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
 

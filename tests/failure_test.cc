@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "engine/reference.h"
 #include "machine/simulator.h"
 #include "tests/test_util.h"
@@ -43,14 +43,13 @@ PlanNodePtr DivByZeroPlan() {
 }
 
 TEST_F(FailureTest, RuntimePredicateErrorFailsEngineCleanly) {
-  Executor engine(storage_.get(), Opts());
-  auto result = engine.Execute(*DivByZeroPlan());
+  auto result = RunQuery(storage_.get(), *DivByZeroPlan(), Opts());
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status();
   EXPECT_NE(result.status().message().find("division by zero"),
             std::string::npos);
-  // The engine is reusable after a failed query.
-  auto ok = engine.Execute(*MakeScan("r"));
+  // Storage stays usable after a failed query.
+  auto ok = RunQuery(storage_.get(), *MakeScan("r"), Opts());
   EXPECT_TRUE(ok.ok()) << ok.status();
 }
 
@@ -77,8 +76,7 @@ TEST_F(FailureTest, RuntimeErrorInsideJoinTerminatesBatch) {
   auto bad = MakeJoin(MakeScan("r"), MakeScan("s"),
                       Gt(Div(Lit(1), Col("k2")), Lit(0)));
   auto good = MakeRestrict(MakeScan("s"), Lt(Col("k1000"), Lit(500)));
-  Executor engine(storage_.get(), Opts());
-  auto results = engine.ExecuteBatch({bad.get(), good.get()});
+  auto results = RunBatch(storage_.get(), {bad.get(), good.get()}, Opts());
   ASSERT_FALSE(results.ok());
   EXPECT_TRUE(results.status().IsInvalidArgument());
 }
@@ -90,8 +88,7 @@ TEST_F(FailureTest, CharPredicateErrorSurfacesFromAllGranularities) {
        {Granularity::kPage, Granularity::kRelation, Granularity::kTuple}) {
     ExecOptions o = Opts();
     o.granularity = g;
-    Executor engine(storage_.get(), o);
-    auto result = engine.Execute(*plan);
+    auto result = RunQuery(storage_.get(), *plan, o);
     ASSERT_FALSE(result.ok()) << GranularityToString(g);
     EXPECT_TRUE(result.status().IsInvalidArgument());
   }
@@ -103,8 +100,7 @@ TEST_F(FailureTest, AppendTargetDroppedBeforeExecution) {
   (void)victim;
   auto plan = MakeAppend(MakeScan("r"), "victim");
   ASSERT_OK(storage_->DropRelation("victim"));
-  Executor engine(storage_.get(), Opts());
-  auto result = engine.Execute(*plan);
+  auto result = RunQuery(storage_.get(), *plan, Opts());
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsNotFound());
 }
@@ -117,8 +113,8 @@ TEST_F(FailureTest, EmptyRelationFlowsThroughEverything) {
       MakeScan("empty"),
       MakeRestrict(MakeScan("r"), Lt(Col("k1000"), Lit(100))),
       Eq(Col("k100"), RightCol("k100")));
-  Executor engine(storage_.get(), Opts());
-  ASSERT_OK_AND_ASSIGN(QueryResult er, engine.Execute(*plan));
+  ASSERT_OK_AND_ASSIGN(QueryResult er,
+                       RunQuery(storage_.get(), *plan, Opts()));
   EXPECT_EQ(er.num_tuples(), 0u);
   MachineOptions mopts;
   mopts.config.page_bytes = 500;
@@ -132,8 +128,8 @@ TEST_F(FailureTest, SingleTupleRelation) {
   (void)one;
   auto plan = MakeJoin(MakeScan("one"), MakeScan("one"),
                        Eq(Col("id"), RightCol("id")));
-  Executor engine(storage_.get(), Opts(1));
-  ASSERT_OK_AND_ASSIGN(QueryResult result, engine.Execute(*plan));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       RunQuery(storage_.get(), *plan, Opts(1)));
   EXPECT_EQ(result.num_tuples(), 1u);
 }
 

@@ -14,7 +14,7 @@
 
 #include <gtest/gtest.h>
 
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "engine/reference.h"
 #include "machine/fault_injector.h"
 #include "machine/simulator.h"
@@ -367,10 +367,9 @@ TEST_F(FaultInjectionTest, EngineSurvivesWorkerAbandonmentAndPoison) {
   opts.fault_plan.abandon_workers = 2;
   opts.fault_plan.abandon_after_tasks = 3;
   opts.fault_plan.poison_packets = 7;
-  Executor engine(storage_.get(), opts);
   ExecStats stats;
   ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> results,
-                       engine.ExecuteBatch(raw, &stats));
+                       RunBatch(storage_.get(), raw, opts, &stats));
   ExpectSameResult(e1, results[0]);
   ExpectSameResult(e2, results[1]);
   EXPECT_EQ(stats.workers_abandoned, 2u);
@@ -389,9 +388,9 @@ TEST_F(FaultInjectionTest, EngineClampsSoOneWorkerSurvives) {
   opts.page_bytes = 2000;
   opts.fault_plan.abandon_workers = 99;
   opts.fault_plan.abandon_after_tasks = 1;
-  Executor engine(storage_.get(), opts);
   ExecStats stats;
-  ASSERT_OK_AND_ASSIGN(QueryResult result, engine.Execute(*q, &stats));
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       RunQuery(storage_.get(), *q, opts, &stats));
   ExpectSameResult(expected, result);
   EXPECT_LE(stats.workers_abandoned, 2u);
 }

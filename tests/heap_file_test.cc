@@ -128,7 +128,7 @@ TEST(StorageEngineTest, PageSizeMustHoldTuple) {
   EXPECT_TRUE(storage.CreateRelation("t", SmallSchema())
                   .status()
                   .IsInvalidArgument());
-  EXPECT_TRUE(storage.CreateRelation("t", SmallSchema(), 8).ok());
+  EXPECT_TRUE(storage.CreateRelation("t", SmallSchema(), {.page_bytes = 8}).ok());
 }
 
 TEST(StorageEngineTest, SyncAllStats) {

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "engine/reference.h"
 #include "machine/simulator.h"
 #include "tests/test_util.h"
@@ -45,9 +45,8 @@ TEST_F(IntegrationTest, AllTenQueriesAgreeAcrossExecutors) {
   eopts.granularity = Granularity::kPage;
   eopts.num_processors = 4;
   eopts.page_bytes = 4096;
-  Executor engine(storage_.get(), eopts);
   ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> engine_results,
-                       engine.ExecuteBatch(plans));
+                       RunBatch(storage_.get(), plans, eopts));
   for (size_t i = 0; i < queries.size(); ++i) {
     SCOPED_TRACE(queries[i].name);
     ExpectSameResult(expected[i], engine_results[i]);
@@ -86,9 +85,9 @@ TEST_F(IntegrationTest, EngineStatsInvariants) {
   opts.granularity = Granularity::kPage;
   opts.num_processors = 2;
   opts.page_bytes = 4096;
-  Executor engine(storage_.get(), opts);
   ExecStats stats;
-  ASSERT_OK_AND_ASSIGN(auto results, engine.ExecuteBatch(plans, &stats));
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       RunBatch(storage_.get(), plans, opts, &stats));
   EXPECT_GT(stats.wall_seconds, 0.0);
   EXPECT_GT(stats.tasks_executed, 0u);
   EXPECT_GT(stats.packets, 0u);
@@ -140,9 +139,8 @@ TEST_F(IntegrationTest, RepeatedBatchesAreStable) {
   ExecOptions opts;
   opts.num_processors = 4;
   opts.page_bytes = 4096;
-  Executor engine(storage_.get(), opts);
-  ASSERT_OK_AND_ASSIGN(auto first, engine.ExecuteBatch(plans));
-  ASSERT_OK_AND_ASSIGN(auto second, engine.ExecuteBatch(plans));
+  ASSERT_OK_AND_ASSIGN(auto first, RunBatch(storage_.get(), plans, opts));
+  ASSERT_OK_AND_ASSIGN(auto second, RunBatch(storage_.get(), plans, opts));
   for (size_t i = 0; i < first.size(); ++i) {
     ExpectSameResult(first[i], second[i]);
   }

@@ -17,7 +17,7 @@
 
 #include <gtest/gtest.h>
 
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "machine/simulator.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -247,9 +247,8 @@ TEST_F(ObsBackendTest, EngineSingleWorkerRunsExportByteIdenticalJson) {
     opts.num_processors = 1;
     opts.page_bytes = 2000;
     opts.enable_trace = true;
-    Executor engine(storage.get(), opts);
     ExecStats stats;
-    auto results = engine.ExecuteBatch(Raw(plans), &stats);
+    auto results = RunBatch(storage.get(), Raw(plans), opts, &stats);
     ASSERT_TRUE(results.ok()) << results.status();
     ASSERT_NE(stats.trace, nullptr);
     EXPECT_GT(stats.trace->size(), 0u);
@@ -271,9 +270,8 @@ TEST_F(ObsBackendTest, EngineAttachesPerQueryStatsToResults) {
   opts.granularity = Granularity::kPage;
   opts.num_processors = 2;
   opts.page_bytes = 2000;
-  Executor engine(storage.get(), opts);
   ExecStats batch;
-  auto results = engine.ExecuteBatch(Raw(plans), &batch);
+  auto results = RunBatch(storage.get(), Raw(plans), opts, &batch);
   ASSERT_TRUE(results.ok()) << results.status();
   ASSERT_EQ(results->size(), 2u);
   uint64_t task_sum = 0;
@@ -298,9 +296,8 @@ TEST_F(ObsBackendTest, EngineTraceEventsKeyedByBatchIndex) {
   opts.num_processors = 2;
   opts.page_bytes = 2000;
   opts.enable_trace = true;
-  Executor engine(storage.get(), opts);
   ExecStats batch;
-  auto results = engine.ExecuteBatch(Raw(plans), &batch);
+  auto results = RunBatch(storage.get(), Raw(plans), opts, &batch);
   ASSERT_TRUE(results.ok()) << results.status();
   ASSERT_NE(batch.trace, nullptr);
   // Both queries contributed events, keyed 0 / 1 by batch position, and the
@@ -329,9 +326,8 @@ TEST_F(ObsBackendTest, EngineFaultStormLeavesTraceEvidence) {
   opts.fault_plan.abandon_workers = 2;
   opts.fault_plan.abandon_after_tasks = 2;
   opts.fault_plan.poison_packets = 5;
-  Executor engine(storage.get(), opts);
   ExecStats batch;
-  auto results = engine.ExecuteBatch(Raw(plans), &batch);
+  auto results = RunBatch(storage.get(), Raw(plans), opts, &batch);
   ASSERT_TRUE(results.ok()) << results.status();
   ASSERT_NE(batch.trace, nullptr);
   EXPECT_EQ(batch.trace->CountKind(obs::TraceEventKind::kFaultInjected),
@@ -356,9 +352,8 @@ TEST_F(ObsBackendTest, BothBackendsProduceComparableRunReports) {
   opts.granularity = Granularity::kPage;
   opts.num_processors = 2;
   opts.page_bytes = 2000;
-  Executor engine(storage.get(), opts);
   ExecStats stats;
-  auto results = engine.ExecuteBatch(Raw(plans), &stats);
+  auto results = RunBatch(storage.get(), Raw(plans), opts, &stats);
   ASSERT_TRUE(results.ok()) << results.status();
   obs::RunReport engine_run = stats.ToReport();
 

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "engine/reference.h"
 #include "tests/test_util.h"
 #include "workload/generator.h"
@@ -187,9 +187,10 @@ TEST_F(OptimizerTest, ComplexTreeStaysCorrectOnEngine) {
   ExecOptions opts;
   opts.num_processors = 4;
   opts.page_bytes = 1000;
-  Executor engine(storage_.get(), opts);
-  ASSERT_OK_AND_ASSIGN(QueryResult before, engine.Execute(*plan));
-  ASSERT_OK_AND_ASSIGN(QueryResult after, engine.Execute(*optimized));
+  ASSERT_OK_AND_ASSIGN(QueryResult before,
+                       RunQuery(storage_.get(), *plan, opts));
+  ASSERT_OK_AND_ASSIGN(QueryResult after,
+                       RunQuery(storage_.get(), *optimized, opts));
   ExpectSameResult(before, after);
 }
 

@@ -207,7 +207,7 @@ TEST(PageTableTest, StreamSemantics) {
   EXPECT_TRUE(table.Exhausted(2));
   EXPECT_FALSE(table.Exhausted(1));
   EXPECT_TRUE(table.Append(33).IsFailedPrecondition());
-  EXPECT_EQ(table.Snapshot(), (std::vector<PageId>{11, 22}));
+  EXPECT_EQ(table.Ids(), (std::vector<PageId>{11, 22}));
 }
 
 }  // namespace

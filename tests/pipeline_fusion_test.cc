@@ -21,7 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "machine/simulator.h"
 #include "operators/kernels.h"
 #include "ra/expr_compile.h"
@@ -234,8 +234,7 @@ class PipelineFusionEngineTest : public ::testing::Test {
     opts.num_processors = 1;
     opts.page_bytes = 1000;
     opts.pipeline = policy;
-    Executor engine(storage_.get(), opts);
-    auto result = engine.Execute(plan, stats);
+    auto result = RunQuery(storage_.get(), plan, opts, stats);
     EXPECT_TRUE(result.ok()) << result.status();
     return result.ok() ? *std::move(result) : QueryResult{};
   }
@@ -477,9 +476,8 @@ TEST(PipelineFusionDeterminism, TenQueryCountersExportIdentically) {
   eopts.num_processors = 1;
   std::string engine_json[2];
   for (int run = 0; run < 2; ++run) {
-    Executor engine(&storage, eopts);
     ExecStats stats;
-    auto results = engine.ExecuteBatch(plans, &stats);
+    auto results = RunBatch(&storage, plans, eopts, &stats);
     ASSERT_TRUE(results.ok()) << results.status();
     EXPECT_GT(stats.pipeline_fused_edges, 0u);
     engine_json[run] = stats.ToReport().ToJson(/*include_timing=*/false);

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "engine/reference.h"
 #include "machine/simulator.h"
 #include "tests/test_util.h"
@@ -131,8 +131,8 @@ TEST_P(PropertyTest, EnginesAgreeWithReferenceOnRandomPlans) {
       opts.page_bytes = 600;
       opts.local_memory_pages = 8;
       opts.disk_cache_pages = 32;
-      Executor engine(storage_.get(), opts);
-      ASSERT_OK_AND_ASSIGN(QueryResult actual, engine.Execute(*plan));
+      ASSERT_OK_AND_ASSIGN(QueryResult actual,
+                           RunQuery(storage_.get(), *plan, opts));
       ExpectSameResult(expected, actual);
     }
 
@@ -162,12 +162,12 @@ TEST_P(PropertyTest, BatchEqualsSequentialExecution) {
   opts.granularity = Granularity::kPage;
   opts.num_processors = 4;
   opts.page_bytes = 600;
-  Executor engine(storage_.get(), opts);
   ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> batch,
-                       engine.ExecuteBatch(raw));
+                       RunBatch(storage_.get(), raw, opts));
   for (size_t i = 0; i < plans.size(); ++i) {
     SCOPED_TRACE("query " + std::to_string(i) + ":\n" + plans[i]->ToString());
-    ASSERT_OK_AND_ASSIGN(QueryResult solo, engine.Execute(*plans[i]));
+    ASSERT_OK_AND_ASSIGN(QueryResult solo,
+                         RunQuery(storage_.get(), *plans[i], opts));
     ExpectSameResult(solo, batch[i]);
   }
 }

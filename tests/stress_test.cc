@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "engine/executor.h"
+#include "engine/run.h"
 #include "engine/reference.h"
 #include "machine/simulator.h"
 #include "tests/test_util.h"
@@ -49,9 +49,8 @@ TEST_F(StressTest, TwentyConcurrentReadQueries) {
   ExecOptions opts;
   opts.num_processors = 8;
   opts.page_bytes = 600;
-  Executor engine(storage_.get(), opts);
   ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> results,
-                       engine.ExecuteBatch(raw));
+                       RunBatch(storage_.get(), raw, opts));
   ReferenceExecutor reference(storage_.get());
   for (size_t i = 0; i < plans.size(); ++i) {
     SCOPED_TRACE(i);
@@ -77,9 +76,9 @@ TEST_F(StressTest, ConflictingWritersSerializeInSubmissionOrder) {
   ExecOptions opts;
   opts.num_processors = 4;
   opts.page_bytes = 600;
-  Executor engine(storage_.get(), opts);
-  ASSERT_OK_AND_ASSIGN(auto results,
-                       engine.ExecuteBatch({w1.get(), w2.get(), w3.get()}));
+  ASSERT_OK_AND_ASSIGN(auto results, RunBatch(storage_.get(),
+                                              {w1.get(), w2.get(), w3.get()},
+                                              opts));
   (void)results;
 
   // Expected final contents, computed serially.
@@ -113,8 +112,7 @@ TEST_F(StressTest, RepeatedBatchesShakeOutRaces) {
     opts.page_bytes = 600;
     opts.local_memory_pages = 4;  // Tiny memories stress the hierarchy.
     opts.disk_cache_pages = 8;
-    Executor engine(storage_.get(), opts);
-    ASSERT_OK_AND_ASSIGN(auto results, engine.ExecuteBatch(raw));
+    ASSERT_OK_AND_ASSIGN(auto results, RunBatch(storage_.get(), raw, opts));
     std::vector<std::vector<std::string>> rows;
     for (const QueryResult& r : results) {
       rows.push_back(testing::ResultMultiset(r));
@@ -212,10 +210,9 @@ TEST_F(StressTest, EngineAbandonmentStormMatchesReference) {
   opts.fault_plan.abandon_workers = 3;
   opts.fault_plan.abandon_after_tasks = 2;
   opts.fault_plan.poison_packets = 11;
-  Executor engine(storage_.get(), opts);
   ExecStats stats;
   ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> results,
-                       engine.ExecuteBatch(raw, &stats));
+                       RunBatch(storage_.get(), raw, opts, &stats));
   ReferenceExecutor reference(storage_.get());
   for (size_t i = 0; i < plans.size(); ++i) {
     SCOPED_TRACE(i);

@@ -1,0 +1,75 @@
+/// \file front_server.h
+/// \brief DFW1-speaking front door for a distributed cluster.
+///
+/// Accepts ordinary client connections (the same wire protocol
+/// tools/dfdb_client speaks against a single dfdb_server) and answers
+/// kQuery frames by running them through a dist::Coordinator. Existing
+/// clients and scripts work against a cluster unchanged.
+///
+/// Thread-per-connection blocking design: the coordinator already
+/// serializes Execute() internally (one distributed query in flight per
+/// cluster), so a poll loop buys nothing here, and blocking reads keep the
+/// query path trivial to reason about.
+
+#ifndef DFDB_DIST_FRONT_SERVER_H_
+#define DFDB_DIST_FRONT_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "dist/coordinator.h"
+
+namespace dfdb {
+namespace dist {
+
+struct FrontServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  int backlog = 16;
+  uint32_t max_frame_bytes = 4 * 1024 * 1024;
+};
+
+/// \brief Lifecycle: construct → Start() → serve → Stop().
+///
+/// Stop() closes the listen socket, shuts down every connection, and joins
+/// all threads; in-flight queries finish with a closed-connection error on
+/// the client side at worst.
+class FrontServer {
+ public:
+  FrontServer(Coordinator* coordinator, FrontServerOptions options);
+  ~FrontServer();
+  DFDB_DISALLOW_COPY(FrontServer);
+
+  Status Start();
+  void Stop();
+
+  /// Bound TCP port (after a successful Start()).
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Coordinator* coordinator_;
+  const FrontServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace dist
+}  // namespace dfdb
+
+#endif  // DFDB_DIST_FRONT_SERVER_H_

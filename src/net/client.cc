@@ -226,6 +226,16 @@ StatusOr<Frame> Client::ReadFrame() {
   }
 }
 
+Status Client::SendFrame(const std::string& frame) {
+  if (!connected()) return Status::FailedPrecondition("client not connected");
+  return SendAll(frame);
+}
+
+StatusOr<Frame> Client::ReadAnyFrame() {
+  if (!connected()) return Status::FailedPrecondition("client not connected");
+  return ReadFrame();
+}
+
 Status Client::Ping() {
   if (!connected()) return Status::FailedPrecondition("client not connected");
   const uint32_t id = next_request_id_++;

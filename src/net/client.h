@@ -99,6 +99,18 @@ class Client {
 
   void Close();
 
+  // Raw frame-level access — the distributed coordinator (src/dist/) talks
+  // the fragment/exchange sub-protocol directly over the same connection.
+  // Mixing raw frames with Execute() on one client is the caller's job to
+  // sequence (one thread per client, as above).
+
+  /// Sends one pre-encoded frame.
+  Status SendFrame(const std::string& frame);
+  /// Blocks until one complete frame arrives (up to io_timeout_ms).
+  StatusOr<Frame> ReadAnyFrame();
+  /// Allocates a fresh request id (client-unique, monotonic).
+  uint32_t AllocRequestId() { return next_request_id_++; }
+
  private:
   Status SendAll(const std::string& bytes);
   /// Blocks until one complete frame arrives.

@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "common/macros.h"
 #include "common/string_util.h"
 
 namespace dfdb {
@@ -137,6 +138,52 @@ class WireReader {
   bool ok_ = true;
 };
 
+/// Sanity caps for fragment messages: a fragment's exchange-input list and
+/// a partition-routing key list are small by construction.
+constexpr uint32_t kMaxFragmentInputs = 64;
+constexpr uint32_t kMaxExchangeKeyCols = 64;
+constexpr uint32_t kMaxExchangePartitions = 4096;
+
+void PutSchemaFields(std::string* out, const Schema& schema) {
+  PutU32(out, static_cast<uint32_t>(schema.num_columns()));
+  for (const Column& col : schema.columns()) {
+    PutU8(out, static_cast<uint8_t>(col.type));
+    PutU32(out, static_cast<uint32_t>(col.width));
+    PutString(out, col.name);
+  }
+}
+
+/// Reads the column-list encoding produced by PutSchemaFields. Does not
+/// require the reader to be exhausted, so schemas can be embedded inside
+/// larger messages.
+StatusOr<Schema> ReadSchemaFields(WireReader& r) {
+  const uint32_t ncols = r.U32();
+  if (!r.ok() || ncols > kMaxWireColumns) {
+    return Status::Corruption("bad schema column count");
+  }
+  std::vector<Column> columns;
+  columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    Column col;
+    const uint8_t type = r.U8();
+    if (type > static_cast<uint8_t>(ColumnType::kChar)) {
+      return Status::Corruption(
+          StrFormat("unknown column type %u", static_cast<unsigned>(type)));
+    }
+    col.type = static_cast<ColumnType>(type);
+    const uint32_t width = r.U32();
+    if (width == 0 || width > (1u << 20)) {
+      return Status::Corruption("bad column width");
+    }
+    col.width = static_cast<int>(width);
+    col.name = r.String();
+    if (!r.ok()) return Status::Corruption("truncated schema");
+    columns.push_back(std::move(col));
+  }
+  // Schema::Create re-validates widths against types and name uniqueness.
+  return Schema::Create(std::move(columns));
+}
+
 std::string EncodeFrame(Opcode op, uint32_t request_id,
                         std::string_view body) {
   std::string out;
@@ -159,7 +206,7 @@ Status Truncated(const char* what) {
 
 bool IsKnownOpcode(uint8_t op) {
   return op >= static_cast<uint8_t>(Opcode::kQuery) &&
-         op <= static_cast<uint8_t>(Opcode::kPong);
+         op <= static_cast<uint8_t>(Opcode::kExchangeCredit);
 }
 
 Status WireErrorToStatus(WireError code, const std::string& message) {
@@ -191,12 +238,7 @@ std::string EncodeQueryFrame(uint32_t request_id, const QueryRequest& query) {
 
 std::string EncodeSchemaFrame(uint32_t request_id, const Schema& schema) {
   std::string body;
-  PutU32(&body, static_cast<uint32_t>(schema.num_columns()));
-  for (const Column& col : schema.columns()) {
-    PutU8(&body, static_cast<uint8_t>(col.type));
-    PutU32(&body, static_cast<uint32_t>(col.width));
-    PutString(&body, col.name);
-  }
+  PutSchemaFields(&body, schema);
   return EncodeFrame(Opcode::kSchema, request_id, body);
 }
 
@@ -233,6 +275,52 @@ std::string EncodePingFrame(uint32_t request_id) {
 
 std::string EncodePongFrame(uint32_t request_id) {
   return EncodeFrame(Opcode::kPong, request_id, std::string_view());
+}
+
+std::string EncodeFragmentFrame(uint32_t request_id,
+                                const FragmentRequest& fragment) {
+  std::string body;
+  PutU32(&body, fragment.deadline_ms);
+  PutString(&body, fragment.text);
+  PutU32(&body, fragment.output_exchange_id);
+  PutU8(&body, static_cast<uint8_t>(fragment.output_mode));
+  PutU32(&body, fragment.output_partitions);
+  PutU32(&body, static_cast<uint32_t>(fragment.output_key_cols.size()));
+  for (const uint32_t col : fragment.output_key_cols) PutU32(&body, col);
+  PutU32(&body, fragment.output_credits);
+  PutU32(&body, static_cast<uint32_t>(fragment.inputs.size()));
+  for (const FragmentInput& input : fragment.inputs) {
+    PutU32(&body, input.exchange_id);
+    PutString(&body, input.relation);
+    PutSchemaFields(&body, input.schema);
+  }
+  return EncodeFrame(Opcode::kFragment, request_id, body);
+}
+
+std::string EncodeExchangeDataFrame(uint32_t request_id,
+                                    const ExchangeBatch& batch) {
+  std::string body;
+  PutU32(&body, batch.exchange_id);
+  PutU32(&body, batch.partition_id);
+  PutU32(&body, batch.num_tuples);
+  PutU32(&body, batch.tuple_width);
+  body.append(batch.tuples);
+  return EncodeFrame(Opcode::kExchangeData, request_id, body);
+}
+
+std::string EncodeExchangeEofFrame(uint32_t request_id,
+                                   const ExchangeEofMessage& eof) {
+  std::string body;
+  PutU32(&body, eof.exchange_id);
+  return EncodeFrame(Opcode::kExchangeEof, request_id, body);
+}
+
+std::string EncodeExchangeCreditFrame(uint32_t request_id,
+                                      const ExchangeCreditMessage& credit) {
+  std::string body;
+  PutU32(&body, credit.exchange_id);
+  PutU32(&body, credit.credits);
+  return EncodeFrame(Opcode::kExchangeCredit, request_id, body);
 }
 
 // ---------------------------------------------------------------------------
@@ -282,32 +370,9 @@ StatusOr<QueryRequest> DecodeQuery(Slice body) {
 
 StatusOr<Schema> DecodeSchema(Slice body) {
   WireReader r(body);
-  const uint32_t ncols = r.U32();
-  if (!r.ok() || ncols > kMaxWireColumns) {
-    return Status::Corruption("bad schema column count");
-  }
-  std::vector<Column> columns;
-  columns.reserve(ncols);
-  for (uint32_t i = 0; i < ncols; ++i) {
-    Column col;
-    const uint8_t type = r.U8();
-    if (type > static_cast<uint8_t>(ColumnType::kChar)) {
-      return Status::Corruption(
-          StrFormat("unknown column type %u", static_cast<unsigned>(type)));
-    }
-    col.type = static_cast<ColumnType>(type);
-    const uint32_t width = r.U32();
-    if (width == 0 || width > (1u << 20)) {
-      return Status::Corruption("bad column width");
-    }
-    col.width = static_cast<int>(width);
-    col.name = r.String();
-    if (!r.ok()) return Truncated("schema");
-    columns.push_back(std::move(col));
-  }
+  DFDB_ASSIGN_OR_RETURN(Schema schema, ReadSchemaFields(r));
   if (r.remaining() != 0) return Truncated("schema");
-  // Schema::Create re-validates widths against types and name uniqueness.
-  return Schema::Create(std::move(columns));
+  return schema;
 }
 
 StatusOr<RowsBatch> DecodeRows(Slice body) {
@@ -357,6 +422,88 @@ StatusOr<ErrorMessage> DecodeError(Slice body) {
   error.message = r.String();
   if (!r.ok() || r.remaining() != 0) return Truncated("error");
   return error;
+}
+
+StatusOr<FragmentRequest> DecodeFragment(Slice body) {
+  WireReader r(body);
+  FragmentRequest f;
+  f.deadline_ms = r.U32();
+  f.text = r.String();
+  f.output_exchange_id = r.U32();
+  const uint8_t mode = r.U8();
+  if (!r.ok()) return Truncated("fragment");
+  if (mode > static_cast<uint8_t>(ExchangeMode::kBroadcast)) {
+    return Status::Corruption(
+        StrFormat("unknown exchange mode %u", static_cast<unsigned>(mode)));
+  }
+  f.output_mode = static_cast<ExchangeMode>(mode);
+  f.output_partitions = r.U32();
+  if (!r.ok() || f.output_partitions == 0 ||
+      f.output_partitions > kMaxExchangePartitions) {
+    return Status::Corruption("bad fragment partition count");
+  }
+  const uint32_t nkeys = r.U32();
+  if (!r.ok() || nkeys > kMaxExchangeKeyCols) {
+    return Status::Corruption("bad fragment key column count");
+  }
+  f.output_key_cols.reserve(nkeys);
+  for (uint32_t i = 0; i < nkeys; ++i) f.output_key_cols.push_back(r.U32());
+  f.output_credits = r.U32();
+  const uint32_t ninputs = r.U32();
+  if (!r.ok() || ninputs > kMaxFragmentInputs) {
+    return Status::Corruption("bad fragment input count");
+  }
+  f.inputs.reserve(ninputs);
+  for (uint32_t i = 0; i < ninputs; ++i) {
+    FragmentInput input;
+    input.exchange_id = r.U32();
+    input.relation = r.String();
+    if (!r.ok() || input.relation.empty()) return Truncated("fragment");
+    DFDB_ASSIGN_OR_RETURN(input.schema, ReadSchemaFields(r));
+    f.inputs.push_back(std::move(input));
+  }
+  if (!r.ok() || r.remaining() != 0) return Truncated("fragment");
+  return f;
+}
+
+StatusOr<ExchangeBatch> DecodeExchangeData(Slice body) {
+  WireReader r(body);
+  ExchangeBatch batch;
+  batch.exchange_id = r.U32();
+  batch.partition_id = r.U32();
+  batch.num_tuples = r.U32();
+  batch.tuple_width = r.U32();
+  if (!r.ok()) return Truncated("exchange data");
+  const uint64_t payload = static_cast<uint64_t>(batch.num_tuples) *
+                           static_cast<uint64_t>(batch.tuple_width);
+  if (payload != r.remaining()) {
+    return Status::Corruption(StrFormat(
+        "exchange payload mismatch: %u tuples * %u bytes != %zu body bytes",
+        batch.num_tuples, batch.tuple_width, r.remaining()));
+  }
+  batch.tuples = r.Bytes(static_cast<size_t>(payload));
+  if (!r.ok()) return Truncated("exchange data");
+  return batch;
+}
+
+StatusOr<ExchangeEofMessage> DecodeExchangeEof(Slice body) {
+  WireReader r(body);
+  ExchangeEofMessage eof;
+  eof.exchange_id = r.U32();
+  if (!r.ok() || r.remaining() != 0) return Truncated("exchange eof");
+  return eof;
+}
+
+StatusOr<ExchangeCreditMessage> DecodeExchangeCredit(Slice body) {
+  WireReader r(body);
+  ExchangeCreditMessage credit;
+  credit.exchange_id = r.U32();
+  credit.credits = r.U32();
+  if (!r.ok() || r.remaining() != 0) return Truncated("exchange credit");
+  if (credit.credits == 0) {
+    return Status::Corruption("exchange credit grant of zero");
+  }
+  return credit;
 }
 
 StatusOr<std::optional<Frame>> FrameReader::Next() {

@@ -56,8 +56,11 @@ inline constexpr size_t kFrameHeaderBytes = 16;
 /// configured cap is a protocol error, not an allocation.
 inline constexpr uint32_t kDefaultMaxFrameBytes = 4u << 20;
 
-/// \brief Frame types. kQuery and kPing travel client→server; the rest
-/// travel server→client.
+/// \brief Frame types. kQuery and kPing travel client→server; kSchema
+/// through kPong travel server→client. The exchange family (kFragment,
+/// kExchangeData, kExchangeEof, kExchangeCredit) carries distributed plan
+/// fragments and partition-routed row batches between a coordinator and
+/// workers — see dist/coordinator.h.
 enum class Opcode : uint8_t {
   kQuery = 1,   ///< RAQL text + deadline.
   kSchema = 2,  ///< Result schema (first response frame of a query).
@@ -66,6 +69,11 @@ enum class Opcode : uint8_t {
   kError = 5,   ///< Terminal failure frame: WireError + message.
   kPing = 6,    ///< Liveness probe.
   kPong = 7,    ///< Liveness reply.
+  // --- distributed execution (coordinator ↔ worker) ---
+  kFragment = 8,       ///< Plan fragment: RAQL + exchange input/output spec.
+  kExchangeData = 9,   ///< One partition-routed batch of exchange tuples.
+  kExchangeEof = 10,   ///< No more data for one exchange input.
+  kExchangeCredit = 11,  ///< Flow control: grants more kExchangeData sends.
 };
 
 /// True for opcodes this protocol version defines. Unknown opcodes are
@@ -140,6 +148,76 @@ struct ErrorMessage {
   std::string message;
 };
 
+// --- distributed execution messages -----------------------------------------
+
+/// Exchange flow control: credits initially granted to a sender per
+/// exchange. One credit allows one kExchangeData frame; the receiver grants
+/// credits back (kExchangeCredit) as it consumes batches. Sending with zero
+/// outstanding credit is a protocol violation (credit underflow).
+inline constexpr uint32_t kExchangeInitialCredits = 8;
+
+/// How a fragment routes its output stream.
+enum class ExchangeMode : uint8_t {
+  kGather = 0,     ///< Everything to partition 0 (the coordinator merge).
+  kPartition = 1,  ///< Hash on key columns, route per partition.
+  kBroadcast = 2,  ///< Full copy to every partition.
+};
+
+/// One exchange-fed input of a fragment: the worker materializes the
+/// incoming batches into a process-local temp relation named \p relation
+/// (created with \p schema), then runs the fragment text against it.
+struct FragmentInput {
+  uint32_t exchange_id = 0;
+  std::string relation;
+  Schema schema;
+};
+
+/// kFragment body: one plan fragment dispatched by the coordinator.
+///
+/// The fragment itself is RAQL text (the same language kQuery carries);
+/// exchange inputs appear in the text as scans of the temp relations
+/// declared in \p inputs. The worker answers with kExchangeData frames
+/// (partition-routed per \p output_mode) and a terminal kStats, or kError.
+struct FragmentRequest {
+  uint32_t deadline_ms = 0;
+  std::string text;
+  /// Output stream identity: every kExchangeData the worker sends back for
+  /// this fragment carries this exchange id.
+  uint32_t output_exchange_id = 0;
+  ExchangeMode output_mode = ExchangeMode::kGather;
+  /// Partition count for kPartition routing (kGather/kBroadcast: receiver
+  /// fan-out, informational).
+  uint32_t output_partitions = 1;
+  /// Key column indices (into the fragment's output schema) hashed for
+  /// kPartition routing; empty for gather/broadcast.
+  std::vector<uint32_t> output_key_cols;
+  /// Output credits initially granted to the worker by the coordinator.
+  uint32_t output_credits = kExchangeInitialCredits;
+  std::vector<FragmentInput> inputs;
+};
+
+/// kExchangeData body: one batch of packed fixed-width tuples routed to
+/// \p partition_id of exchange \p exchange_id.
+struct ExchangeBatch {
+  uint32_t exchange_id = 0;
+  uint32_t partition_id = 0;
+  uint32_t num_tuples = 0;
+  uint32_t tuple_width = 0;
+  /// Exactly num_tuples * tuple_width bytes.
+  std::string tuples;
+};
+
+/// kExchangeEof body: the sender has no more data for this exchange input.
+struct ExchangeEofMessage {
+  uint32_t exchange_id = 0;
+};
+
+/// kExchangeCredit body: grants \p credits more kExchangeData sends.
+struct ExchangeCreditMessage {
+  uint32_t exchange_id = 0;
+  uint32_t credits = 0;
+};
+
 // ---------------------------------------------------------------------------
 // Encoding (always succeeds; sizes are caller-controlled)
 // ---------------------------------------------------------------------------
@@ -151,6 +229,14 @@ std::string EncodeStatsFrame(uint32_t request_id, const StatsMessage& stats);
 std::string EncodeErrorFrame(uint32_t request_id, const ErrorMessage& error);
 std::string EncodePingFrame(uint32_t request_id);
 std::string EncodePongFrame(uint32_t request_id);
+std::string EncodeFragmentFrame(uint32_t request_id,
+                                const FragmentRequest& fragment);
+std::string EncodeExchangeDataFrame(uint32_t request_id,
+                                    const ExchangeBatch& batch);
+std::string EncodeExchangeEofFrame(uint32_t request_id,
+                                   const ExchangeEofMessage& eof);
+std::string EncodeExchangeCreditFrame(uint32_t request_id,
+                                      const ExchangeCreditMessage& credit);
 
 // ---------------------------------------------------------------------------
 // Decoding (total: every input yields a value or a Status, never UB)
@@ -168,6 +254,10 @@ StatusOr<Schema> DecodeSchema(Slice body);
 StatusOr<RowsBatch> DecodeRows(Slice body);
 StatusOr<StatsMessage> DecodeStats(Slice body);
 StatusOr<ErrorMessage> DecodeError(Slice body);
+StatusOr<FragmentRequest> DecodeFragment(Slice body);
+StatusOr<ExchangeBatch> DecodeExchangeData(Slice body);
+StatusOr<ExchangeEofMessage> DecodeExchangeEof(Slice body);
+StatusOr<ExchangeCreditMessage> DecodeExchangeCredit(Slice body);
 
 /// \brief Incremental frame assembler over a byte stream.
 ///

@@ -95,6 +95,20 @@ struct ServerCounters {
   std::atomic<uint64_t> bytes_in{0};
   std::atomic<uint64_t> bytes_out{0};
   std::atomic<uint64_t> pings{0};
+
+  // Distributed fragment execution, exported as net.exchange.*.
+  std::atomic<uint64_t> fragments{0};          ///< kFragment frames accepted.
+  std::atomic<uint64_t> fragment_errors{0};    ///< Fragments answered kError.
+  std::atomic<uint64_t> exchange_batches_in{0};
+  std::atomic<uint64_t> exchange_batches_out{0};
+  std::atomic<uint64_t> exchange_bytes_in{0};   ///< Tuple payload only.
+  std::atomic<uint64_t> exchange_bytes_out{0};  ///< Tuple payload only.
+  std::atomic<uint64_t> exchange_credits_granted{0};
+  std::atomic<uint64_t> exchange_credit_stalls{0};  ///< Output waits on credit.
+  std::atomic<uint64_t> exchange_credit_underflows{0};
+  std::atomic<uint64_t> exchange_unknown{0};  ///< Frames for no such exchange.
+  std::atomic<uint64_t> exchange_eofs{0};
+  std::atomic<uint64_t> exchange_broadcast_batches{0};
 };
 
 /// \brief TCP front door over one StorageEngine + resident Scheduler.

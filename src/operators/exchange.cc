@@ -1,0 +1,67 @@
+/// \file exchange.cc
+
+#include "operators/exchange.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dfdb {
+
+StatusOr<ExchangeKey> ExchangeKey::FromColumns(
+    const Schema& schema, const std::vector<int>& column_indices) {
+  ExchangeKey key;
+  key.parts_.reserve(column_indices.size());
+  for (const int idx : column_indices) {
+    if (idx < 0 || idx >= schema.num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("exchange key column %d out of range", idx));
+    }
+    const Column& col = schema.column(idx);
+    if (col.type == ColumnType::kDouble) {
+      return Status::InvalidArgument(StrFormat(
+          "exchange key column '%s' is DOUBLE (bit pattern not "
+          "equality-stable)",
+          col.name.c_str()));
+    }
+    key.parts_.emplace_back(schema.offset(idx), col.width);
+  }
+  return key;
+}
+
+ExchangePartitioner::ExchangePartitioner(int partitions, ExchangeKey key,
+                                         int tuple_width,
+                                         size_t target_batch_bytes, Emit emit)
+    : partitions_(partitions),
+      key_(std::move(key)),
+      tuple_width_(tuple_width),
+      target_batch_bytes_(target_batch_bytes),
+      emit_(std::move(emit)),
+      buffers_(static_cast<size_t>(partitions)),
+      counts_(static_cast<size_t>(partitions), 0) {}
+
+void ExchangePartitioner::Add(Slice tuple) {
+  const int p =
+      key_.empty() ? 0 : key_.PartitionOf(tuple, partitions_);
+  buffers_[static_cast<size_t>(p)].append(tuple.data(), tuple.size());
+  ++counts_[static_cast<size_t>(p)];
+  ++tuples_routed_;
+  if (buffers_[static_cast<size_t>(p)].size() >= target_batch_bytes_) {
+    EmitPartition(p);
+  }
+}
+
+void ExchangePartitioner::Flush() {
+  for (int p = 0; p < partitions_; ++p) {
+    if (counts_[static_cast<size_t>(p)] > 0) EmitPartition(p);
+  }
+}
+
+void ExchangePartitioner::EmitPartition(int p) {
+  emit_(p, counts_[static_cast<size_t>(p)],
+        std::move(buffers_[static_cast<size_t>(p)]));
+  buffers_[static_cast<size_t>(p)].clear();
+  counts_[static_cast<size_t>(p)] = 0;
+}
+
+}  // namespace dfdb

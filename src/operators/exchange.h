@@ -1,0 +1,105 @@
+/// \file exchange.h
+/// \brief Hash-partition routing for distributed exchange operators.
+///
+/// The paper's ring machine routes result packets over the outer ring; the
+/// distributed engine routes row batches between `dfdb_server` processes
+/// over DFW1 exchange frames (net/protocol.h). This file holds the routing
+/// arithmetic shared by every party that must agree on it:
+///
+///  - load-time hash partitioning of base relations across workers
+///    (workload/paper_benchmark.h),
+///  - the worker-side exchange *sink* that splits a fragment's result pages
+///    into partition-routed batches (net/server.cc),
+///  - the coordinator's fragment planner, which relies on both using the
+///    same Hash64-over-key-bytes function to prove co-partitioning
+///    (dist/fragment.h).
+///
+/// Keys hash over the raw fixed-width column bytes (no decoding), so the
+/// kernel-compiled fast paths can feed the sink without materializing
+/// Values.
+
+#ifndef DFDB_OPERATORS_EXCHANGE_H_
+#define DFDB_OPERATORS_EXCHANGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/hash.h"
+#include "common/slice.h"
+#include "common/statusor.h"
+
+namespace dfdb {
+
+/// \brief Precomputed byte layout of a tuple's partitioning key: the
+/// (offset, width) runs of the key columns within the fixed-width tuple.
+class ExchangeKey {
+ public:
+  ExchangeKey() = default;
+
+  /// Resolves \p column_indices against \p schema. Rejects kDouble key
+  /// columns: their bit patterns are not equality-stable (-0.0 == +0.0 but
+  /// hashes differ), the same exclusion the compiled hash join applies.
+  static StatusOr<ExchangeKey> FromColumns(
+      const Schema& schema, const std::vector<int>& column_indices);
+
+  bool empty() const { return parts_.empty(); }
+
+  /// Hash of the key bytes of one packed tuple.
+  uint64_t Hash(Slice tuple) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& [offset, width] : parts_) {
+      h = Hash64(tuple.data() + offset, static_cast<size_t>(width), h);
+    }
+    return h;
+  }
+
+  /// Partition in [0, partitions) for one packed tuple.
+  int PartitionOf(Slice tuple, int partitions) const {
+    return static_cast<int>(Hash(tuple) % static_cast<uint64_t>(partitions));
+  }
+
+ private:
+  std::vector<std::pair<int, int>> parts_;  // (byte offset, byte width)
+};
+
+/// \brief Splits a stream of packed tuples into per-partition batches of
+/// bounded size, emitting each full batch through a callback.
+///
+/// The emitter receives (partition, num_tuples, packed bytes); batches are
+/// cut at \p target_batch_bytes so one exchange frame stays well under the
+/// protocol frame cap regardless of result size.
+class ExchangePartitioner {
+ public:
+  using Emit =
+      std::function<void(int partition, uint32_t num_tuples, std::string bytes)>;
+
+  ExchangePartitioner(int partitions, ExchangeKey key, int tuple_width,
+                      size_t target_batch_bytes, Emit emit);
+
+  /// Routes one packed tuple (exactly tuple_width bytes).
+  void Add(Slice tuple);
+
+  /// Emits every non-empty buffered batch.
+  void Flush();
+
+  uint64_t tuples_routed() const { return tuples_routed_; }
+
+ private:
+  void EmitPartition(int p);
+
+  int partitions_;
+  ExchangeKey key_;
+  int tuple_width_;
+  size_t target_batch_bytes_;
+  Emit emit_;
+  std::vector<std::string> buffers_;
+  std::vector<uint32_t> counts_;
+  uint64_t tuples_routed_ = 0;
+};
+
+}  // namespace dfdb
+
+#endif  // DFDB_OPERATORS_EXCHANGE_H_

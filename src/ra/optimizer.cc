@@ -488,4 +488,38 @@ StatusOr<PlanNodePtr> Optimizer::Optimize(const PlanNode& plan,
   return optimized;
 }
 
+std::vector<EquiJoinKey> ExtractEquiJoinKeys(const PlanNode& join) {
+  std::vector<EquiJoinKey> keys;
+  if (join.op != PlanOp::kJoin || join.predicate == nullptr ||
+      join.num_children() != 2 || !join.child(0).resolved ||
+      !join.child(1).resolved) {
+    return keys;
+  }
+  const Schema& left = join.child(0).output_schema;
+  const Schema& right = join.child(1).output_schema;
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(join.predicate, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind() != Expr::Kind::kCompare) continue;
+    const auto& cmp = static_cast<const CompareExpr&>(*c);
+    if (cmp.op() != CompareOp::kEq) continue;
+    if (cmp.lhs().kind() != Expr::Kind::kColumnRef ||
+        cmp.rhs().kind() != Expr::Kind::kColumnRef) {
+      continue;
+    }
+    const auto* a = static_cast<const ColumnRefExpr*>(&cmp.lhs());
+    const auto* b = static_cast<const ColumnRefExpr*>(&cmp.rhs());
+    if (a->side() == Side::kRight && b->side() == Side::kLeft) std::swap(a, b);
+    if (a->side() != Side::kLeft || b->side() != Side::kRight) continue;
+    auto li = left.ColumnIndex(a->name());
+    auto ri = right.ColumnIndex(b->name());
+    if (!li.ok() || !ri.ok()) continue;
+    const Column& lc = left.column(*li);
+    const Column& rc = right.column(*ri);
+    if (lc.type != rc.type || lc.type == ColumnType::kDouble) continue;
+    keys.push_back(EquiJoinKey{a->name(), b->name()});
+  }
+  return keys;
+}
+
 }  // namespace dfdb

@@ -99,6 +99,25 @@ class Optimizer {
 /// conservative fallback.
 bool PipelineEdgeSafe(const PlanNode& producer, const PlanNode& consumer);
 
+/// \brief One hash-partitionable equality conjunct `left.col = right.col`
+/// of a join predicate.
+///
+/// Restricted to identical non-double column types on the two sides — the
+/// same rule the compiled hash join applies (expr_compile.h), so a key the
+/// distributed planner partitions on is also a key the worker-local join
+/// can hash on.
+struct EquiJoinKey {
+  std::string left_column;
+  std::string right_column;
+};
+
+/// Extracts every hash-partitionable equi-key conjunct of a kJoin node
+/// whose children are resolved (their output schemas are consulted for the
+/// type rule). Non-join nodes and predicates without usable conjuncts
+/// yield an empty vector. Used by the distributed fragment planner
+/// (dist/fragment.h) to derive partitioning properties and cut exchanges.
+std::vector<EquiJoinKey> ExtractEquiJoinKeys(const PlanNode& join);
+
 }  // namespace dfdb
 
 #endif  // DFDB_RA_OPTIMIZER_H_

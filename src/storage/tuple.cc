@@ -141,7 +141,12 @@ std::string TupleView::ToString() const {
     auto v = GetValue(i);
     parts.push_back(v.ok() ? v->ToString() : "<err>");
   }
-  return "(" + JoinStrings(parts, ", ") + ")";
+  // Spelled out (not `"(" + ... + ")"`): the rvalue operator+ chain trips
+  // a gcc-12 -Werror=restrict false positive at -O2.
+  std::string out = "(";
+  out += JoinStrings(parts, ", ");
+  out += ")";
+  return out;
 }
 
 std::string ConcatTuples(Slice left, Slice right) {

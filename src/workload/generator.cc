@@ -28,6 +28,18 @@ Schema BenchmarkSchema() {
 StatusOr<RelationId> GenerateRelation(StorageEngine* storage,
                                       const std::string& name,
                                       uint64_t num_tuples, uint64_t seed) {
+  return GenerateRelationPartition(storage, name, num_tuples, seed,
+                                   /*partition=*/0, /*partitions=*/1);
+}
+
+StatusOr<RelationId> GenerateRelationPartition(StorageEngine* storage,
+                                               const std::string& name,
+                                               uint64_t num_tuples,
+                                               uint64_t seed, int partition,
+                                               int partitions) {
+  if (partitions < 1 || partition < 0 || partition >= partitions) {
+    return Status::InvalidArgument("bad partition spec");
+  }
   Schema schema = BenchmarkSchema();
   DFDB_ASSIGN_OR_RETURN(RelationId id, storage->CreateRelation(name, schema));
   DFDB_ASSIGN_OR_RETURN(HeapFile * file, storage->GetHeapFile(id));
@@ -54,6 +66,16 @@ StatusOr<RelationId> GenerateRelation(StorageEngine* storage,
         Value::Double(rng.NextDouble()),
         Value::Char(pad),
     };
+    if (partitions > 1) {
+      // Same raw-key-byte hash as exchange routing (operators/exchange.h),
+      // so load-time placement agrees with shuffle placement.
+      const int32_t tuple_id = ids[i];
+      if (Hash64(&tuple_id, sizeof(tuple_id)) %
+              static_cast<uint64_t>(partitions) !=
+          static_cast<uint64_t>(partition)) {
+        continue;
+      }
+    }
     DFDB_RETURN_IF_ERROR(file->Append(row));
   }
   DFDB_RETURN_IF_ERROR(storage->SyncStats(id));

@@ -43,6 +43,21 @@ StatusOr<RelationId> GenerateRelation(StorageEngine* storage,
                                       const std::string& name,
                                       uint64_t num_tuples, uint64_t seed);
 
+/// \brief Like GenerateRelation, but keeps only one hash partition of the
+/// tuples: a tuple survives iff Hash64 of its raw `id` bytes maps to
+/// \p partition modulo \p partitions (the same key-byte hash exchange
+/// routing uses — operators/exchange.h — so distributed co-partitioned
+/// joins line up with load-time partitioning).
+///
+/// The generator stream is identical to the full build; non-matching rows
+/// are generated and discarded, so the kept tuples are byte-identical to
+/// the corresponding tuples of every other partition count.
+StatusOr<RelationId> GenerateRelationPartition(StorageEngine* storage,
+                                               const std::string& name,
+                                               uint64_t num_tuples,
+                                               uint64_t seed, int partition,
+                                               int partitions);
+
 }  // namespace dfdb
 
 #endif  // DFDB_WORKLOAD_GENERATOR_H_

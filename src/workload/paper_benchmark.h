@@ -36,6 +36,27 @@ std::vector<PaperRelationSpec> PaperDatabaseLayout(double scale = 1.0);
 StatusOr<int64_t> BuildPaperDatabase(StorageEngine* storage, double scale = 1.0,
                                      uint64_t seed = 42);
 
+/// \brief Column by which base relations are hash-partitioned across
+/// workers in distributed mode: the dense unique `id`. Every party
+/// (worker load, exchange routing, fragment planning) shares this
+/// convention.
+inline constexpr std::string_view kPartitionColumn = "id";
+
+/// \brief Generates worker \p partition's slice of the paper database:
+/// each relation holds exactly the tuples whose kPartitionColumn hash maps
+/// to this partition (see GenerateRelationPartition). The union of all
+/// partitions is byte-identical to the BuildPaperDatabase output for the
+/// same (scale, seed). Returns this worker's total bytes.
+StatusOr<int64_t> BuildPartitionedPaperDatabase(StorageEngine* storage,
+                                                int partition, int partitions,
+                                                double scale = 1.0,
+                                                uint64_t seed = 42);
+
+/// \brief Registers the layout's relations (benchmark schema + exact
+/// full-database row counts) into a standalone catalog — the schema-only
+/// view a distributed coordinator plans against without holding any data.
+Status BuildPaperCatalog(Catalog* catalog, double scale = 1.0);
+
 /// \brief Builds the ten-query benchmark over the paper database.
 ///
 /// Query shapes match the published mix exactly:

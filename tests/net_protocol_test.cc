@@ -181,6 +181,143 @@ TEST(NetProtocolTest, UnknownOpcodeStaysFramedButIsNotKnown) {
   EXPECT_EQ(next2->header.opcode, static_cast<uint8_t>(Opcode::kPong));
 }
 
+/// Builds a representative fragment request used by the exchange tests.
+FragmentRequest TestFragment() {
+  FragmentRequest f;
+  f.deadline_ms = 250;
+  f.text = "join(__exq4, __exq5, k100 = right.k100)";
+  f.output_exchange_id = 6;
+  f.output_mode = ExchangeMode::kPartition;
+  f.output_partitions = 3;
+  f.output_key_cols = {0, 2};
+  f.output_credits = 4;
+  FragmentInput in;
+  in.exchange_id = 4;
+  in.relation = "__exq4";
+  in.schema = Schema::CreateOrDie({Column::Int32("k100"), Column::Char("p", 8)});
+  f.inputs.push_back(in);
+  in.exchange_id = 5;
+  in.relation = "__exq5";
+  f.inputs.push_back(in);
+  return f;
+}
+
+TEST(NetProtocolTest, ExchangeFramesRoundTrip) {
+  const FragmentRequest fragment = TestFragment();
+  ExchangeBatch batch;
+  batch.exchange_id = 6;
+  batch.partition_id = 2;
+  batch.num_tuples = 3;
+  batch.tuple_width = 12;
+  batch.tuples = std::string(36, 'x');
+  const std::string wire =
+      EncodeFragmentFrame(21, fragment) + EncodeExchangeDataFrame(22, batch) +
+      EncodeExchangeEofFrame(23, ExchangeEofMessage{6}) +
+      EncodeExchangeCreditFrame(24, ExchangeCreditMessage{6, 2});
+
+  ASSERT_OK_AND_ASSIGN(auto frames, ReadAll(wire, 7));
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].header.opcode, static_cast<uint8_t>(Opcode::kFragment));
+
+  ASSERT_OK_AND_ASSIGN(FragmentRequest f, DecodeFragment(frames[0].body));
+  EXPECT_EQ(f.deadline_ms, 250u);
+  EXPECT_EQ(f.text, fragment.text);
+  EXPECT_EQ(f.output_exchange_id, 6u);
+  EXPECT_EQ(f.output_mode, ExchangeMode::kPartition);
+  EXPECT_EQ(f.output_partitions, 3u);
+  EXPECT_EQ(f.output_key_cols, fragment.output_key_cols);
+  EXPECT_EQ(f.output_credits, 4u);
+  ASSERT_EQ(f.inputs.size(), 2u);
+  EXPECT_EQ(f.inputs[0].relation, "__exq4");
+  EXPECT_EQ(f.inputs[1].exchange_id, 5u);
+  EXPECT_EQ(f.inputs[1].schema, fragment.inputs[1].schema);
+
+  ASSERT_OK_AND_ASSIGN(ExchangeBatch b, DecodeExchangeData(frames[1].body));
+  EXPECT_EQ(b.exchange_id, 6u);
+  EXPECT_EQ(b.partition_id, 2u);
+  EXPECT_EQ(b.num_tuples, 3u);
+  EXPECT_EQ(b.tuple_width, 12u);
+  EXPECT_EQ(b.tuples, batch.tuples);
+
+  ASSERT_OK_AND_ASSIGN(ExchangeEofMessage eof,
+                       DecodeExchangeEof(frames[2].body));
+  EXPECT_EQ(eof.exchange_id, 6u);
+  ASSERT_OK_AND_ASSIGN(ExchangeCreditMessage credit,
+                       DecodeExchangeCredit(frames[3].body));
+  EXPECT_EQ(credit.exchange_id, 6u);
+  EXPECT_EQ(credit.credits, 2u);
+}
+
+TEST(NetProtocolTest, FragmentDecodeRejectsCorruption) {
+  const std::string body =
+      EncodeFragmentFrame(1, TestFragment()).substr(kFrameHeaderBytes);
+  // Every truncation point must fail cleanly, never crash or over-read.
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(DecodeFragment(body.substr(0, cut)).ok()) << "cut=" << cut;
+  }
+  // Trailing junk is rejected too: the decoder is exact, not prefix-based.
+  EXPECT_FALSE(DecodeFragment(body + "zz").ok());
+  // Body layout: u32 deadline, u32 text_len, text, u32 out_exchange,
+  // u8 mode, u32 partitions. Patch the mode and partition-count fields.
+  const size_t text_len = TestFragment().text.size();
+  const size_t mode_off = 4 + 4 + text_len + 4;
+  {
+    std::string bad = body;
+    bad[mode_off] = static_cast<char>(9);  // No such ExchangeMode.
+    EXPECT_FALSE(DecodeFragment(bad).ok());
+  }
+  {
+    std::string bad = body;  // Zero partitions.
+    bad[mode_off + 1] = bad[mode_off + 2] = bad[mode_off + 3] =
+        bad[mode_off + 4] = 0;
+    EXPECT_FALSE(DecodeFragment(bad).ok());
+  }
+  {
+    std::string bad = body;  // Oversized partition count (> 4096).
+    bad[mode_off + 1] = bad[mode_off + 2] = bad[mode_off + 3] =
+        bad[mode_off + 4] = static_cast<char>(0xff);
+    EXPECT_FALSE(DecodeFragment(bad).ok());
+  }
+}
+
+TEST(NetProtocolTest, ExchangeDataPayloadMismatchIsCorruption) {
+  ExchangeBatch batch;
+  batch.exchange_id = 1;
+  batch.partition_id = 0;
+  batch.num_tuples = 2;
+  batch.tuple_width = 8;
+  batch.tuples = std::string(16, 'y');
+  std::string body =
+      EncodeExchangeDataFrame(1, batch).substr(kFrameHeaderBytes);
+  ASSERT_TRUE(DecodeExchangeData(body).ok());
+  // One byte short and one byte long both break num_tuples * tuple_width.
+  EXPECT_FALSE(DecodeExchangeData(body.substr(0, body.size() - 1)).ok());
+  EXPECT_FALSE(DecodeExchangeData(body + "q").ok());
+  // A huge tuple count whose product overflows 32 bits must not wrap into
+  // a "valid" small payload. Layout: u32 exchange, u32 partition,
+  // u32 num_tuples, u32 tuple_width.
+  std::string bad = body;
+  bad[8] = bad[9] = bad[10] = bad[11] = static_cast<char>(0xff);
+  EXPECT_FALSE(DecodeExchangeData(bad).ok());
+}
+
+TEST(NetProtocolTest, CreditDecodeRejectsZeroAndTruncation) {
+  const std::string body =
+      EncodeExchangeCreditFrame(1, ExchangeCreditMessage{3, 1})
+          .substr(kFrameHeaderBytes);
+  ASSERT_TRUE(DecodeExchangeCredit(body).ok());
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(DecodeExchangeCredit(body.substr(0, cut)).ok());
+  }
+  EXPECT_FALSE(DecodeExchangeCredit(body + "x").ok());
+  // A zero-credit grant is meaningless and decodes as corruption — the
+  // underflow side of flow control is caught at the frame boundary.
+  const std::string zero =
+      EncodeExchangeCreditFrame(1, ExchangeCreditMessage{3, 0})
+          .substr(kFrameHeaderBytes);
+  EXPECT_FALSE(DecodeExchangeCredit(zero).ok());
+}
+
 TEST(NetProtocolTest, FuzzDecodersNeverCrash) {
   // Deterministic fuzz: random bytes and mutated valid messages through
   // every decoder. Success is not crashing and not over-reading (asan/ubsan
@@ -212,6 +349,23 @@ TEST(NetProtocolTest, FuzzDecodersNeverCrash) {
   seeds.push_back(
       EncodeErrorFrame(1, {WireError::kInternal, "boom"})
           .substr(kFrameHeaderBytes));
+  seeds.push_back(EncodeFragmentFrame(1, TestFragment())
+                      .substr(kFrameHeaderBytes));
+  {
+    ExchangeBatch batch;
+    batch.exchange_id = 2;
+    batch.partition_id = 1;
+    batch.num_tuples = 3;
+    batch.tuple_width = 12;
+    batch.tuples = std::string(36, 'e');
+    seeds.push_back(
+        EncodeExchangeDataFrame(1, batch).substr(kFrameHeaderBytes));
+  }
+  seeds.push_back(EncodeExchangeEofFrame(1, ExchangeEofMessage{2})
+                      .substr(kFrameHeaderBytes));
+  seeds.push_back(
+      EncodeExchangeCreditFrame(1, ExchangeCreditMessage{2, 4})
+          .substr(kFrameHeaderBytes));
 
   auto exercise = [](const std::string& body) {
     (void)DecodeQuery(body);
@@ -219,6 +373,10 @@ TEST(NetProtocolTest, FuzzDecodersNeverCrash) {
     (void)DecodeRows(body);
     (void)DecodeStats(body);
     (void)DecodeError(body);
+    (void)DecodeFragment(body);
+    (void)DecodeExchangeData(body);
+    (void)DecodeExchangeEof(body);
+    (void)DecodeExchangeCredit(body);
     (void)DecodeFrameHeader(body, kDefaultMaxFrameBytes);
   };
 

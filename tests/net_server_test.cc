@@ -422,6 +422,90 @@ TEST_F(NetServerTest, StopIsIdempotentAndGraceful) {
   server.reset();  // Destructor after Stop() is fine too.
 }
 
+TEST_F(NetServerTest, ExchangeDataForUnknownExchangeRejected) {
+  Server server(storage_.get(), Options());
+  ASSERT_OK(server.Start());
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.connected());
+
+  // A batch for an exchange no fragment ever opened: answered with
+  // kInvalidRequest, counted, and the connection keeps working.
+  ExchangeBatch batch;
+  batch.exchange_id = 99;
+  batch.num_tuples = 1;
+  batch.tuple_width = 4;
+  batch.tuples = "abcd";
+  conn.Send(EncodeExchangeDataFrame(7, batch));
+  ASSERT_OK_AND_ASSIGN(Frame reply, conn.ReadFrame());
+  EXPECT_EQ(reply.header.opcode, static_cast<uint8_t>(Opcode::kError));
+  ASSERT_OK_AND_ASSIGN(ErrorMessage error, DecodeError(reply.body));
+  EXPECT_EQ(error.code, WireError::kInvalidRequest);
+  EXPECT_EQ(server.counters().exchange_unknown.load(), 1u);
+
+  // Same for an EOF with no open input.
+  conn.Send(EncodeExchangeEofFrame(8, ExchangeEofMessage{99}));
+  ASSERT_OK_AND_ASSIGN(Frame reply2, conn.ReadFrame());
+  EXPECT_EQ(reply2.header.opcode, static_cast<uint8_t>(Opcode::kError));
+  EXPECT_EQ(server.counters().exchange_unknown.load(), 2u);
+
+  conn.Send(EncodePingFrame(9));
+  ASSERT_OK_AND_ASSIGN(Frame pong, conn.ReadFrame());
+  EXPECT_EQ(pong.header.opcode, static_cast<uint8_t>(Opcode::kPong));
+  server.Stop();
+}
+
+TEST_F(NetServerTest, ZeroCreditRejectedLateCreditTolerated) {
+  Server server(storage_.get(), Options());
+  ASSERT_OK(server.Start());
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.connected());
+
+  // A zero-credit grant fails decode (credit underflow at the frame
+  // boundary) and is answered as an invalid request.
+  conn.Send(EncodeExchangeCreditFrame(11, ExchangeCreditMessage{5, 0}));
+  ASSERT_OK_AND_ASSIGN(Frame reply, conn.ReadFrame());
+  EXPECT_EQ(reply.header.opcode, static_cast<uint8_t>(Opcode::kError));
+  ASSERT_OK_AND_ASSIGN(ErrorMessage error, DecodeError(reply.body));
+  EXPECT_EQ(error.code, WireError::kInvalidRequest);
+
+  // A well-formed credit for a fragment that no longer exists is the
+  // grant-after-teardown race: silently counted, never an error. The pong
+  // that follows proves the server processed it and stayed healthy.
+  conn.Send(EncodeExchangeCreditFrame(12, ExchangeCreditMessage{5, 1}));
+  conn.Send(EncodePingFrame(13));
+  ASSERT_OK_AND_ASSIGN(Frame pong, conn.ReadFrame());
+  EXPECT_EQ(pong.header.opcode, static_cast<uint8_t>(Opcode::kPong));
+  EXPECT_EQ(pong.header.request_id, 13u);
+  EXPECT_EQ(server.counters().exchange_unknown.load(), 1u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, MalformedFragmentRejectedWithoutDroppingConnection) {
+  Server server(storage_.get(), Options());
+  ASSERT_OK(server.Start());
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.connected());
+
+  // A kFragment frame whose body is garbage: decode fails, the server
+  // answers kInvalidRequest, framing survives.
+  FragmentRequest fragment;
+  fragment.text = "restrict(alpha, k1000 < 10)";
+  std::string frame = EncodeFragmentFrame(21, fragment);
+  frame.resize(frame.size() - 3);  // Truncate the body...
+  frame[8] = static_cast<char>(frame.size() - 16);  // ...and re-fit the len.
+  frame[9] = frame[10] = frame[11] = 0;
+  conn.Send(frame);
+  ASSERT_OK_AND_ASSIGN(Frame reply, conn.ReadFrame());
+  EXPECT_EQ(reply.header.opcode, static_cast<uint8_t>(Opcode::kError));
+  ASSERT_OK_AND_ASSIGN(ErrorMessage error, DecodeError(reply.body));
+  EXPECT_EQ(error.code, WireError::kInvalidRequest);
+
+  conn.Send(EncodePingFrame(22));
+  ASSERT_OK_AND_ASSIGN(Frame pong, conn.ReadFrame());
+  EXPECT_EQ(pong.header.opcode, static_cast<uint8_t>(Opcode::kPong));
+  server.Stop();
+}
+
 TEST_F(NetServerTest, StartTwiceFailsCleanly) {
   Server server(storage_.get(), Options());
   ASSERT_OK(server.Start());

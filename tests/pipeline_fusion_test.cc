@@ -45,7 +45,10 @@ Schema RandomSchema(Random* rng) {
   const int n = 2 + static_cast<int>(rng->Uniform(4));
   std::vector<Column> cols;
   for (int i = 0; i < n; ++i) {
-    const std::string name = "c" + std::to_string(i);
+    // Two-step append (not `"c" + std::to_string(i)`): the rvalue
+    // operator+ trips a gcc-12 -Werror=restrict false positive at -O2.
+    std::string name = "c";
+    name += std::to_string(i);
     switch (rng->Uniform(3)) {
       case 0:
         cols.push_back(Column::Int32(name));

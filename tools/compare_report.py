@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Bench-report regression gate: diff RunReport JSON against baselines.
+
+Reads one or more bench report documents (the ``results/<bench>.json``
+files every bench writes) and compares selected metrics against a
+committed baselines file. A metric is addressed as
+
+    <bench>:<gauge-name>                  -- runs[].gauges entry
+    <bench>:table.<tag>.<row>.<column>    -- table cell; <row> is the
+                                             first cell of the row
+
+Baselines file::
+
+    {
+      "default_tolerance": 0.2,
+      "metrics": {
+        "bench_operators:kernel.join.eq_id.speedup_x":
+            {"value": 12.0, "direction": "min", "tolerance": 0.5},
+        ...
+      }
+    }
+
+``direction`` is ``min`` (higher is better: fail only when the actual
+value drops below ``baseline * (1 - tolerance)``) or ``both`` (fail when
+outside ``baseline * (1 +/- tolerance)``). A metric listed in the
+baselines but absent from the reports fails the gate — silent contract
+drift is exactly what this tool exists to catch.
+
+    compare_report.py --baselines results/baselines.json report.json...
+    compare_report.py --baselines results/baselines.json --update report.json...
+
+``--update`` rewrites the baselines file from the observed values,
+keeping each metric's direction and tolerance.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_reports(paths):
+    """Returns {bench_name: report_dict}; duplicate bench names are an
+    error (ambiguous source of truth)."""
+    reports = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        bench = doc.get("bench")
+        if not bench:
+            raise SystemExit(f"{path}: missing 'bench' field")
+        if bench in reports:
+            raise SystemExit(f"{path}: duplicate report for bench {bench}")
+        reports[bench] = doc
+    return reports
+
+
+def lookup(reports, key):
+    """Resolves a metric key to a float, or None if absent."""
+    if ":" not in key:
+        return None
+    bench, metric = key.split(":", 1)
+    doc = reports.get(bench)
+    if doc is None:
+        return None
+    if metric.startswith("table."):
+        parts = metric.split(".", 3)  # table, tag, row, column
+        if len(parts) != 4:
+            return None
+        _, tag, row_key, column = parts
+        for table in doc.get("tables", []):
+            if table.get("tag") != tag:
+                continue
+            headers = table.get("headers", [])
+            if column not in headers:
+                return None
+            col = headers.index(column)
+            for row in table.get("rows", []):
+                if row and row[0] == row_key and col < len(row):
+                    try:
+                        return float(row[col])
+                    except ValueError:
+                        return None
+        return None
+    for run in doc.get("runs", []):
+        gauges = run.get("gauges") or {}
+        if metric in gauges:
+            try:
+                return float(gauges[metric])
+            except (TypeError, ValueError):
+                return None
+    return None
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baselines", required=True)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from observed values")
+    parser.add_argument("reports", nargs="+")
+    args = parser.parse_args(argv)
+
+    with open(args.baselines) as f:
+        baselines = json.load(f)
+    default_tol = float(baselines.get("default_tolerance", 0.2))
+    metrics = baselines.get("metrics", {})
+    reports = load_reports(args.reports)
+
+    if args.update:
+        missing = []
+        for key, spec in sorted(metrics.items()):
+            actual = lookup(reports, key)
+            if actual is None:
+                missing.append(key)
+            else:
+                spec["value"] = round(actual, 6)
+        if missing:
+            for key in missing:
+                print(f"UPDATE-MISSING {key}", file=sys.stderr)
+            return 1
+        with open(args.baselines, "w") as f:
+            json.dump(baselines, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"updated {len(metrics)} baselines in {args.baselines}")
+        return 0
+
+    failures = 0
+    for key, spec in sorted(metrics.items()):
+        baseline = float(spec["value"])
+        tol = float(spec.get("tolerance", default_tol))
+        direction = spec.get("direction", "both")
+        actual = lookup(reports, key)
+        if actual is None:
+            print(f"FAIL {key}: metric missing from reports "
+                  f"(baseline {baseline:g})")
+            failures += 1
+            continue
+        low = baseline * (1.0 - tol)
+        high = baseline * (1.0 + tol)
+        if direction == "min":
+            ok = actual >= low
+            bound = f">= {low:g}"
+        else:
+            ok = low <= actual <= high
+            bound = f"in [{low:g}, {high:g}]"
+        delta = (actual / baseline - 1.0) * 100.0 if baseline else 0.0
+        verdict = "ok  " if ok else "FAIL"
+        print(f"{verdict} {key}: {actual:g} vs baseline {baseline:g} "
+              f"({delta:+.1f}%, want {bound})")
+        if not ok:
+            failures += 1
+
+    if failures:
+        print(f"{failures} metric(s) outside tolerance", file=sys.stderr)
+        return 1
+    print(f"all {len(metrics)} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,178 @@
+/// \file dfdb_cluster.cc
+/// \brief One-command scale-out cluster: forks N partitioned dfdb_server
+/// workers, then serves ordinary DFW1 clients through an in-process
+/// coordinator + front server.
+///
+/// Workers listen on --port+1 .. --port+N and each load their hash slice
+/// of the paper database (--partition=i --partitions=N); the front door on
+/// --port speaks the same protocol a single dfdb_server does, so
+/// dfdb_client and the REPL work against a cluster unchanged. SIGTERM or
+/// SIGINT drains: the front server stops, workers get SIGTERM and are
+/// reaped, and the final dist.* counter registry is printed.
+///
+///   dfdb_cluster --port=7447 --workers=3 --scale=0.25 --procs=4
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench/bench_util.h"
+#include "dist/coordinator.h"
+#include "dist/front_server.h"
+#include "net/client.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+/// Directory holding this binary, so dfdb_server is found next to it
+/// regardless of the caller's working directory.
+std::string SelfDir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  char* slash = std::strrchr(buf, '/');
+  if (slash == nullptr) return ".";
+  *slash = '\0';
+  return buf;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfdb;
+
+  const std::string host = bench::FlagString(argc, argv, "host", "127.0.0.1");
+  const uint16_t port =
+      static_cast<uint16_t>(bench::FlagInt(argc, argv, "port", 7447));
+  const int workers = bench::FlagInt(argc, argv, "workers", 3);
+  const double scale = bench::FlagDouble(argc, argv, "scale", 0.25);
+  const int procs = bench::FlagInt(argc, argv, "procs", 4);
+  const std::string default_server_bin = SelfDir() + "/dfdb_server";
+  const std::string server_bin = bench::FlagString(
+      argc, argv, "server-bin", default_server_bin.c_str());
+  if (workers < 1 || workers > 64) {
+    std::fprintf(stderr, "dfdb_cluster: --workers must be in [1, 64]\n");
+    return 1;
+  }
+
+  // Fork one partitioned worker per slot.
+  std::vector<pid_t> pids;
+  for (int w = 0; w < workers; ++w) {
+    std::vector<std::string> args = {
+        server_bin,
+        StrFormat("--host=%s", host.c_str()),
+        StrFormat("--port=%u", static_cast<unsigned>(port + 1 + w)),
+        StrFormat("--scale=%.4f", scale),
+        StrFormat("--procs=%d", procs),
+        StrFormat("--partition=%d", w),
+        StrFormat("--partitions=%d", workers),
+    };
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "dfdb_cluster: fork failed\n");
+      return 1;
+    }
+    if (pid == 0) {
+      std::vector<char*> cargs;
+      for (std::string& a : args) cargs.push_back(a.data());
+      cargs.push_back(nullptr);
+      ::execv(cargs[0], cargs.data());
+      std::fprintf(stderr, "dfdb_cluster: cannot exec %s\n", cargs[0]);
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+  auto reap_workers = [&] {
+    for (pid_t pid : pids) ::kill(pid, SIGTERM);
+    bool clean = true;
+    for (pid_t pid : pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      clean = clean && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    }
+    return clean;
+  };
+
+  // Wait until every worker answers a ping (they load their slice first).
+  dist::CoordinatorOptions options;
+  options.partition_column = std::string(kPartitionColumn);
+  for (int w = 0; w < workers; ++w) {
+    options.workers.push_back(
+        dist::WorkerAddress{host, static_cast<uint16_t>(port + 1 + w)});
+  }
+  for (int w = 0; w < workers; ++w) {
+    bool up = false;
+    for (int attempt = 0; attempt < 200 && g_stop == 0; ++attempt) {
+      auto probe = net::Client::Connect(host, options.workers[w].port);
+      if (probe.ok() && probe->Ping().ok()) {
+        up = true;
+        probe->Close();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (!up) {
+      std::fprintf(stderr, "dfdb_cluster: worker %d did not come up\n", w);
+      reap_workers();
+      return 1;
+    }
+  }
+
+  Catalog catalog;
+  Status cat = BuildPaperCatalog(&catalog, scale);
+  if (!cat.ok()) {
+    std::fprintf(stderr, "dfdb_cluster: %s\n", cat.ToString().c_str());
+    reap_workers();
+    return 1;
+  }
+  dist::Coordinator coordinator(&catalog, std::move(options));
+  Status connected = coordinator.Connect();
+  if (!connected.ok()) {
+    std::fprintf(stderr, "dfdb_cluster: %s\n", connected.ToString().c_str());
+    reap_workers();
+    return 1;
+  }
+
+  dist::FrontServerOptions front_options;
+  front_options.host = host;
+  front_options.port = port;
+  dist::FrontServer front(&coordinator, front_options);
+  Status started = front.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "dfdb_cluster: %s\n", started.ToString().c_str());
+    reap_workers();
+    return 1;
+  }
+  std::printf("# dfdb_cluster serving on %s:%u (%d workers on ports %u-%u)\n",
+              host.c_str(), front.port(), workers,
+              static_cast<unsigned>(port + 1),
+              static_cast<unsigned>(port + workers));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("# dfdb_cluster draining...\n");
+  front.Stop();
+  const bool workers_clean = reap_workers();
+
+  obs::MetricsRegistry registry;
+  coordinator.SnapshotMetrics(&registry);
+  std::printf("%s", registry.ToString().c_str());
+  if (!workers_clean) {
+    std::printf("# dfdb_cluster drained with worker errors\n");
+    return 1;
+  }
+  std::printf("# dfdb_cluster drained cleanly\n");
+  return 0;
+}

@@ -36,9 +36,26 @@ int main(int argc, char** argv) {
   options.scheduler.exec.num_processors =
       bench::FlagInt(argc, argv, "procs", 8);
   const double scale = bench::FlagDouble(argc, argv, "scale", 0.25);
+  const int partition = bench::FlagInt(argc, argv, "partition", 0);
+  const int partitions = bench::FlagInt(argc, argv, "partitions", 1);
 
   StorageEngine storage(/*default_page_bytes=*/16384);
-  bench::BuildDatabaseOrDie(&storage, scale);
+  if (partitions > 1) {
+    // Worker mode: load only this process's hash slice of the database
+    // (tools/dfdb_cluster starts one such server per worker).
+    auto bytes = BuildPartitionedPaperDatabase(&storage, partition, partitions,
+                                               scale);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "dfdb_server: %s\n",
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("# database: partition %d/%d, %.2f MB (scale %.2f)\n",
+                partition, partitions, static_cast<double>(*bytes) / 1e6,
+                scale);
+  } else {
+    bench::BuildDatabaseOrDie(&storage, scale);
+  }
 
   net::Server server(&storage, options);
   Status started = server.Start();

@@ -1,0 +1,45 @@
+# Runs the gated benches in smoke mode and diffs their headline metrics
+# against results/baselines.json with tools/compare_report.py. Driven by
+# the `bench_regression_gate` ctest entry.
+#
+# BENCHES is a semicolon-separated list of `binary@arg,arg,...` entries
+# (commas separate per-bench args so the outer cmake list stays intact);
+# each bench writes ${OUT_DIR}/<name>.json which is handed to the
+# comparator. Baselines were recorded with these exact arguments — keep
+# them in sync or re-record with compare_report.py --update.
+if(NOT DEFINED BENCHES OR NOT DEFINED PYTHON OR NOT DEFINED COMPARE
+   OR NOT DEFINED BASELINES OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR
+      "run_regression_gate.cmake needs BENCHES, PYTHON, COMPARE, "
+      "BASELINES, and OUT_DIR")
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(reports "")
+foreach(entry IN LISTS BENCHES)
+  string(REPLACE "@" ";" parts "${entry}")
+  list(GET parts 0 bench)
+  set(bench_args "")
+  list(LENGTH parts nparts)
+  if(nparts GREATER 1)
+    list(GET parts 1 packed)
+    string(REPLACE "," ";" bench_args "${packed}")
+  endif()
+  get_filename_component(name ${bench} NAME_WE)
+  set(out ${OUT_DIR}/${name}.json)
+  execute_process(
+    COMMAND ${bench} ${bench_args} --json=${out}
+    RESULT_VARIABLE bench_result
+    OUTPUT_QUIET)
+  if(NOT bench_result EQUAL 0)
+    message(FATAL_ERROR "bench run failed (${bench})")
+  endif()
+  list(APPEND reports ${out})
+endforeach()
+
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} --baselines ${BASELINES} ${reports}
+  RESULT_VARIABLE compare_result)
+if(NOT compare_result EQUAL 0)
+  message(FATAL_ERROR "bench metrics regressed against ${BASELINES}")
+endif()

@@ -18,6 +18,9 @@
 ///   \trace on|off      record per-query event traces (off by default)
 ///   \trace             dump the last query's trace (first 40 events)
 ///   \q                 quit
+///   create index <name> on <rel> (<col>[, <col>])
+///                      build a grid-file index (1-2 numeric columns)
+///   drop index <name>  drop it
 /// Anything else is parsed as a query.
 
 #include <cstdio>
@@ -26,6 +29,7 @@
 #include <string>
 
 #include "engine/run.h"
+#include "index/index_manager.h"
 #include "net/client.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -157,7 +161,7 @@ int RunLocal() {
   bool have_stats = false;
 
   std::printf("dfdb RAQL shell — \\d relations, \\gen, \\paper, \\explain, "
-              "\\stats, \\trace, \\q to quit\n");
+              "\\stats, \\trace, create/drop index, \\q to quit\n");
   std::string line;
   while (true) {
     std::printf("dfdb> ");
@@ -234,6 +238,28 @@ int RunLocal() {
       } else {
         std::printf("usage: \\gen <name> <tuples>\n");
       }
+      continue;
+    }
+    if (line.rfind("create index ", 0) == 0) {
+      char name[64], rel[64], cols[128];
+      if (std::sscanf(line.c_str() + 13, "%63s on %63s ( %127[^)])", name,
+                      rel, cols) == 3) {
+        std::vector<std::string> columns;
+        for (char* tok = std::strtok(cols, ", "); tok != nullptr;
+             tok = std::strtok(nullptr, ", ")) {
+          columns.emplace_back(tok);
+        }
+        Status s = GetIndexManager(&storage)->CreateIndex(name, rel,
+                                                          std::move(columns));
+        std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+      } else {
+        std::printf("usage: create index <name> on <relation> (<col>[, <col>])\n");
+      }
+      continue;
+    }
+    if (line.rfind("drop index ", 0) == 0) {
+      Status s = GetIndexManager(&storage)->DropIndex(line.substr(11));
+      std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
       continue;
     }
     const bool explain = line.rfind("\\explain ", 0) == 0;

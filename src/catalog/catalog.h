@@ -37,6 +37,19 @@ struct RelationMeta {
   }
 };
 
+/// \brief Descriptor of one secondary index (a CREATE INDEX catalog entry).
+///
+/// The catalog records only the definition — which relation, which key
+/// columns. The built grid-file structures live in the index subsystem
+/// (index/index_manager.h) and are (re)built lazily per snapshot version.
+struct IndexMeta {
+  std::string name;
+  std::string relation;
+  /// 1–2 numeric key columns, validated against the relation schema at
+  /// CreateIndex time (grid files over CHAR keys are not supported).
+  std::vector<std::string> columns;
+};
+
 /// \brief Thread-safe name -> RelationMeta registry.
 ///
 /// The catalog owns only metadata; tuple storage lives in the StorageEngine
@@ -68,10 +81,29 @@ class Catalog {
   /// megabytes" is checked against this).
   int64_t TotalBytes() const;
 
+  // --- Secondary indexes ---
+
+  /// Registers a secondary index. Validates that the relation exists, the
+  /// index name is new, and the 1–2 key columns are distinct numeric
+  /// columns of the relation schema.
+  Status CreateIndex(IndexMeta meta);
+
+  /// Removes an index definition. NotFound if absent.
+  Status DropIndex(std::string_view name);
+
+  StatusOr<IndexMeta> GetIndex(std::string_view name) const;
+
+  /// All index definitions over \p relation, ordered by index name.
+  std::vector<IndexMeta> GetIndexesFor(std::string_view relation) const;
+
+  /// All index definitions, ordered by name.
+  std::vector<IndexMeta> ListIndexes() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, RelationMeta, std::less<>> by_name_;
   std::map<RelationId, std::string> id_to_name_;
+  std::map<std::string, IndexMeta, std::less<>> indexes_;
   RelationId next_id_ = 1;
 };
 

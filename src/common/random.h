@@ -8,6 +8,7 @@
 #define DFDB_COMMON_RANDOM_H_
 
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -81,6 +82,53 @@ class Random {
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
   uint64_t s_[4];
+};
+
+/// \brief Zipfian rank sampler (Gray et al., "Quickly Generating
+/// Billion-Record Synthetic Databases", SIGMOD 1994).
+///
+/// Next() draws ranks in [0, n) where rank r has probability proportional
+/// to 1/(r+1)^theta — rank 0 is the hottest item, rank n-1 the coldest.
+/// Construction is O(n) (harmonic sum); sampling is O(1). Deterministic
+/// given the Random stream it draws from.
+class Zipfian {
+ public:
+  explicit Zipfian(uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta), zetan_(Zeta(n, theta)) {
+    assert(n > 0);
+    assert(theta > 0 && theta < 1);
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = Zeta(2 < n ? 2 : n, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t Next(Random* rng) {
+    const double u = rng->NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const uint64_t rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
 };
 
 }  // namespace dfdb

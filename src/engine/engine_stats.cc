@@ -43,6 +43,14 @@ std::string ExecStats::ToString() const {
         static_cast<unsigned long long>(pipeline_fused_pages),
         static_cast<unsigned long long>(pipeline_runtime_fallbacks));
   }
+  if (index.any()) {
+    out += StrFormat(
+        " | index: pruned=%llu zonemap=%llu probes=%llu fallbacks=%llu",
+        static_cast<unsigned long long>(index.pages_pruned),
+        static_cast<unsigned long long>(index.zonemap_hits),
+        static_cast<unsigned long long>(index.gridfile_probes),
+        static_cast<unsigned long long>(index.fallback_scans));
+  }
   if (kernel.compiled_pages > 0 || kernel.interpreted_pages > 0 ||
       kernel.hash_joins > 0 || kernel.nested_joins > 0) {
     out += StrFormat(
@@ -95,6 +103,10 @@ void RegisterMetrics(const ExecStats& stats, obs::MetricsRegistry* registry) {
   registry->Set("engine.kernel.nested_joins", stats.kernel.nested_joins);
   registry->Set("engine.kernel.hash_build_collisions",
                 stats.kernel.hash_build_collisions);
+  registry->Set("engine.index.pages_pruned", stats.index.pages_pruned);
+  registry->Set("engine.index.zonemap_hits", stats.index.zonemap_hits);
+  registry->Set("engine.index.gridfile_probes", stats.index.gridfile_probes);
+  registry->Set("engine.index.fallback_scans", stats.index.fallback_scans);
   registry->Set("engine.faults.injected", stats.faults_injected);
   registry->Set("engine.faults.workers_abandoned", stats.workers_abandoned);
   registry->Set("engine.faults.redispatched_tasks", stats.redispatched_tasks);

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "index/index_stats.h"
 #include "obs/run_report.h"
 #include "operators/kernels.h"
 #include "storage/buffer_manager.h"
@@ -55,6 +56,8 @@ struct EngineCounters {
   std::atomic<uint64_t> pipeline_runtime_fallbacks{0};
   /// Compiled-vs-interpreted kernel split (engine.kernel.*).
   KernelStats kernel;
+  /// Access-path pruning outcomes (engine.index.*).
+  IndexPruneStats index;
 };
 
 /// \brief Immutable snapshot of one query (or batch) execution.
@@ -106,6 +109,9 @@ struct ExecStats {
   /// compiled program vs the interpreted Expr tree, how often compilation
   /// was refused, and which join path page pairs took.
   KernelStatsSnapshot kernel;
+  /// Access-path pruning outcomes (engine.index.*): pages skipped via zone
+  /// maps / grid-file probes on marked scans.
+  IndexPruneCounters index;
   BufferStats buffer;
   /// Event trace of the run this snapshot belongs to, when
   /// ExecOptions::enable_trace was set (shared across the batch; events

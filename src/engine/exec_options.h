@@ -39,6 +39,18 @@ enum class PipelinePolicy {
 
 std::string_view PipelinePolicyToString(PipelinePolicy p);
 
+/// \brief How an engine treats the optimizer's per-scan access-path marks
+/// (PlanNode::access_path; see DESIGN.md "Indexing & page pruning").
+enum class IndexPolicy {
+  /// Prune marked scans through zone maps / grid files (default).
+  kHonorPlan,
+  /// Read every page regardless of marks — the pre-index behaviour, and
+  /// the differential-testing baseline.
+  kForceFullScan,
+};
+
+std::string_view IndexPolicyToString(IndexPolicy p);
+
 /// \brief Deterministic fault schedule for the threaded engine — the
 /// analogue of the machine simulator's FaultPlan. Workers abandon work at
 /// operator-packet boundaries, so a restarted task re-runs from scratch and
@@ -87,6 +99,10 @@ struct ExecOptions {
 
   /// Per-edge pipeline-vs-materialize execution policy.
   PipelinePolicy pipeline = PipelinePolicy::kHonorPlan;
+
+  /// Per-scan access-path execution policy (honor index marks vs force
+  /// full scans).
+  IndexPolicy index = IndexPolicy::kHonorPlan;
 
   /// Deterministic fault schedule (empty = healthy workers).
   EngineFaultPlan fault_plan;

@@ -21,6 +21,7 @@
 #include "common/string_util.h"
 #include "engine/concurrency.h"
 #include "engine/edge.h"
+#include "index/access_path.h"
 #include "obs/trace.h"
 #include "operators/aggregator.h"
 #include "operators/dedup.h"
@@ -1347,6 +1348,8 @@ void SchedulerImpl::LaunchQuery(QueryRuntime* q) {
     NodeState* ns = node.get();
     if (ns->node->op == PlanOp::kScan) {
       std::shared_ptr<std::vector<PageId>> ids;
+      uint64_t view_commit_ts = 0;
+      bool allow_gridfile = false;
       if (q->snapshot.valid()) {
         // Snapshot mode: scan the immutable version this query's snapshot
         // resolves to. The pages are sealed and committed, so no flush and
@@ -1358,10 +1361,14 @@ void SchedulerImpl::LaunchQuery(QueryRuntime* q) {
           ns->source_done = true;
           continue;
         }
+        view_commit_ts = view->commit_ts;
+        allow_gridfile = true;
         ids = std::make_shared<std::vector<PageId>>(std::move(view->pages));
       } else {
         // Barrier mode: admission already excluded writers of this
         // relation, so the live head is stable for the query's duration.
+        // Grid-file probes need a version timestamp to cache against, so
+        // only zone maps apply here.
         auto file = storage_->GetHeapFile(ns->node->relation);
         if (!file.ok()) {
           q->Fail(file.status());
@@ -1372,6 +1379,13 @@ void SchedulerImpl::LaunchQuery(QueryRuntime* q) {
         Status flushed = (*file)->Flush();
         if (!flushed.ok()) q->Fail(flushed);
         ids = std::make_shared<std::vector<PageId>>((*file)->PageIds());
+      }
+      if (opts().index == IndexPolicy::kHonorPlan &&
+          ns->node->access_path != ScanAccessPath::kFullScan) {
+        IndexPruneCounters local;
+        *ids = PruneScanPages(storage_, *ns->node, *ids, view_commit_ts,
+                              allow_gridfile, &local);
+        q->counters.index.Add(local);
       }
       {
         std::lock_guard<std::mutex> lock(ns->mu);
@@ -1502,6 +1516,7 @@ void SchedulerImpl::FulfillLocked(QueryRuntime* q) {
   qs.pipeline_runtime_fallbacks =
       q->counters.pipeline_runtime_fallbacks.load();
   qs.kernel = q->counters.kernel.Snapshot();
+  qs.index = q->counters.index.Snapshot();
   qs.sched_admitted = q->was_queued ? 0 : 1;
   qs.sched_queued = q->was_queued ? 1 : 0;
   qs.sched_requeues = q->failed_probes;
@@ -1537,6 +1552,7 @@ void SchedulerImpl::FulfillLocked(QueryRuntime* q) {
   totals_.work.kernel.nested_joins += qs.kernel.nested_joins;
   totals_.work.kernel.hash_build_collisions +=
       qs.kernel.hash_build_collisions;
+  totals_.work.index += qs.index;
 
   QueryState* state = q->state.get();
   {

@@ -1,0 +1,90 @@
+#include "index/index_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dfdb {
+
+Status IndexManager::CreateIndex(const std::string& name,
+                                 const std::string& relation,
+                                 std::vector<std::string> columns) {
+  IndexMeta meta;
+  meta.name = name;
+  meta.relation = relation;
+  meta.columns = std::move(columns);
+  DFDB_RETURN_IF_ERROR(storage_->catalog().CreateIndex(meta));
+  // Warm build at the current committed version; later snapshots at other
+  // timestamps rebuild on demand in Resolve().
+  Snapshot snap = storage_->CaptureSnapshot();
+  auto view = snap.View(relation);
+  if (view.ok()) (void)Resolve(meta, view->commit_ts, view->pages);
+  return Status::OK();
+}
+
+Status IndexManager::DropIndex(const std::string& name) {
+  DFDB_RETURN_IF_ERROR(storage_->catalog().DropIndex(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  built_.erase(name);
+  return Status::OK();
+}
+
+std::shared_ptr<const GridFileIndex> IndexManager::Resolve(
+    const IndexMeta& meta, uint64_t commit_ts,
+    const std::vector<PageId>& pages) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = built_.find(meta.name);
+    if (it != built_.end()) {
+      for (const auto& idx : it->second.versions) {
+        if (idx->built_ts() == commit_ts &&
+            idx->pages_indexed() == pages.size()) {
+          return idx;
+        }
+      }
+    }
+  }
+  // Build outside the lock (pass over every page of the version); two
+  // racing builders produce identical immutable indexes, either may win
+  // the cache slot.
+  auto rel = storage_->catalog().GetRelation(meta.relation);
+  if (!rel.ok()) return nullptr;
+  std::vector<int> key_columns;
+  for (const std::string& col : meta.columns) {
+    auto idx = rel->schema.ColumnIndex(col);
+    if (!idx.ok()) return nullptr;
+    key_columns.push_back(*idx);
+  }
+  auto built = GridFileIndex::Build(rel->schema, key_columns,
+                                    storage_->page_store(), pages, commit_ts);
+  if (!built.ok()) return nullptr;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = built_[meta.name];
+  entry.relation = rel->id;
+  entry.versions.push_back(*built);
+  if (entry.versions.size() > kVersionsCached) {
+    entry.versions.erase(entry.versions.begin());
+  }
+  return *built;
+}
+
+void IndexManager::OnRelationDropped(RelationId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = built_.begin(); it != built_.end();) {
+    if (it->second.relation == id) {
+      it = built_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+IndexManager* GetIndexManager(StorageEngine* storage) {
+  RelationIndexCache* cache = storage->GetOrCreateIndexCache(
+      [storage]() { return std::make_unique<IndexManager>(storage); });
+  // The slot is install-once and only this function installs, so the
+  // concrete type is always IndexManager.
+  return static_cast<IndexManager*>(cache);
+}
+
+}  // namespace dfdb

@@ -1,0 +1,123 @@
+#include "index/zone_map.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace dfdb {
+namespace {
+
+int64_t LoadI32(const char* p) {
+  int32_t x;
+  std::memcpy(&x, p, 4);
+  return x;
+}
+int64_t LoadI64(const char* p) {
+  int64_t x;
+  std::memcpy(&x, p, 8);
+  return x;
+}
+double LoadF64(const char* p) {
+  double x;
+  std::memcpy(&x, p, 8);
+  return x;
+}
+
+/// Right-trimmed view of a CHAR column, mirroring expr_detail::TrimmedLen.
+std::string_view Trimmed(const char* p, int width) {
+  size_t n = static_cast<size_t>(width);
+  while (n > 0 && p[n - 1] == ' ') --n;
+  return std::string_view(p, n);
+}
+
+}  // namespace
+
+ZoneMapEntry BuildZoneMap(const Schema& schema, const Page& page) {
+  ZoneMapEntry entry;
+  entry.tuples = static_cast<uint32_t>(page.num_tuples());
+  entry.cols.resize(static_cast<size_t>(schema.num_columns()));
+  if (page.num_tuples() == 0) return entry;
+
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    ZoneMapColumn& zc = entry.cols[static_cast<size_t>(c)];
+    const Column& col = schema.column(c);
+    const int off = schema.offset(c);
+    zc.valid = true;
+    switch (col.type) {
+      case ColumnType::kInt32:
+      case ColumnType::kInt64: {
+        const bool wide = col.type == ColumnType::kInt64;
+        for (int i = 0; i < page.num_tuples(); ++i) {
+          const char* t = page.tuple(i).data();
+          const int64_t v = wide ? LoadI64(t + off) : LoadI32(t + off);
+          if (i == 0 || v < zc.min_i) zc.min_i = v;
+          if (i == 0 || v > zc.max_i) zc.max_i = v;
+        }
+        break;
+      }
+      case ColumnType::kDouble: {
+        for (int i = 0; i < page.num_tuples(); ++i) {
+          const double v = LoadF64(page.tuple(i).data() + off);
+          if (std::isnan(v)) {
+            // Cmp3F(NaN, x) == 0: a NaN tuple "equals" every constant, so
+            // no [min, max] test over this page is conservative.
+            zc.valid = false;
+            break;
+          }
+          if (i == 0 || v < zc.min_f) zc.min_f = v;
+          if (i == 0 || v > zc.max_f) zc.max_f = v;
+        }
+        break;
+      }
+      case ColumnType::kChar: {
+        for (int i = 0; i < page.num_tuples(); ++i) {
+          const std::string_view v =
+              Trimmed(page.tuple(i).data() + off, col.width);
+          if (i == 0 || v < std::string_view(zc.min_s)) zc.min_s = v;
+          if (i == 0 || v > std::string_view(zc.max_s)) zc.max_s = v;
+        }
+        break;
+      }
+    }
+  }
+  return entry;
+}
+
+bool ZoneMapBrackets(const ZoneMapEntry& entry, const Schema& schema,
+                     const Page& page) {
+  if (entry.tuples != static_cast<uint32_t>(page.num_tuples())) return false;
+  if (entry.cols.size() != static_cast<size_t>(schema.num_columns()))
+    return false;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    const ZoneMapColumn& zc = entry.cols[static_cast<size_t>(c)];
+    if (!zc.valid) continue;
+    const Column& col = schema.column(c);
+    const int off = schema.offset(c);
+    for (int i = 0; i < page.num_tuples(); ++i) {
+      const char* t = page.tuple(i).data();
+      switch (col.type) {
+        case ColumnType::kInt32:
+        case ColumnType::kInt64: {
+          const int64_t v = col.type == ColumnType::kInt64 ? LoadI64(t + off)
+                                                           : LoadI32(t + off);
+          if (v < zc.min_i || v > zc.max_i) return false;
+          break;
+        }
+        case ColumnType::kDouble: {
+          const double v = LoadF64(t + off);
+          if (std::isnan(v)) return false;  // NaN pages must be invalid.
+          if (v < zc.min_f || v > zc.max_f) return false;
+          break;
+        }
+        case ColumnType::kChar: {
+          const std::string_view v = Trimmed(t + off, col.width);
+          if (v < std::string_view(zc.min_s) || v > std::string_view(zc.max_s))
+            return false;
+          break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dfdb

@@ -32,6 +32,14 @@ std::string MachineReport::ToString() const {
         static_cast<unsigned long long>(pipeline_fused_pages),
         static_cast<unsigned long long>(pipeline_runtime_fallbacks));
   }
+  if (index.any()) {
+    out += StrFormat(
+        " | index: pruned=%llu zonemap=%llu probes=%llu fallbacks=%llu",
+        static_cast<unsigned long long>(index.pages_pruned),
+        static_cast<unsigned long long>(index.zonemap_hits),
+        static_cast<unsigned long long>(index.gridfile_probes),
+        static_cast<unsigned long long>(index.fallback_scans));
+  }
   if (kernel.compiled_pages > 0 || kernel.interpreted_pages > 0 ||
       kernel.hash_joins > 0 || kernel.nested_joins > 0) {
     out += StrFormat(
@@ -106,6 +114,10 @@ obs::RunReport MachineReport::ToReport() const {
   report.counters.Set("machine.kernel.nested_joins", kernel.nested_joins);
   report.counters.Set("machine.kernel.hash_build_collisions",
                       kernel.hash_build_collisions);
+  report.counters.Set("machine.index.pages_pruned", index.pages_pruned);
+  report.counters.Set("machine.index.zonemap_hits", index.zonemap_hits);
+  report.counters.Set("machine.index.gridfile_probes", index.gridfile_probes);
+  report.counters.Set("machine.index.fallback_scans", index.fallback_scans);
   report.counters.Set("machine.num_ips", static_cast<uint64_t>(num_ips));
   report.counters.Set("machine.makespan_ns",
                       static_cast<uint64_t>(makespan.nanos()));

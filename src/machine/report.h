@@ -12,6 +12,7 @@
 #include "common/sim_time.h"
 #include "engine/exec_options.h"
 #include "engine/query_result.h"
+#include "index/index_stats.h"
 #include "machine/fault_injector.h"
 #include "obs/run_report.h"
 #include "operators/kernels.h"
@@ -53,6 +54,9 @@ struct MachineOptions {
   /// restricts filter at the IC during staging compaction instead of
   /// occupying IPs as separate instructions.
   PipelinePolicy pipeline = PipelinePolicy::kHonorPlan;
+  /// Per-scan access-path policy (honor zone-map / grid-file marks vs
+  /// force full staging).
+  IndexPolicy index = IndexPolicy::kHonorPlan;
   /// Safety valve against runaway simulations.
   uint64_t max_events = 500000000;
   /// Deterministic fault schedule (empty = perfect hardware). With a
@@ -106,6 +110,10 @@ struct MachineReport {
   uint64_t pipeline_runtime_fallbacks = 0;
   /// Compiled-vs-interpreted kernel split at the IPs (machine.kernel.*).
   KernelStatsSnapshot kernel;
+  /// Access-path pruning outcomes during IC staging (machine.index.*):
+  /// pages never fetched into the ring because a zone map or grid-file
+  /// probe proved them irrelevant.
+  IndexPruneCounters index;
   /// Root outputs with real tuples (the simulator is execution-driven).
   std::vector<QueryResult> results;
   /// Event trace, or nullptr unless MachineOptions::enable_trace was set.

@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "engine/concurrency.h"
+#include "index/access_path.h"
 #include "machine/event_queue.h"
 #include "machine/fault_injector.h"
 #include "machine/packet.h"
@@ -600,8 +601,27 @@ void Sim::StartQuery(size_t qi) {
 
 void Sim::StartStaging(int instr_id, int slot) {
   InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
-  const std::string& rel =
-      ir.def->operands[static_cast<size_t>(slot)].base_relation;
+  const MachineOperand& mop = ir.def->operands[static_cast<size_t>(slot)];
+  const std::string& rel = mop.base_relation;
+  // The plan scan node this operand stages (carries the optimizer's
+  // access-path mark). A folded restrict points at it through the operand
+  // filter; otherwise the instruction's own child in this slot is the scan.
+  const PlanNode* scan = nullptr;
+  if (opt_.index == IndexPolicy::kHonorPlan) {
+    if (mop.filter != nullptr) {
+      if (mop.filter->num_children() == 1 &&
+          mop.filter->child(0).op == PlanOp::kScan) {
+        scan = &mop.filter->child(0);
+      }
+    } else if (ir.def->node != nullptr &&
+               slot < ir.def->node->num_children() &&
+               ir.def->node->child(slot).op == PlanOp::kScan) {
+      scan = &ir.def->node->child(slot);
+    }
+    if (scan != nullptr && scan->access_path == ScanAccessPath::kFullScan) {
+      scan = nullptr;
+    }
+  }
   const Snapshot& snap = query_snapshots_[ir.def->query_index];
   if (snap.valid()) {
     auto view = snap.View(rel);
@@ -610,11 +630,17 @@ void Sim::StartStaging(int instr_id, int slot) {
       CompleteOperand(instr_id, slot);
       return;
     }
+    const uint64_t commit_ts = view->commit_ts;
     auto ids = std::make_shared<std::vector<PageId>>(std::move(view->pages));
+    if (scan != nullptr) {
+      *ids = PruneScanPages(storage_, *scan, *ids, commit_ts,
+                            /*allow_gridfile=*/true, &report_.index);
+    }
     StageNextRawPage(instr_id, slot, ids, 0);
     return;
   }
-  // Fallback (no snapshot stamped): read the live head.
+  // Fallback (no snapshot stamped): read the live head. Grid-file probes
+  // need a version timestamp to cache against, so only zone maps apply.
   auto file = storage_->GetHeapFile(rel);
   if (!file.ok()) {
     Fail(file.status().WithContext("staging " + rel));
@@ -624,6 +650,10 @@ void Sim::StartStaging(int instr_id, int slot) {
   Status flushed = (*file)->Flush();
   if (!flushed.ok()) Fail(flushed);
   auto ids = std::make_shared<std::vector<PageId>>((*file)->PageIds());
+  if (scan != nullptr) {
+    *ids = PruneScanPages(storage_, *scan, *ids, /*view_commit_ts=*/0,
+                          /*allow_gridfile=*/false, &report_.index);
+  }
   StageNextRawPage(instr_id, slot, ids, 0);
 }
 

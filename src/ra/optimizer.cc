@@ -75,9 +75,11 @@ bool UniformDomain(const std::string& name, double* domain) {
 }  // namespace
 
 std::string OptimizerReport::ToString() const {
-  return StrFormat("merged=%d pushed=%d swapped=%d fused=%d materialized=%d",
-                   restricts_merged, predicates_pushed, joins_swapped,
-                   edges_fused, edges_materialized);
+  return StrFormat(
+      "merged=%d pushed=%d swapped=%d fused=%d materialized=%d "
+      "scans(full=%d zonemap=%d gridfile=%d)",
+      restricts_merged, predicates_pushed, joins_swapped, edges_fused,
+      edges_materialized, scans_full, scans_zonemap, scans_gridfile);
 }
 
 double Optimizer::EstimateSelectivity(const Expr& pred,
@@ -451,6 +453,69 @@ void Optimizer::DecidePipelining(PlanNode* root,
   }
 }
 
+void Optimizer::DecideAccessPaths(PlanNode* root,
+                                  OptimizerReport* report) const {
+  for (auto& child : root->children) DecideAccessPaths(child.get(), report);
+
+  // Count bare scans (joins, projects, appends reading whole relations) as
+  // full scans; only the restrict-over-scan shape below upgrades.
+  if (root->op == PlanOp::kScan) {
+    root->access_path = ScanAccessPath::kFullScan;
+    root->prune_bounds.clear();
+    root->index_name.clear();
+    report->scans_full++;
+    return;
+  }
+  if (root->op != PlanOp::kRestrict || root->predicate == nullptr ||
+      root->num_children() != 1 || root->child(0).op != PlanOp::kScan ||
+      !root->child(0).resolved) {
+    return;
+  }
+  PlanNode& scan = root->child(0);
+  auto compiled = CompiledPredicate::Compile(*root->predicate,
+                                             scan.output_schema);
+  if (!compiled.ok() || compiled->col_compares().empty()) {
+    return;  // Generic predicate: no extractable bounds, stays full scan.
+  }
+  // The compiled conjuncts are exactly the bounds pruning tests pages
+  // against — already offset/type-resolved against the scan schema.
+  scan.prune_bounds = compiled->col_compares();
+  scan.access_path = ScanAccessPath::kZoneMap;
+  report->scans_full--;
+
+  // Grid-file upgrade: a catalog index over one of the bound columns, and
+  // a selective enough predicate that probing beats scanning the scale.
+  for (const IndexMeta& index : catalog_->GetIndexesFor(scan.relation)) {
+    bool covers = false;
+    for (const std::string& col : index.columns) {
+      auto idx = scan.output_schema.ColumnIndex(col);
+      if (!idx.ok()) continue;
+      const int32_t offset = scan.output_schema.offset(*idx);
+      for (const ColCompare& c : scan.prune_bounds) {
+        if (c.offset == offset && c.op != CompareOp::kNe &&
+            c.kind != ColCompare::Kind::kStr) {
+          covers = true;
+          break;
+        }
+      }
+      if (covers) break;
+    }
+    if (!covers) continue;
+    if (EstimateSelectivity(*root->predicate, scan.output_schema) >
+        kGridFileSelectivity) {
+      continue;
+    }
+    scan.access_path = ScanAccessPath::kGridFile;
+    scan.index_name = index.name;
+    break;
+  }
+  if (scan.access_path == ScanAccessPath::kGridFile) {
+    report->scans_gridfile++;
+  } else {
+    report->scans_zonemap++;
+  }
+}
+
 StatusOr<PlanNodePtr> Optimizer::Optimize(const PlanNode& plan,
                                           OptimizerReport* report) const {
   Analyzer analyzer(catalog_);
@@ -480,10 +545,12 @@ StatusOr<PlanNodePtr> Optimizer::Optimize(const PlanNode& plan,
   if (!reresolved.ok()) {
     OptimizerReport fallback;  // Zero rewrites, but edges still decided.
     DecidePipelining(original.get(), &fallback);
+    DecideAccessPaths(original.get(), &fallback);
     if (report != nullptr) *report = fallback;
     return original;
   }
   DecidePipelining(optimized.get(), &local);
+  DecideAccessPaths(optimized.get(), &local);
   if (report != nullptr) *report = local;
   return optimized;
 }

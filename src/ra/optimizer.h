@@ -46,6 +46,12 @@ struct OptimizerReport {
   int fallback_predicate_not_compiled = 0;  ///< Predicate refused to compile.
   int fallback_high_fanout = 0;  ///< Join fanout estimate over threshold.
 
+  /// Per-scan access-path decision (DecideAccessPaths). Every kScan leaf is
+  /// counted exactly once.
+  int scans_full = 0;
+  int scans_zonemap = 0;
+  int scans_gridfile = 0;
+
   std::string ToString() const;
 };
 
@@ -82,6 +88,23 @@ class Optimizer {
   /// Join-fanout threshold above which DecidePipelining falls back to
   /// materialization (output rows per fused input row).
   static constexpr double kPipelineFanoutLimit = 16.0;
+
+  /// Marks each kScan leaf of a *resolved* tree with an access path
+  /// (PlanNode::access_path / index_name / prune_bounds) and counts the
+  /// decisions in \p report. A scan consumed by a restrict whose predicate
+  /// compiles to column-vs-constant conjuncts gets those conjuncts as
+  /// prune bounds (zone-map pruning); if a catalog index covers one of the
+  /// bound columns and the estimated selectivity is below
+  /// kGridFileSelectivity, the scan probes that grid file first. Scans
+  /// feeding kDelete are never marked (the delete rewrites the working
+  /// head, not a snapshot version). Run automatically by Optimize();
+  /// exposed for hand-shaped plans and tests.
+  void DecideAccessPaths(PlanNode* root, OptimizerReport* report) const;
+
+  /// Selectivity threshold below which a covering grid file is probed; at
+  /// higher selectivities most cells qualify and the probe is pure
+  /// overhead over zone maps.
+  static constexpr double kGridFileSelectivity = 0.25;
 
  private:
   const Catalog* catalog_;

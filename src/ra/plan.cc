@@ -28,6 +28,18 @@ std::string_view PlanOpToString(PlanOp op) {
   return "?";
 }
 
+std::string_view ScanAccessPathToString(ScanAccessPath p) {
+  switch (p) {
+    case ScanAccessPath::kFullScan:
+      return "full_scan";
+    case ScanAccessPath::kZoneMap:
+      return "zone_map";
+    case ScanAccessPath::kGridFile:
+      return "grid_file";
+  }
+  return "?";
+}
+
 std::string_view AggregateFuncToString(AggregateSpec::Func f) {
   switch (f) {
     case AggregateSpec::Func::kCount:
@@ -67,6 +79,10 @@ std::string PlanNode::ToString(int indent) const {
     out += " aggs={" + JoinStrings(parts, ",") + "}";
   }
   if (pipeline_fused) out += " pipelined";
+  if (access_path != ScanAccessPath::kFullScan) {
+    out += " via=" + std::string(ScanAccessPathToString(access_path));
+    if (!index_name.empty()) out += "(" + index_name + ")";
+  }
   if (id >= 0) out += StrFormat("  #%d", id);
   out += "\n";
   for (const auto& c : children) out += c->ToString(indent + 1);
@@ -92,6 +108,9 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   copy->bag_semantics = bag_semantics;
   copy->aggregates = aggregates;
   copy->pipeline_fused = pipeline_fused;
+  copy->access_path = access_path;
+  copy->index_name = index_name;
+  copy->prune_bounds = prune_bounds;
   for (const auto& c : children) copy->children.push_back(c->Clone());
   return copy;
 }

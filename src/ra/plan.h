@@ -16,8 +16,22 @@
 
 #include "catalog/schema.h"
 #include "ra/expr.h"
+#include "ra/expr_compile.h"
 
 namespace dfdb {
+
+/// How a kScan leaf reads its relation. Chosen by
+/// Optimizer::DecideAccessPaths from the consuming restrict's compiled
+/// bounds and the catalog's index definitions; kFullScan is always safe and
+/// ExecOptions::index / MachineOptions::index can force it at execution
+/// time.
+enum class ScanAccessPath {
+  kFullScan,  ///< Read every page of the snapshot view.
+  kZoneMap,   ///< Skip pages whose zone map cannot contain a match.
+  kGridFile,  ///< Grid-file candidate pages, then zone maps on top.
+};
+
+std::string_view ScanAccessPathToString(ScanAccessPath p);
 
 /// Relational algebra operators (the paper names restrict, join, project,
 /// append, delete; union/difference/aggregate round out the algebra).
@@ -86,6 +100,16 @@ struct PlanNode {
   /// safe, and ExecOptions::pipeline / MachineOptions::pipeline can
   /// override the marks at execution time.
   bool pipeline_fused = false;
+
+  /// kScan only: optimizer access-path decision plus the pre-resolved
+  /// column-vs-constant bounds (from the consuming restrict's compiled
+  /// predicate) the pruning layer tests pages against. Bounds are conjuncts
+  /// of the full predicate, so dropping *only* pages where no tuple can
+  /// satisfy some bound never changes the restrict's output.
+  ScanAccessPath access_path = ScanAccessPath::kFullScan;
+  /// kGridFile: name of the catalog index to probe.
+  std::string index_name;
+  std::vector<ColCompare> prune_bounds;
 
   /// Filled by the analyzer.
   Schema output_schema;

@@ -64,9 +64,22 @@ Status HeapFile::Flush() {
 }
 
 Status HeapFile::SealCurrentLocked() {
-  pages_.push_back(store_->Put(SealPage(std::move(*current_))));
+  pages_.push_back(SealIntoStoreLocked(std::move(*current_)));
   current_.reset();
   return Status::OK();
+}
+
+PageId HeapFile::SealIntoStoreLocked(Page&& page) {
+  ZoneMapEntry entry = BuildZoneMap(schema_, page);
+  PagePtr sealed = SealPage(std::move(page));
+#ifdef DFDB_SANITIZE
+  DFDB_CHECK(ZoneMapBrackets(entry, schema_, *sealed))
+      << "zone map of freshly sealed page does not bracket its tuples "
+         "(relation " << relation_ << ")";
+#endif
+  const PageId id = store_->Put(std::move(sealed));
+  zone_maps_.Put(id, std::move(entry));
+  return id;
 }
 
 std::vector<PageId> HeapFile::PageIds() const {
@@ -95,7 +108,7 @@ StatusOr<uint64_t> HeapFile::DeleteWhere(
   std::unique_ptr<Page> out;
   auto flush_out = [&]() -> Status {
     if (out != nullptr && !out->empty()) {
-      new_pages.push_back(store_->Put(SealPage(std::move(*out))));
+      new_pages.push_back(SealIntoStoreLocked(std::move(*out)));
       if (mvcc_ != nullptr) {
         mvcc_->pages_copied.fetch_add(1, std::memory_order_relaxed);
       }
@@ -125,6 +138,7 @@ StatusOr<uint64_t> HeapFile::DeleteWhere(
     // A page only the uncommitted head referenced is freed right away.
     if (committed_live_.count(id) == 0) {
       DFDB_RETURN_IF_ERROR(store_->Free(id));
+      zone_maps_.Erase(id);
     }
   }
   DFDB_RETURN_IF_ERROR(flush_out());
@@ -182,7 +196,10 @@ Status HeapFile::RollbackToCommitted() {
     // Uncommitted pages die with the rollback; committed pages that the
     // aborted mutation dropped from the head were never freed, so
     // restoring the committed page list below resurrects them intact.
-    if (committed_live_.count(id) == 0) (void)store_->Free(id);
+    if (committed_live_.count(id) == 0) {
+      (void)store_->Free(id);
+      zone_maps_.Erase(id);
+    }
   }
   const HeapFileVersion& latest = versions_.back();
   pages_ = latest.pages;
@@ -202,6 +219,7 @@ uint64_t HeapFile::GcUpTo(uint64_t min_live_ts) {
     // retire_ts <= min_live_ts is free-able.
     if (retire_ts <= min_live_ts) {
       if (store_->Free(id).ok()) ++freed;
+      zone_maps_.Erase(id);
     } else {
       keep.emplace_back(retire_ts, id);
     }

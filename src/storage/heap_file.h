@@ -13,6 +13,7 @@
 
 #include "catalog/catalog.h"
 #include "common/macros.h"
+#include "index/zone_map.h"
 #include "storage/page.h"
 #include "storage/page_store.h"
 #include "storage/snapshot.h"
@@ -118,8 +119,19 @@ class HeapFile {
   /// retired-page list (used when dropping the relation).
   std::vector<PageId> AllPageIds() const;
 
+  /// Zone maps of this file's sealed pages. Entries are keyed by PageId and
+  /// sealed pages are immutable, so a map is valid for every MVCC version
+  /// and snapshot that can still see its page; entries die when the page is
+  /// freed (eager free, rollback, or version GC).
+  const ZoneMapStore& zone_maps() const { return zone_maps_; }
+
  private:
   Status SealCurrentLocked();
+
+  /// Seals \p page into the store, builds its zone map, and returns its id.
+  /// The single choke point for both seal sites (open-page seal and
+  /// DeleteWhere's CoW rewrite) so no sealed page can miss its map.
+  PageId SealIntoStoreLocked(Page&& page);
 
   const RelationId relation_;
   const Schema schema_;
@@ -141,6 +153,7 @@ class HeapFile {
   /// visible to snapshots with ts < T and freeable once min_live_ts >= T.
   std::vector<std::pair<uint64_t, PageId>> garbage_;
   bool dirty_ = false;
+  ZoneMapStore zone_maps_;
 };
 
 }  // namespace dfdb

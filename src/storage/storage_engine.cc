@@ -38,6 +38,9 @@ Status StorageEngine::DropRelation(std::string_view name) {
       files_.erase(it);
     }
   }
+  if (RelationIndexCache* cache = index_cache()) {
+    cache->OnRelationDropped(meta.id);
+  }
   return catalog_.DropRelation(name);
 }
 
@@ -163,6 +166,18 @@ void StorageEngine::GcAllFiles(uint64_t min_live_ts) {
 
 uint64_t StorageEngine::MinLiveSnapshotLocked() const {
   return open_snapshots_.empty() ? last_commit_ts_ : *open_snapshots_.begin();
+}
+
+RelationIndexCache* StorageEngine::GetOrCreateIndexCache(
+    const std::function<std::unique_ptr<RelationIndexCache>()>& factory) {
+  std::lock_guard<std::mutex> lock(index_cache_mu_);
+  if (index_cache_ == nullptr) index_cache_ = factory();
+  return index_cache_.get();
+}
+
+RelationIndexCache* StorageEngine::index_cache() const {
+  std::lock_guard<std::mutex> lock(index_cache_mu_);
+  return index_cache_.get();
 }
 
 }  // namespace dfdb

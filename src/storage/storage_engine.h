@@ -4,6 +4,7 @@
 #ifndef DFDB_STORAGE_STORAGE_ENGINE_H_
 #define DFDB_STORAGE_STORAGE_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -23,6 +24,20 @@ namespace dfdb {
 struct CreateRelationOptions {
   /// Page size for the relation's heap file; 0 uses the engine default.
   int page_bytes = 0;
+};
+
+/// \brief Extension slot for the index subsystem (src/index): built
+/// secondary-index structures whose lifetime the storage engine anchors
+/// without dfdb_storage linking against the higher index library. The
+/// concrete implementation (IndexManager) installs itself via
+/// StorageEngine::GetOrCreateIndexCache().
+class RelationIndexCache {
+ public:
+  virtual ~RelationIndexCache() = default;
+
+  /// Invalidation hook: the relation's pages are gone, drop anything built
+  /// over them.
+  virtual void OnRelationDropped(RelationId id) = 0;
 };
 
 /// \brief The database substrate the engines execute against: one catalog,
@@ -88,6 +103,15 @@ class StorageEngine {
   /// Storage-wide MVCC counters (the engine.mvcc.* family).
   MvccStats mvcc_stats() const;
 
+  /// Returns the installed index cache, creating it with \p factory on
+  /// first use (install-once; later calls ignore \p factory). The returned
+  /// pointer is stable for the engine's lifetime.
+  RelationIndexCache* GetOrCreateIndexCache(
+      const std::function<std::unique_ptr<RelationIndexCache>()>& factory);
+
+  /// The installed index cache, or null when no index was ever created.
+  RelationIndexCache* index_cache() const;
+
  private:
   friend class Snapshot;
   friend struct Snapshot::State;
@@ -120,6 +144,9 @@ class StorageEngine {
   std::multiset<uint64_t> open_snapshots_;
   uint64_t snapshots_captured_ = 0;
   MvccCounters mvcc_;
+
+  mutable std::mutex index_cache_mu_;
+  std::unique_ptr<RelationIndexCache> index_cache_;
 };
 
 }  // namespace dfdb

@@ -82,4 +82,55 @@ StatusOr<RelationId> GenerateRelationPartition(StorageEngine* storage,
   return id;
 }
 
+Schema SkewedEventSchema() {
+  return Schema::CreateOrDie({
+      Column::Int64("ts"),
+      Column::Int32("user"),
+      Column::Int32("device"),
+      Column::Double("val"),
+      Column::Char("pad", 76),
+  });
+}
+
+uint64_t SkewedEventUserCount(uint64_t num_tuples) {
+  const uint64_t users = num_tuples / 512;
+  return users < 64 ? 64 : users;
+}
+
+StatusOr<RelationId> GenerateSkewedRelation(StorageEngine* storage,
+                                            const std::string& name,
+                                            uint64_t num_tuples,
+                                            uint64_t seed) {
+  Schema schema = SkewedEventSchema();
+  DFDB_ASSIGN_OR_RETURN(RelationId id, storage->CreateRelation(name, schema));
+  DFDB_ASSIGN_OR_RETURN(HeapFile * file, storage->GetHeapFile(id));
+
+  Random rng(HashCombine(seed, Hash64(name.data(), name.size())));
+  Zipfian users(SkewedEventUserCount(num_tuples), /*theta=*/0.99);
+
+  const std::string pad(76, 'e');
+  // Mean session length ~160 events: one 16 KB page of 100-byte tuples, so
+  // a session's tuples land on 1-2 pages.
+  constexpr int64_t kMeanSessionLength = 160;
+  uint64_t emitted = 0;
+  while (emitted < num_tuples) {
+    const int32_t user = static_cast<int32_t>(users.Next(&rng));
+    const int32_t device = static_cast<int32_t>(rng.Uniform(16));
+    const int64_t len = rng.UniformInRange(kMeanSessionLength / 2,
+                                           kMeanSessionLength * 3 / 2);
+    for (int64_t e = 0; e < len && emitted < num_tuples; ++e, ++emitted) {
+      std::vector<Value> row{
+          Value::Int64(static_cast<int64_t>(emitted)),
+          Value::Int32(user),
+          Value::Int32(device),
+          Value::Double(rng.NextDouble()),
+          Value::Char(pad),
+      };
+      DFDB_RETURN_IF_ERROR(file->Append(row));
+    }
+  }
+  DFDB_RETURN_IF_ERROR(storage->SyncStats(id));
+  return id;
+}
+
 }  // namespace dfdb

@@ -58,6 +58,36 @@ StatusOr<RelationId> GenerateRelationPartition(StorageEngine* storage,
                                                uint64_t seed, int partition,
                                                int partitions);
 
+/// \brief 100-byte event tuple for skewed/selective access-path workloads.
+///
+/// Columns:
+///   ts      INT64   monotone event clock 0..n-1 (insertion order) — time
+///                   windows are contiguous page runs, so zone maps prune
+///                   them near-perfectly;
+///   user    INT32   Zipfian-skewed user id (rank = id: low ids hot, high
+///                   ids rare), constant within a session;
+///   device  INT32   device id in [0,16), constant within a session;
+///   val     DOUBLE  uniform in [0,1);
+///   pad     CHAR(76) filler bringing the tuple to exactly 100 bytes.
+Schema SkewedEventSchema();
+
+/// Users in a skewed relation of \p num_tuples events (so callers can pick
+/// valid hot/rare user ids: 0 is hottest, count-1 rarest).
+uint64_t SkewedEventUserCount(uint64_t num_tuples);
+
+/// \brief Creates relation \p name with \p num_tuples sessionized skewed
+/// events.
+///
+/// Events arrive in sessions: each session draws a Zipfian user and a
+/// uniform device, then emits a run of consecutive events (~160, one
+/// heap page's worth), so a user's tuples cluster into few pages and
+/// per-page secondary indexes stay selective. Deterministic in
+/// (\p name, \p num_tuples, \p seed); flushes and syncs catalog stats.
+StatusOr<RelationId> GenerateSkewedRelation(StorageEngine* storage,
+                                            const std::string& name,
+                                            uint64_t num_tuples,
+                                            uint64_t seed);
+
 }  // namespace dfdb
 
 #endif  // DFDB_WORKLOAD_GENERATOR_H_

@@ -1,15 +1,10 @@
 /// \file executor_test.cc
 /// \brief End-to-end tests of the data-flow engine against the serial
 /// reference executor, across granularities and processor counts.
-///
-/// Deliberately exercises the deprecated Executor compatibility facade —
-/// it must keep behaving like RunQuery/RunBatch until it is removed.
-
-#include "engine/executor.h"
-
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
+
+#include "engine/run.h"
 
 #include "engine/reference.h"
 #include "tests/test_util.h"
@@ -59,8 +54,8 @@ class ExecutorCorrectnessTest : public ::testing::TestWithParam<EngineParam> {
   void CheckAgainstReference(const PlanNodePtr& plan) {
     ReferenceExecutor reference(storage_.get());
     ASSERT_OK_AND_ASSIGN(QueryResult expected, reference.Execute(*plan));
-    Executor engine(storage_.get(), Options());
-    ASSERT_OK_AND_ASSIGN(QueryResult actual, engine.Execute(*plan));
+    ASSERT_OK_AND_ASSIGN(QueryResult actual,
+                         RunQuery(storage_.get(), *plan, Options()));
     ExpectSameResult(expected, actual);
   }
 
@@ -170,8 +165,8 @@ TEST_P(ExecutorCorrectnessTest, AppendThenScan) {
   (void)sink_rel;
   auto append = MakeAppend(
       MakeRestrict(MakeScan("alpha"), Lt(Col("k1000"), Lit(100))), "sink");
-  Executor engine(storage_.get(), Options());
-  ASSERT_OK_AND_ASSIGN(QueryResult append_result, engine.Execute(*append));
+  ASSERT_OK_AND_ASSIGN(QueryResult append_result,
+                       RunQuery(storage_.get(), *append, Options()));
   EXPECT_EQ(append_result.num_tuples(), 0u);
 
   ReferenceExecutor reference(storage_.get());
@@ -189,8 +184,8 @@ TEST_P(ExecutorCorrectnessTest, DeleteRemovesMatching) {
                        GenerateRelation(storage_.get(), "victim", 200, 11));
   (void)victim_rel;
   auto del = MakeDelete("victim", Lt(Col("k1000"), Lit(500)));
-  Executor engine(storage_.get(), Options());
-  ASSERT_OK_AND_ASSIGN(QueryResult del_result, engine.Execute(*del));
+  ASSERT_OK_AND_ASSIGN(QueryResult del_result,
+                       RunQuery(storage_.get(), *del, Options()));
   EXPECT_EQ(del_result.num_tuples(), 0u);
 
   ReferenceExecutor reference(storage_.get());
@@ -209,8 +204,7 @@ TEST_P(ExecutorCorrectnessTest, DeleteRemovesMatching) {
 
 TEST_P(ExecutorCorrectnessTest, ErrorPropagatesFromBadRelation) {
   auto plan = MakeScan("does_not_exist");
-  Executor engine(storage_.get(), Options());
-  auto result = engine.Execute(*plan);
+  auto result = RunQuery(storage_.get(), *plan, Options());
   EXPECT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsNotFound()) << result.status();
 }

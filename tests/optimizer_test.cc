@@ -244,8 +244,12 @@ TEST_F(OptimizerTest, ReportToString) {
   r.joins_swapped = 3;
   r.edges_fused = 4;
   r.edges_materialized = 5;
+  r.scans_full = 6;
+  r.scans_zonemap = 7;
+  r.scans_gridfile = 8;
   EXPECT_EQ(r.ToString(),
-            "merged=1 pushed=2 swapped=3 fused=4 materialized=5");
+            "merged=1 pushed=2 swapped=3 fused=4 materialized=5 "
+            "scans(full=6 zonemap=7 gridfile=8)");
 }
 
 // ---------------------------------------------------------------------------

@@ -12,7 +12,6 @@
 #include <thread>
 #include <vector>
 
-#include "engine/executor.h"
 #include "engine/reference.h"
 #include "obs/metrics.h"
 #include "tests/test_util.h"

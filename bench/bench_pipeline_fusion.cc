@@ -60,6 +60,9 @@ int Main(int argc, char** argv) {
   MachineOptions base;
   base.config.num_instruction_processors = ips;
   base.config.page_bytes = page_bytes;
+  // Isolate the fusion variable: near-data pushdown would pre-filter the
+  // restricts during staging in both modes and mask the edge decision.
+  base.pushdown = PushdownPolicy::kForceOff;
 
   bench::Table table({"query", "fused_edges", "materialized_s", "fused_s",
                       "speedup_x", "pages_elided"});
@@ -120,6 +123,7 @@ int Main(int argc, char** argv) {
     ExecOptions eopts;
     eopts.pipeline = mode == 0 ? PipelinePolicy::kForceMaterialize
                                : PipelinePolicy::kHonorPlan;
+    eopts.pushdown = PushdownPolicy::kForceOff;
     ExecStats stats;
     auto results = RunBatch(&storage, plans, eopts, &stats);
     DFDB_CHECK(results.ok()) << results.status();

@@ -51,6 +51,15 @@ std::string ExecStats::ToString() const {
         static_cast<unsigned long long>(index.gridfile_probes),
         static_cast<unsigned long long>(index.fallback_scans));
   }
+  if (pushdown.any()) {
+    out += StrFormat(
+        " | pushdown: pages=%llu in=%llu out=%llu elided=%s fallbacks=%llu",
+        static_cast<unsigned long long>(pushdown.pages_filtered),
+        static_cast<unsigned long long>(pushdown.tuples_in),
+        static_cast<unsigned long long>(pushdown.tuples_out),
+        HumanBytes(static_cast<int64_t>(pushdown.bytes_elided)).c_str(),
+        static_cast<unsigned long long>(pushdown.fallbacks));
+  }
   if (kernel.compiled_pages > 0 || kernel.interpreted_pages > 0 ||
       kernel.hash_joins > 0 || kernel.nested_joins > 0) {
     out += StrFormat(
@@ -107,6 +116,7 @@ void RegisterMetrics(const ExecStats& stats, obs::MetricsRegistry* registry) {
   registry->Set("engine.index.zonemap_hits", stats.index.zonemap_hits);
   registry->Set("engine.index.gridfile_probes", stats.index.gridfile_probes);
   registry->Set("engine.index.fallback_scans", stats.index.fallback_scans);
+  RegisterPushdownMetrics(stats.pushdown, "engine.pushdown.", registry);
   registry->Set("engine.faults.injected", stats.faults_injected);
   registry->Set("engine.faults.workers_abandoned", stats.workers_abandoned);
   registry->Set("engine.faults.redispatched_tasks", stats.redispatched_tasks);

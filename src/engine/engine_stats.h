@@ -13,6 +13,7 @@
 #include "obs/run_report.h"
 #include "operators/kernels.h"
 #include "storage/buffer_manager.h"
+#include "storage/pushdown.h"
 
 namespace dfdb {
 
@@ -58,6 +59,8 @@ struct EngineCounters {
   KernelStats kernel;
   /// Access-path pruning outcomes (engine.index.*).
   IndexPruneStats index;
+  /// Near-data pushdown outcomes (engine.pushdown.*).
+  PushdownStats pushdown;
 };
 
 /// \brief Immutable snapshot of one query (or batch) execution.
@@ -112,6 +115,9 @@ struct ExecStats {
   /// Access-path pruning outcomes (engine.index.*): pages skipped via zone
   /// maps / grid-file probes on marked scans.
   IndexPruneCounters index;
+  /// Near-data pushdown outcomes (engine.pushdown.*): restricts executed
+  /// inside the buffer hierarchy on marked scans.
+  PushdownCounters pushdown;
   BufferStats buffer;
   /// Event trace of the run this snapshot belongs to, when
   /// ExecOptions::enable_trace was set (shared across the batch; events

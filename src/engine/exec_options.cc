@@ -38,14 +38,25 @@ std::string_view IndexPolicyToString(IndexPolicy p) {
   return "?";
 }
 
+std::string_view PushdownPolicyToString(PushdownPolicy p) {
+  switch (p) {
+    case PushdownPolicy::kHonorPlan:
+      return "plan";
+    case PushdownPolicy::kForceOff:
+      return "off";
+  }
+  return "?";
+}
+
 std::string ExecOptions::ToString() const {
   return StrFormat(
       "granularity=%s procs=%d cells=%d page=%dB local=%dp cache=%dp "
-      "pipeline=%s index=%s",
+      "pipeline=%s index=%s pushdown=%s",
       std::string(GranularityToString(granularity)).c_str(), num_processors,
       memory_cells_per_processor, page_bytes, local_memory_pages,
       disk_cache_pages, std::string(PipelinePolicyToString(pipeline)).c_str(),
-      std::string(IndexPolicyToString(index)).c_str());
+      std::string(IndexPolicyToString(index)).c_str(),
+      std::string(PushdownPolicyToString(pushdown)).c_str());
 }
 
 }  // namespace dfdb

@@ -51,6 +51,18 @@ enum class IndexPolicy {
 
 std::string_view IndexPolicyToString(IndexPolicy p);
 
+/// \brief How an engine treats the optimizer's per-scan pushdown marks
+/// (PlanNode::pushdown; see DESIGN.md "Near-data pushdown").
+enum class PushdownPolicy {
+  /// Execute marked restricts inside the storage hierarchy (default).
+  kHonorPlan,
+  /// Ship raw pages and filter at the processors regardless of marks —
+  /// the pre-pushdown behaviour, and the differential-testing baseline.
+  kForceOff,
+};
+
+std::string_view PushdownPolicyToString(PushdownPolicy p);
+
 /// \brief Deterministic fault schedule for the threaded engine — the
 /// analogue of the machine simulator's FaultPlan. Workers abandon work at
 /// operator-packet boundaries, so a restarted task re-runs from scratch and
@@ -103,6 +115,10 @@ struct ExecOptions {
   /// Per-scan access-path execution policy (honor index marks vs force
   /// full scans).
   IndexPolicy index = IndexPolicy::kHonorPlan;
+
+  /// Per-scan near-data pushdown policy (filter marked scans inside the
+  /// storage hierarchy vs ship raw pages).
+  PushdownPolicy pushdown = PushdownPolicy::kHonorPlan;
 
   /// Deterministic fault schedule (empty = healthy workers).
   EngineFaultPlan fault_plan;

@@ -72,6 +72,11 @@ struct NodeState {
   /// Predicate program compiled once per query (kRestrict / kDelete);
   /// empty when compilation was refused and the node interprets per tuple.
   std::optional<CompiledPredicate> compiled_pred;
+  /// Near-data pushdown (kScan on a marked plan): the consuming restrict's
+  /// predicate, compiled against the scan schema, run by the buffer
+  /// hierarchy during the cache -> local transfer so only survivors ride
+  /// the edge. Empty = raw path.
+  std::optional<CompiledPredicate> pushdown_pred;
   /// Join program with extracted equi-keys (kJoin).
   std::optional<CompiledJoinPredicate> compiled_join;
   /// Pipeline fusion (unary-chain collapse): the steps of every absorbed
@@ -447,6 +452,29 @@ class EdgeSink final : public PageSink {
   Status EmitParts(const Slice* parts, size_t n) override {
     return edge_->EmitTupleParts(parts, n);
   }
+
+ private:
+  Edge* edge_;
+};
+
+/// PushdownFilter adapter over a compiled predicate (single-relation form:
+/// the right-side tuple is always null for a restrict-over-scan).
+class CompiledFilter final : public PushdownFilter {
+ public:
+  explicit CompiledFilter(const CompiledPredicate* pred) : pred_(pred) {}
+  bool Matches(const char* tuple) const override {
+    return pred_->Matches(tuple, nullptr);
+  }
+
+ private:
+  const CompiledPredicate* pred_;
+};
+
+/// PushdownSink adapter feeding an Edge: survivors repack into unit pages.
+class EdgePushdownSink final : public PushdownSink {
+ public:
+  explicit EdgePushdownSink(Edge* edge) : edge_(edge) {}
+  Status Emit(Slice tuple) override { return edge_->EmitTuple(tuple); }
 
  private:
   Edge* edge_;
@@ -985,15 +1013,30 @@ void SchedulerImpl::ScanStep(NodeState* node,
     std::this_thread::yield();
     return;
   }
-  auto page = buffer_.Fetch((*ids)[idx]);
-  if (!page.ok()) {
-    node->query->Fail(page.status().WithContext("scan fetch"));
-  } else {
+  if (node->pushdown_pred.has_value()) {
+    // Pushdown path: the compiled restrict runs where the page lives;
+    // survivors repack into unit pages on the output edge, so the
+    // consumer's operand fetches (arbitration traffic) shrink with the
+    // selectivity.
+    CompiledFilter filter(&*node->pushdown_pred);
+    EdgePushdownSink sink(node->out.get());
+    PushdownCounters local;
+    Status s = buffer_.ReadFiltered((*ids)[idx], filter, &sink, &local);
+    node->query->counters.pushdown.Add(local);
     RecordTrace(obs::TraceEventKind::kTaskExecuted, node->query,
-                node->node->id, 0,
-                static_cast<uint64_t>((*page)->payload_bytes()), "scan-step");
-    Status s = node->out->EmitPage(*page);
-    if (!s.ok()) node->query->Fail(s.WithContext("scan emit"));
+                node->node->id, 0, local.tuples_out, "scan-pushdown");
+    if (!s.ok()) node->query->Fail(s.WithContext("scan pushdown"));
+  } else {
+    auto page = buffer_.Fetch((*ids)[idx]);
+    if (!page.ok()) {
+      node->query->Fail(page.status().WithContext("scan fetch"));
+    } else {
+      RecordTrace(obs::TraceEventKind::kTaskExecuted, node->query,
+                  node->node->id, 0,
+                  static_cast<uint64_t>((*page)->payload_bytes()), "scan-step");
+      Status s = node->out->EmitPage(*page);
+      if (!s.ok()) node->query->Fail(s.WithContext("scan emit"));
+    }
   }
   Dispatch(node->query,
            [this, node, ids, idx] { ScanStep(node, ids, idx + 1); });
@@ -1165,6 +1208,29 @@ NodeState* SchedulerImpl::BuildNode(const PlanNode* n, NodeState* parent,
         q->counters.kernel.compile_fallbacks.fetch_add(
             1, std::memory_order_relaxed);
       }
+    }
+  }
+
+  // Near-data pushdown: a marked scan compiles its consuming restrict's
+  // predicate against the scan schema and reads through the buffer
+  // hierarchy's filtered path. plan_parent is the scan's direct plan
+  // consumer in both the plain and fused-absorbed wirings, so the shape
+  // check holds whenever the optimizer marked a restrict-over-scan. The
+  // restrict re-applies the same program to the survivors — compiled
+  // predicates are infallible per tuple, so re-filtering is idempotent.
+  if (n->op == PlanOp::kScan && n->pushdown &&
+      opts().pushdown == PushdownPolicy::kHonorPlan) {
+    if (plan_parent != nullptr && plan_parent->op == PlanOp::kRestrict &&
+        plan_parent->predicate != nullptr) {
+      auto compiled =
+          CompiledPredicate::Compile(*plan_parent->predicate, n->output_schema);
+      if (compiled.ok()) {
+        ns->pushdown_pred.emplace(*std::move(compiled));
+      } else {
+        q->counters.pushdown.fallbacks.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      q->counters.pushdown.fallbacks.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -1517,6 +1583,7 @@ void SchedulerImpl::FulfillLocked(QueryRuntime* q) {
       q->counters.pipeline_runtime_fallbacks.load();
   qs.kernel = q->counters.kernel.Snapshot();
   qs.index = q->counters.index.Snapshot();
+  qs.pushdown = q->counters.pushdown.Snapshot();
   qs.sched_admitted = q->was_queued ? 0 : 1;
   qs.sched_queued = q->was_queued ? 1 : 0;
   qs.sched_requeues = q->failed_probes;
@@ -1553,6 +1620,7 @@ void SchedulerImpl::FulfillLocked(QueryRuntime* q) {
   totals_.work.kernel.hash_build_collisions +=
       qs.kernel.hash_build_collisions;
   totals_.work.index += qs.index;
+  totals_.work.pushdown += qs.pushdown;
 
   QueryState* state = q->state.get();
   {

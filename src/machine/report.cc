@@ -40,6 +40,15 @@ std::string MachineReport::ToString() const {
         static_cast<unsigned long long>(index.gridfile_probes),
         static_cast<unsigned long long>(index.fallback_scans));
   }
+  if (pushdown.any()) {
+    out += StrFormat(
+        " | pushdown: pages=%llu in=%llu out=%llu elided=%s fallbacks=%llu",
+        static_cast<unsigned long long>(pushdown.pages_filtered),
+        static_cast<unsigned long long>(pushdown.tuples_in),
+        static_cast<unsigned long long>(pushdown.tuples_out),
+        HumanBytes(static_cast<int64_t>(pushdown.bytes_elided)).c_str(),
+        static_cast<unsigned long long>(pushdown.fallbacks));
+  }
   if (kernel.compiled_pages > 0 || kernel.interpreted_pages > 0 ||
       kernel.hash_joins > 0 || kernel.nested_joins > 0) {
     out += StrFormat(
@@ -118,6 +127,7 @@ obs::RunReport MachineReport::ToReport() const {
   report.counters.Set("machine.index.zonemap_hits", index.zonemap_hits);
   report.counters.Set("machine.index.gridfile_probes", index.gridfile_probes);
   report.counters.Set("machine.index.fallback_scans", index.fallback_scans);
+  RegisterPushdownMetrics(pushdown, "machine.pushdown.", &report.counters);
   report.counters.Set("machine.num_ips", static_cast<uint64_t>(num_ips));
   report.counters.Set("machine.makespan_ns",
                       static_cast<uint64_t>(makespan.nanos()));

@@ -17,6 +17,7 @@
 #include "obs/run_report.h"
 #include "operators/kernels.h"
 #include "storage/device_model.h"
+#include "storage/pushdown.h"
 
 namespace dfdb {
 
@@ -57,6 +58,10 @@ struct MachineOptions {
   /// Per-scan access-path policy (honor zone-map / grid-file marks vs
   /// force full staging).
   IndexPolicy index = IndexPolicy::kHonorPlan;
+  /// Per-scan near-data pushdown policy: honor PlanNode::pushdown marks
+  /// (the compiled restrict runs during cache->IC staging, only survivors
+  /// cross the rings) vs force the raw staging path (ablation baseline).
+  PushdownPolicy pushdown = PushdownPolicy::kHonorPlan;
   /// Safety valve against runaway simulations.
   uint64_t max_events = 500000000;
   /// Deterministic fault schedule (empty = perfect hardware). With a
@@ -114,6 +119,10 @@ struct MachineReport {
   /// pages never fetched into the ring because a zone map or grid-file
   /// probe proved them irrelevant.
   IndexPruneCounters index;
+  /// Near-data pushdown outcomes during IC staging (machine.pushdown.*):
+  /// raw pages filtered at the cache port, tuples in/out, and the
+  /// cache->IC transfer bytes elided because only survivors crossed.
+  PushdownCounters pushdown;
   /// Root outputs with real tuples (the simulator is execution-driven).
   std::vector<QueryResult> results;
   /// Event trace, or nullptr unless MachineOptions::enable_trace was set.

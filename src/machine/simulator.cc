@@ -75,6 +75,10 @@ struct OperandRt {
   /// at the first staged page like RunKernel's per-instruction cache.
   bool filter_tried = false;
   std::optional<CompiledPredicate> filter_pred;
+  /// Near-data pushdown (PlanNode::pushdown on the staged scan): the
+  /// compiled restrict runs at the disk-cache port during staging, so only
+  /// surviving tuples cross into IC memory. Compiled once in StartStaging.
+  std::optional<CompiledPredicate> pushdown_pred;
 };
 
 struct IpRt {
@@ -622,6 +626,38 @@ void Sim::StartStaging(int instr_id, int slot) {
       scan = nullptr;
     }
   }
+  // Near-data pushdown: when the optimizer marked this scan pushable and
+  // the policy honors it, compile the consuming restrict's predicate
+  // against the scan schema. Staging then filters at the cache port —
+  // composing with the access-path marks above: pruning drops whole pages
+  // first, pushdown filters the residual pages' tuples.
+  if (opt_.pushdown == PushdownPolicy::kHonorPlan) {
+    const PlanNode* restrict_node = nullptr;
+    if (mop.filter != nullptr) {
+      if (mop.filter->num_children() == 1 &&
+          mop.filter->child(0).op == PlanOp::kScan &&
+          mop.filter->child(0).pushdown) {
+        restrict_node = mop.filter;
+      }
+    } else if (ir.def->node != nullptr &&
+               ir.def->node->op == PlanOp::kRestrict &&
+               ir.def->node->predicate != nullptr &&
+               slot < ir.def->node->num_children() &&
+               ir.def->node->child(slot).op == PlanOp::kScan &&
+               ir.def->node->child(slot).pushdown) {
+      restrict_node = ir.def->node;
+    }
+    if (restrict_node != nullptr) {
+      auto compiled =
+          CompiledPredicate::Compile(*restrict_node->predicate, mop.schema);
+      if (compiled.ok()) {
+        ir.operands[static_cast<size_t>(slot)].pushdown_pred.emplace(
+            *std::move(compiled));
+      } else {
+        report_.pushdown.fallbacks++;
+      }
+    }
+  }
   const Snapshot& snap = query_snapshots_[ir.def->query_index];
   if (snap.valid()) {
     auto view = snap.View(rel);
@@ -673,16 +709,56 @@ void Sim::StageNextRawPage(int instr_id, int slot,
   }
   const int64_t bytes = (*raw)->payload_bytes();
   page_sizes_.emplace(raw_id, bytes);
+  PagePtr page = *std::move(raw);
+  // Near-data pushdown: the compiled restrict runs at the cache port. The
+  // filter logic streams the whole page, but only survivors cross into IC
+  // memory, so the transfer (and everything downstream — repacked units,
+  // ring packets) is charged for surviving bytes only.
+  InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+  OperandRt& op = ir.operands[static_cast<size_t>(slot)];
+  const bool pushed = op.pushdown_pred.has_value();
+  int64_t transfer = bytes;
+  if (pushed) {
+    const Schema& schema =
+        ir.def->operands[static_cast<size_t>(slot)].schema;
+    const int width = std::max(1, schema.tuple_width());
+    auto survivors =
+        Page::Create(0, width, std::max(static_cast<int>(bytes), width));
+    if (!survivors.ok()) {
+      Fail(survivors.status().WithContext("pushdown staging"));
+      CompleteOperand(instr_id, slot);
+      return;
+    }
+    const int in = page->num_tuples();
+    for (int i = 0; i < in; ++i) {
+      if (!op.pushdown_pred->Matches(page->tuple(i).data(), nullptr)) continue;
+      Status s = survivors->Append(page->tuple(i));
+      if (!s.ok()) {
+        Fail(s.WithContext("pushdown staging"));
+        CompleteOperand(instr_id, slot);
+        return;
+      }
+    }
+    page = SealPage(*std::move(survivors));
+    transfer = page->payload_bytes();
+    report_.pushdown.pages_filtered++;
+    report_.pushdown.tuples_in += static_cast<uint64_t>(in);
+    report_.pushdown.tuples_out += static_cast<uint64_t>(page->num_tuples());
+    report_.pushdown.bytes_elided += static_cast<uint64_t>(bytes - transfer);
+  }
   SimTime arrival;
   if (disk_cache_.Touch(raw_id)) {
     // Disk-cache hit: only the cache -> IC transfer.
-    report_.bytes.cache_to_ic += static_cast<uint64_t>(bytes);
-    arrival = eq_.now() + cfg_.cache.AccessTime(bytes) + CacheStallPenalty();
+    report_.bytes.cache_to_ic += static_cast<uint64_t>(transfer);
+    arrival = eq_.now() +
+              (pushed ? cfg_.cache.FilteredAccessTime(bytes, transfer)
+                      : cfg_.cache.AccessTime(bytes)) +
+              CacheStallPenalty();
   } else {
     // Read from a drive into the cache, then to the IC. Positioning is
     // charged on the first page of a run and every 10th page thereafter
-    // (cylinder crossings); intermediate pages stream sequentially.
-    const InstrRt& ir = instrs_[static_cast<size_t>(instr_id)];
+    // (cylinder crossings); intermediate pages stream sequentially. Drives
+    // have no filter logic, so the full page always crosses disk -> cache.
     const std::string& rel =
         ir.def->operands[static_cast<size_t>(slot)].base_relation;
     SerialResource& drive =
@@ -693,10 +769,12 @@ void Sim::StageNextRawPage(int instr_id, int slot,
     const SimTime disk_done = drive.Acquire(eq_.now(), service);
     report_.bytes.disk_read += static_cast<uint64_t>(bytes);
     SpillToCache(raw_id);
-    report_.bytes.cache_to_ic += static_cast<uint64_t>(bytes);
-    arrival = disk_done + cfg_.cache.AccessTime(bytes) + CacheStallPenalty();
+    report_.bytes.cache_to_ic += static_cast<uint64_t>(transfer);
+    arrival = disk_done +
+              (pushed ? cfg_.cache.FilteredAccessTime(bytes, transfer)
+                      : cfg_.cache.AccessTime(bytes)) +
+              CacheStallPenalty();
   }
-  PagePtr page = *std::move(raw);
   eq_.ScheduleAt(arrival, [this, instr_id, slot, ids, idx, page] {
     RepackInto(instr_id, slot, *page);
     StageNextRawPage(instr_id, slot, ids, idx + 1);

@@ -77,9 +77,10 @@ bool UniformDomain(const std::string& name, double* domain) {
 std::string OptimizerReport::ToString() const {
   return StrFormat(
       "merged=%d pushed=%d swapped=%d fused=%d materialized=%d "
-      "scans(full=%d zonemap=%d gridfile=%d)",
+      "scans(full=%d zonemap=%d gridfile=%d) pushdown=%d",
       restricts_merged, predicates_pushed, joins_swapped, edges_fused,
-      edges_materialized, scans_full, scans_zonemap, scans_gridfile);
+      edges_materialized, scans_full, scans_zonemap, scans_gridfile,
+      scans_pushdown);
 }
 
 double Optimizer::EstimateSelectivity(const Expr& pred,
@@ -516,6 +517,37 @@ void Optimizer::DecideAccessPaths(PlanNode* root,
   }
 }
 
+void Optimizer::DecidePushdown(PlanNode* root, OptimizerReport* report) const {
+  for (auto& child : root->children) DecidePushdown(child.get(), report);
+
+  if (root->op == PlanOp::kScan) {
+    root->pushdown = false;  // Bare scans ship raw pages; nothing to filter.
+    return;
+  }
+  if (root->op != PlanOp::kRestrict || root->predicate == nullptr ||
+      root->num_children() != 1 || root->child(0).op != PlanOp::kScan ||
+      !root->child(0).resolved) {
+    return;
+  }
+  PlanNode& scan = root->child(0);
+  auto compiled = CompiledPredicate::Compile(*root->predicate,
+                                             scan.output_schema);
+  if (!compiled.ok()) {
+    report->pushdown_rejected++;
+    return;  // Interpreted predicates stay at the processors.
+  }
+  // Device breakeven: the in-cache scan runs at filter_rate, survivors ship
+  // at port_rate; the raw path ships everything at port_rate. With the
+  // default 4x internal rate the filter wins below 75% survival.
+  if (EstimateSelectivity(*root->predicate, scan.output_schema) >
+      kPushdownSelectivity) {
+    report->pushdown_rejected++;
+    return;
+  }
+  scan.pushdown = true;
+  report->scans_pushdown++;
+}
+
 StatusOr<PlanNodePtr> Optimizer::Optimize(const PlanNode& plan,
                                           OptimizerReport* report) const {
   Analyzer analyzer(catalog_);
@@ -546,11 +578,13 @@ StatusOr<PlanNodePtr> Optimizer::Optimize(const PlanNode& plan,
     OptimizerReport fallback;  // Zero rewrites, but edges still decided.
     DecidePipelining(original.get(), &fallback);
     DecideAccessPaths(original.get(), &fallback);
+    DecidePushdown(original.get(), &fallback);
     if (report != nullptr) *report = fallback;
     return original;
   }
   DecidePipelining(optimized.get(), &local);
   DecideAccessPaths(optimized.get(), &local);
+  DecidePushdown(optimized.get(), &local);
   if (report != nullptr) *report = local;
   return optimized;
 }

@@ -52,6 +52,13 @@ struct OptimizerReport {
   int scans_zonemap = 0;
   int scans_gridfile = 0;
 
+  /// Per-scan near-data pushdown decision (DecidePushdown).
+  int scans_pushdown = 0;
+  /// Restrict-over-scan shapes left on the raw path: the predicate refused
+  /// compilation or the estimated selectivity was above the device
+  /// breakeven (kPushdownSelectivity).
+  int pushdown_rejected = 0;
+
   std::string ToString() const;
 };
 
@@ -105,6 +112,21 @@ class Optimizer {
   /// higher selectivities most cells qualify and the probe is pure
   /// overhead over zone maps.
   static constexpr double kGridFileSelectivity = 0.25;
+
+  /// Marks each kScan leaf consumed by a restrict whose predicate compiles
+  /// as near-data pushable (PlanNode::pushdown) and counts the decisions in
+  /// \p report. Composes with DecideAccessPaths (run it first): access-path
+  /// pruning drops whole pages, pushdown filters the residual pages inside
+  /// the storage hierarchy. The decision rule follows the filtered-transfer
+  /// cost model (CcdCacheModel::FilteredAccessTime): pushing down pays
+  /// scanned/filter_rate + surviving/port_rate against the raw path's
+  /// scanned/port_rate, so it wins when estimated selectivity is below
+  /// 1 - port_rate/filter_rate = kPushdownSelectivity. Run automatically by
+  /// Optimize(); exposed for hand-shaped plans and tests.
+  void DecidePushdown(PlanNode* root, OptimizerReport* report) const;
+
+  /// Selectivity breakeven for near-data pushdown (see DecidePushdown).
+  static constexpr double kPushdownSelectivity = 0.75;
 
  private:
   const Catalog* catalog_;

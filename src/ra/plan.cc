@@ -83,6 +83,7 @@ std::string PlanNode::ToString(int indent) const {
     out += " via=" + std::string(ScanAccessPathToString(access_path));
     if (!index_name.empty()) out += "(" + index_name + ")";
   }
+  if (pushdown) out += " pushdown";
   if (id >= 0) out += StrFormat("  #%d", id);
   out += "\n";
   for (const auto& c : children) out += c->ToString(indent + 1);
@@ -111,6 +112,7 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   copy->access_path = access_path;
   copy->index_name = index_name;
   copy->prune_bounds = prune_bounds;
+  copy->pushdown = pushdown;
   for (const auto& c : children) copy->children.push_back(c->Clone());
   return copy;
 }

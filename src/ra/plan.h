@@ -111,6 +111,17 @@ struct PlanNode {
   std::string index_name;
   std::vector<ColCompare> prune_bounds;
 
+  /// kScan only: optimizer near-data pushdown decision. When true, the
+  /// consuming restrict's compiled predicate runs inside the storage
+  /// hierarchy (BufferManager::ReadFiltered in the threads engine, IC
+  /// staging in the simulator) so only surviving tuples cross buffer
+  /// levels and rings. Composes with access_path: pruning drops whole
+  /// pages first, pushdown filters the residual pages. Set by
+  /// Optimizer::DecidePushdown; false is always safe, and
+  /// ExecOptions::pushdown / MachineOptions::pushdown can force it off at
+  /// execution time.
+  bool pushdown = false;
+
   /// Filled by the analyzer.
   Schema output_schema;
   bool resolved = false;

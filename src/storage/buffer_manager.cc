@@ -1,5 +1,7 @@
 #include "storage/buffer_manager.h"
 
+#include <vector>
+
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -73,6 +75,72 @@ StatusOr<PagePtr> BufferManager::Fetch(PageId id) {
   return *page;
 }
 
+Status BufferManager::ReadFiltered(PageId id, const PushdownFilter& filter,
+                                   PushdownSink* sink,
+                                   PushdownCounters* counters) {
+  auto page = store_->Get(id);
+  if (!page.ok()) return page.status();
+  const int bytes = (*page)->payload_bytes();
+  const int width = (*page)->tuple_width();
+  const int n = (*page)->num_tuples();
+
+  // Run the compiled program against the raw page before touching residency
+  // state: the scan happens inside the device, outside the manager's lock.
+  std::vector<int> survivors;
+  survivors.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (filter.Matches((*page)->tuple(i).data())) survivors.push_back(i);
+  }
+  const uint64_t surviving_bytes =
+      static_cast<uint64_t>(survivors.size()) * static_cast<uint64_t>(width);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it != entries_.end() && it->second.level == Level::kLocal) {
+      // Already in local memory: nothing to elide, the filter just saves
+      // the consumer a pass. Refresh LRU like a plain fetch.
+      stats_.local_hits++;
+      local_lru_.erase(it->second.lru_it);
+      local_lru_.push_front(id);
+      it->second.lru_it = local_lru_.begin();
+    } else if (it != entries_.end() && it->second.level == Level::kCache) {
+      // Filter at the cache: only survivors occupy the port. The raw page
+      // stays cache-resident — survivors, not the page, move up.
+      stats_.cache_reads++;
+      stats_.cache_read_bytes += surviving_bytes;
+      cache_lru_.erase(it->second.lru_it);
+      cache_lru_.push_front(id);
+      it->second.lru_it = cache_lru_.begin();
+      if (counters != nullptr) {
+        counters->bytes_elided += static_cast<uint64_t>(bytes) - surviving_bytes;
+      }
+    } else {
+      // Absent: the drive cannot filter, so the raw page streams into the
+      // cache in full and the program runs there.
+      stats_.disk_reads++;
+      stats_.disk_read_bytes += static_cast<uint64_t>(bytes);
+      stats_.cache_reads++;
+      stats_.cache_read_bytes += surviving_bytes;
+      InsertCacheLocked(id, bytes);
+      if (counters != nullptr) {
+        counters->bytes_elided += static_cast<uint64_t>(bytes) - surviving_bytes;
+      }
+    }
+    if (counters != nullptr) {
+      counters->pages_filtered++;
+      counters->tuples_in += static_cast<uint64_t>(n);
+      counters->tuples_out += static_cast<uint64_t>(survivors.size());
+    }
+  }
+
+  for (int i : survivors) {
+    Status s = sink->Emit((*page)->tuple(i));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 PageId BufferManager::PutNew(PagePtr page) {
   const int bytes = page->payload_bytes();
   const PageId id = store_->Put(std::move(page));
@@ -129,6 +197,14 @@ void BufferManager::InsertLocalLocked(PageId id, int bytes) {
   }
   local_lru_.push_front(id);
   entries_[id] = Entry{Level::kLocal, bytes, local_lru_.begin()};
+}
+
+void BufferManager::InsertCacheLocked(PageId id, int bytes) {
+  while (static_cast<int>(cache_lru_.size()) >= cache_capacity_) {
+    EvictFromCacheLocked();
+  }
+  cache_lru_.push_front(id);
+  entries_[id] = Entry{Level::kCache, bytes, cache_lru_.begin()};
 }
 
 void BufferManager::EvictFromLocalLocked() {

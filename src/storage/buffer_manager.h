@@ -18,6 +18,7 @@
 
 #include "common/macros.h"
 #include "storage/page_store.h"
+#include "storage/pushdown.h"
 
 namespace dfdb {
 
@@ -70,6 +71,17 @@ class BufferManager {
   /// Fetches a page through the hierarchy, counting transfers.
   StatusOr<PagePtr> Fetch(PageId id);
 
+  /// Near-data read: applies \p filter to every tuple of the page *at the
+  /// level where it resides* and emits only survivors into \p sink, so the
+  /// cache -> local transfer is charged for surviving bytes only (the scan
+  /// itself stays inside the device). The page is not promoted to local
+  /// memory — survivors, not the raw page, move up the hierarchy; a page
+  /// absent from both levels streams disk -> cache in full (the drive
+  /// cannot filter) and then filters at the cache. Counters are charged to
+  /// \p counters when non-null.
+  Status ReadFiltered(PageId id, const PushdownFilter& filter,
+                      PushdownSink* sink, PushdownCounters* counters);
+
   /// Registers a freshly produced page: stores it in mass storage's map
   /// (logical home), makes it resident in local memory, and returns its id.
   /// No transfer is counted until it is evicted or re-fetched.
@@ -100,6 +112,7 @@ class BufferManager {
   // All private helpers require mu_ held.
   void TouchLocked(PageId id, Entry* entry);
   void InsertLocalLocked(PageId id, int bytes);
+  void InsertCacheLocked(PageId id, int bytes);
   void EvictFromLocalLocked();
   void EvictFromCacheLocked();
   Level FindLocked(PageId id) const;

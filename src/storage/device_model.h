@@ -49,9 +49,25 @@ struct DiskModel {
 struct CcdCacheModel {
   SimTime access_latency = SimTime::Micros(100);
   double transfer_bytes_per_sec = 4.0e6;  // ~4 MB/s per port.
+  /// Internal scan rate of a pushed-down predicate sweeping a block inside
+  /// the cache. The multiport CCD array's aggregate internal bandwidth is
+  /// well above what one port can ship (the segments cycle in parallel), so
+  /// filtering in place is cheaper than moving: 4x the port rate.
+  double filter_scan_bytes_per_sec = 16.0e6;
 
   SimTime AccessTime(int64_t bytes) const {
     return access_latency + TransferTime(bytes, transfer_bytes_per_sec * 8.0);
+  }
+
+  /// Cost of a filtered transfer: the pushed-down program scans
+  /// \p scanned_bytes at the internal rate, but only \p surviving_bytes
+  /// occupy the port. Charging the two rates separately is what makes
+  /// near-data filtering a win exactly when selectivity is high.
+  SimTime FilteredAccessTime(int64_t scanned_bytes,
+                             int64_t surviving_bytes) const {
+    return access_latency +
+           TransferTime(scanned_bytes, filter_scan_bytes_per_sec * 8.0) +
+           TransferTime(surviving_bytes, transfer_bytes_per_sec * 8.0);
   }
 };
 

@@ -1,0 +1,20 @@
+#include "storage/pushdown.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dfdb {
+
+void RegisterPushdownMetrics(const PushdownCounters& counters,
+                             const char* prefix,
+                             obs::MetricsRegistry* registry) {
+  const std::string p(prefix);
+  registry->Set(p + "pages_filtered", counters.pages_filtered);
+  registry->Set(p + "tuples_in", counters.tuples_in);
+  registry->Set(p + "tuples_out", counters.tuples_out);
+  registry->Set(p + "bytes_elided", counters.bytes_elided);
+  registry->Set(p + "fallbacks", counters.fallbacks);
+}
+
+}  // namespace dfdb

@@ -247,9 +247,10 @@ TEST_F(OptimizerTest, ReportToString) {
   r.scans_full = 6;
   r.scans_zonemap = 7;
   r.scans_gridfile = 8;
+  r.scans_pushdown = 9;
   EXPECT_EQ(r.ToString(),
             "merged=1 pushed=2 swapped=3 fused=4 materialized=5 "
-            "scans(full=6 zonemap=7 gridfile=8)");
+            "scans(full=6 zonemap=7 gridfile=8) pushdown=9");
 }
 
 // ---------------------------------------------------------------------------
